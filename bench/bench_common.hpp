@@ -1,0 +1,112 @@
+// Shared plumbing for the figure/table reproduction binaries: environment
+// overrides, the three named algorithms, CDF printing and CSV output.
+//
+// Every bench runs with no arguments; knobs come from the environment:
+//   FASTCONS_REPS      repetitions per configuration (default per bench)
+//   FASTCONS_CSV_DIR   where to drop CSV copies of each table (default
+//                      ./bench_results; set to empty string to disable)
+#ifndef FASTCONS_BENCH_BENCH_COMMON_HPP
+#define FASTCONS_BENCH_BENCH_COMMON_HPP
+
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/env.hpp"
+#include "common/error.hpp"
+#include "experiment/propagation.hpp"
+#include "stats/table.hpp"
+#include "topology/generators.hpp"
+
+namespace fastcons::bench {
+
+inline std::size_t repetitions(std::size_t fallback) {
+  return static_cast<std::size_t>(env_u64("FASTCONS_REPS", fallback));
+}
+
+/// Writes `table` to $FASTCONS_CSV_DIR/<name>.csv (best-effort).
+inline void emit_csv(const Table& table, const std::string& name) {
+  const char* env = std::getenv("FASTCONS_CSV_DIR");
+  std::string dir = env != nullptr ? env : "bench_results";
+  if (dir.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return;
+  try {
+    table.write_csv(dir + "/" + name + ".csv");
+  } catch (const Error&) {
+    // CSV output is a convenience; the stdout table is the artefact.
+  }
+}
+
+/// The three algorithms of the paper's figures, by display name.
+inline std::vector<std::pair<std::string, ProtocolConfig>> three_algorithms() {
+  // Static-demand experiments: tables are primed at t=0, so adverts are
+  // pure overhead; disabling them matches the paper's static model and
+  // keeps the byte counters focused on the replication traffic.
+  ProtocolConfig weak = ProtocolConfig::weak();
+  weak.advert_period = 0.0;
+  ProtocolConfig demand_only = ProtocolConfig::demand_order_only();
+  demand_only.advert_period = 0.0;
+  ProtocolConfig fast = ProtocolConfig::fast();
+  fast.advert_period = 0.0;
+  return {{"weak", weak}, {"demand-order", demand_only}, {"fast", fast}};
+}
+
+/// Runs one propagation experiment per algorithm over the same topology and
+/// demand factories.
+inline std::map<std::string, PropagationResult> run_algorithms(
+    const TopologyFactory& topology, const DemandFactory& demand,
+    std::size_t reps, std::uint64_t seed,
+    const std::vector<std::pair<std::string, ProtocolConfig>>& algos) {
+  std::map<std::string, PropagationResult> results;
+  for (const auto& [name, protocol] : algos) {
+    PropagationExperiment exp;
+    exp.topology = topology;
+    exp.demand = demand;
+    exp.sim.protocol = protocol;
+    exp.repetitions = reps;
+    exp.seed = seed;  // same seed: identical topologies/demands/writers
+    results.emplace(name, run_propagation(exp));
+  }
+  return results;
+}
+
+/// Prints the paper-style CDF table (x = sessions, one column per curve).
+inline void print_cdf_table(
+    const std::string& title,
+    const std::vector<std::pair<std::string, const EmpiricalCdf*>>& curves,
+    double x_max, double x_step, const std::string& csv_name) {
+  std::vector<std::string> headers{"sessions"};
+  for (const auto& [name, cdf] : curves) {
+    (void)cdf;
+    headers.push_back(name);
+  }
+  Table table(std::move(headers));
+  for (double x = 0.0; x <= x_max + 1e-9; x += x_step) {
+    std::vector<std::string> row{Table::num(x, 1)};
+    for (const auto& [name, cdf] : curves) {
+      (void)name;
+      row.push_back(Table::num(cdf->at(x), 4));
+    }
+    table.add_row(std::move(row));
+  }
+  std::cout << "\n== " << title << " ==\n";
+  table.print(std::cout);
+  emit_csv(table, csv_name);
+}
+
+inline DemandFactory uniform_demand_factory(double lo = 0.0,
+                                            double hi = 100.0) {
+  return [lo, hi](const Graph& g, Rng& rng) {
+    return std::make_shared<StaticDemand>(
+        make_uniform_random_demand(g.size(), lo, hi, rng));
+  };
+}
+
+}  // namespace fastcons::bench
+
+#endif  // FASTCONS_BENCH_BENCH_COMMON_HPP

@@ -1,0 +1,185 @@
+// Experiment E11 — substrate microbenchmarks (google-benchmark): the data
+// structures and hot paths everything else stands on.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "core/engine.hpp"
+#include "net/wire.hpp"
+#include "replication/summary_vector.hpp"
+#include "replication/write_log.hpp"
+#include "sim/simulator.hpp"
+#include "topology/generators.hpp"
+#include "topology/metrics.hpp"
+
+namespace {
+
+using namespace fastcons;
+
+SummaryVector make_summary(std::size_t updates, Rng& rng) {
+  SummaryVector sv;
+  for (std::size_t i = 0; i < updates; ++i) {
+    sv.add(UpdateId{static_cast<NodeId>(rng.index(16)),
+                    rng.uniform_u64(1, updates)});
+  }
+  return sv;
+}
+
+void BM_SummaryVectorAdd(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    SummaryVector sv;
+    for (std::int64_t i = 0; i < state.range(0); ++i) {
+      sv.add(UpdateId{static_cast<NodeId>(i % 8),
+                      static_cast<SeqNo>(i / 8 + 1)});
+    }
+    benchmark::DoNotOptimize(sv);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SummaryVectorAdd)->Arg(64)->Arg(1024);
+
+void BM_SummaryVectorMerge(benchmark::State& state) {
+  Rng rng(2);
+  const SummaryVector a = make_summary(static_cast<std::size_t>(state.range(0)), rng);
+  const SummaryVector b = make_summary(static_cast<std::size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    SummaryVector merged = a;
+    merged.merge(b);
+    benchmark::DoNotOptimize(merged);
+  }
+}
+BENCHMARK(BM_SummaryVectorMerge)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_WriteLogUpdatesFor(benchmark::State& state) {
+  Rng rng(3);
+  WriteLog log;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    log.apply(Update{UpdateId{static_cast<NodeId>(i % 8),
+                              static_cast<SeqNo>(i / 8 + 1)},
+                     0.0, "key", "value"});
+  }
+  const SummaryVector half = make_summary(static_cast<std::size_t>(state.range(0) / 2), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(log.updates_for(half));
+  }
+}
+BENCHMARK(BM_WriteLogUpdatesFor)->Arg(128)->Arg(2048);
+
+void BM_SimulatorEventChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    for (std::int64_t i = 0; i < state.range(0); ++i) {
+      sim.schedule_at(static_cast<double>(i % 97), [] {});
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorEventChurn)->Arg(1000)->Arg(10000);
+
+void BM_BarabasiAlbertGeneration(benchmark::State& state) {
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_barabasi_albert(
+        static_cast<std::size_t>(state.range(0)), 2, {0.01, 0.05}, rng));
+  }
+}
+BENCHMARK(BM_BarabasiAlbertGeneration)->Arg(100)->Arg(1000);
+
+void BM_DiameterBfs(benchmark::State& state) {
+  Rng rng(5);
+  const Graph g = make_barabasi_albert(
+      static_cast<std::size_t>(state.range(0)), 2, {0.01, 0.05}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(diameter(g));
+  }
+}
+BENCHMARK(BM_DiameterBfs)->Arg(100)->Arg(400);
+
+void BM_SessionHandshake(benchmark::State& state) {
+  // Full 4-message anti-entropy exchange between two engines with
+  // state.range(0) updates of skew.
+  ProtocolConfig cfg = ProtocolConfig::fast();
+  cfg.advert_period = 0.0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    ReplicaEngine a(0, {1}, cfg, 1);
+    ReplicaEngine b(1, {0}, cfg, 2);
+    a.prime_neighbour_demand(1, 1.0, 0.0);
+    b.prime_neighbour_demand(0, 1.0, 0.0);
+    for (std::int64_t i = 0; i < state.range(0); ++i) {
+      a.local_write("k" + std::to_string(i), "v", 0.0);
+    }
+    state.ResumeTiming();
+    auto m1 = a.on_session_timer(0.0);
+    auto m2 = b.handle(0, m1[0].msg, 0.0);
+    auto m3 = a.handle(1, m2[0].msg, 0.0);
+    auto m4 = b.handle(0, m3[0].msg, 0.0);
+    auto m5 = a.handle(1, m4[0].msg, 0.0);
+    benchmark::DoNotOptimize(m5);
+  }
+}
+BENCHMARK(BM_SessionHandshake)->Arg(1)->Arg(64);
+
+void BM_WireEncodeDecodePush(benchmark::State& state) {
+  Rng rng(6);
+  SessionPush msg;
+  msg.session_id = 7;
+  msg.summary = make_summary(64, rng);
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    msg.updates.push_back(Update{UpdateId{1, static_cast<SeqNo>(i + 1)}, 0.5,
+                                 "key-" + std::to_string(i),
+                                 std::string(64, 'x')});
+  }
+  const Message m{msg};
+  for (auto _ : state) {
+    const auto frame = encode_frame(3, m);
+    benchmark::DoNotOptimize(decode_body(std::span(frame).subspan(4)));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(encode_frame(3, m).size()));
+}
+BENCHMARK(BM_WireEncodeDecodePush)->Arg(1)->Arg(64);
+
+void BM_FastPushChain(benchmark::State& state) {
+  // Offer/ack/data across a demand gradient line of engines.
+  ProtocolConfig cfg = ProtocolConfig::fast();
+  cfg.advert_period = 0.0;
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<std::unique_ptr<ReplicaEngine>> engines;
+    for (NodeId i = 0; i < n; ++i) {
+      std::vector<NodeId> neighbours;
+      if (i > 0) neighbours.push_back(i - 1);
+      if (i + 1 < n) neighbours.push_back(i + 1);
+      engines.push_back(
+          std::make_unique<ReplicaEngine>(i, neighbours, cfg, i + 1));
+      engines.back()->set_own_demand(static_cast<double>(i));
+      if (i > 0) {
+        engines.back()->prime_neighbour_demand(i - 1, static_cast<double>(i - 1), 0.0);
+        engines[i - 1]->prime_neighbour_demand(i, static_cast<double>(i), 0.0);
+      }
+    }
+    state.ResumeTiming();
+    std::vector<std::pair<NodeId, Outbound>> queue;
+    for (auto& out : engines[0]->local_write("k", "v", 0.0)) {
+      queue.emplace_back(0, std::move(out));
+    }
+    while (!queue.empty()) {
+      auto [from, out] = std::move(queue.back());
+      queue.pop_back();
+      for (auto& next : engines[out.to]->handle(from, out.msg, 0.0)) {
+        queue.emplace_back(out.to, std::move(next));
+      }
+    }
+    benchmark::DoNotOptimize(engines.back()->summary());
+  }
+}
+BENCHMARK(BM_FastPushChain)->Arg(8)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// Paper §6 demo: islands of high demand, leader election and the island
+// interconnection overlay.
+//
+// Two metropolitan regions (dense cliques of busy replicas) are joined by a
+// long rural chain of idle relays. The demo:
+//   1. detects the islands from the demand map,
+//   2. elects a leader per island (and cross-checks the distributed
+//      flooding election against the centralised result),
+//   3. builds minimum-latency leader bridges,
+//   4. shows propagation into the far island with and without the overlay.
+//
+//   $ ./examples/islands_demo
+#include <cstdio>
+#include <memory>
+
+#include "islands/islands.hpp"
+#include "sim_runtime/sim_network.hpp"
+#include "topology/generators.hpp"
+
+int main() {
+  using namespace fastcons;
+
+  Rng rng(11);
+  const std::size_t clique = 6, bridge_len = 10;
+  Graph topology = make_dumbbell(clique, bridge_len, {0.01, 0.03}, rng);
+
+  std::vector<double> demand(topology.size(), 1.0);
+  for (NodeId n = 0; n < clique; ++n) demand[n] = 40.0 + n;           // west
+  for (NodeId n = clique; n < 2 * clique; ++n) demand[n] = 55.0 + n;  // east
+
+  std::printf("topology: two %zu-replica metros + %zu-hop rural chain "
+              "(%zu nodes total)\n\n", clique, bridge_len, topology.size());
+
+  // 1-2. Detection and election.
+  const double threshold = 20.0;
+  const auto islands = detect_islands(topology, demand, threshold);
+  const auto leaders = elect_leaders(islands, demand);
+  std::size_t rounds = 0;
+  const auto flood = flood_election(topology, demand, threshold, &rounds);
+  for (std::size_t i = 0; i < islands.size(); ++i) {
+    std::printf("island %zu: %zu members, leader replica %u (demand %.0f)\n",
+                i, islands[i].size(), leaders[i], demand[leaders[i]]);
+    for (const NodeId member : islands[i]) {
+      if (flood[member] != leaders[i]) {
+        std::printf("  !! flooding election disagrees at member %u\n", member);
+        return 1;
+      }
+    }
+  }
+  std::printf("distributed flooding election agreed in %zu rounds\n\n",
+              rounds);
+
+  // 3. Bridges.
+  const auto bridges = compute_bridges(topology, leaders);
+  for (const Bridge& b : bridges) {
+    std::printf("bridge: leader %u <-> leader %u (underlay latency %.3f)\n",
+                b.a, b.b, b.latency);
+  }
+
+  // 4. Propagation with and without the overlay.
+  const NodeId far_hot = leaders.back();
+  for (const bool with_overlay : {false, true}) {
+    auto model = std::make_shared<StaticDemand>(demand);
+    SimConfig config;
+    config.protocol = ProtocolConfig::fast();
+    config.seed = 21;
+    SimNetwork net(Graph(topology), model, config);
+    if (with_overlay) {
+      for (const Bridge& b : bridges) net.add_overlay_link(b.a, b.b, b.latency);
+    }
+    const UpdateId id = net.schedule_write(0, "k", "v", 0.5);
+    net.run_until_update_everywhere(id, 80.0);
+    std::printf("\n%-18s far leader (replica %u) got the update after %.3f"
+                " sessions",
+                with_overlay ? "with overlay:" : "without overlay:", far_hot,
+                net.first_delivery(far_hot, id).value_or(-1.0) - 0.5);
+  }
+  std::puts("\n\nthe overlay lets updates jump between high-demand regions"
+            " instead of crawling across the idle chain (paper §6)");
+  return 0;
+}

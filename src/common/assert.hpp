@@ -1,0 +1,37 @@
+// Precondition / invariant checking in the spirit of the Core Guidelines'
+// Expects()/Ensures(): violations indicate programmer errors, so they abort
+// with a location message rather than throwing (callers cannot meaningfully
+// recover from a broken invariant).
+#ifndef FASTCONS_COMMON_ASSERT_HPP
+#define FASTCONS_COMMON_ASSERT_HPP
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fastcons::detail {
+
+[[noreturn]] inline void assert_fail(const char* kind, const char* expr,
+                                     const char* file, int line) {
+  std::fprintf(stderr, "fastcons: %s failed: %s (%s:%d)\n", kind, expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace fastcons::detail
+
+#define FASTCONS_EXPECTS(cond)                                          \
+  ((cond) ? static_cast<void>(0)                                        \
+          : ::fastcons::detail::assert_fail("precondition", #cond,      \
+                                            __FILE__, __LINE__))
+
+#define FASTCONS_ENSURES(cond)                                          \
+  ((cond) ? static_cast<void>(0)                                        \
+          : ::fastcons::detail::assert_fail("postcondition", #cond,     \
+                                            __FILE__, __LINE__))
+
+#define FASTCONS_ASSERT(cond)                                           \
+  ((cond) ? static_cast<void>(0)                                        \
+          : ::fastcons::detail::assert_fail("invariant", #cond,         \
+                                            __FILE__, __LINE__))
+
+#endif  // FASTCONS_COMMON_ASSERT_HPP

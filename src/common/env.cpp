@@ -1,0 +1,25 @@
+#include "common/env.hpp"
+
+#include <cstdlib>
+
+namespace fastcons {
+
+std::uint64_t env_u64(const std::string& name, std::uint64_t fallback) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0') return fallback;
+  return parsed;
+}
+
+double env_double(const std::string& name, double fallback) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  if (end == value || *end != '\0') return fallback;
+  return parsed;
+}
+
+}  // namespace fastcons

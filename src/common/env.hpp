@@ -1,0 +1,21 @@
+// Tiny helpers for reading benchmark/experiment overrides from the
+// environment (e.g. FASTCONS_REPS=500 ./bench_fig5_cdf50). Benchmarks must
+// run with no arguments, so the environment is the only knob.
+#ifndef FASTCONS_COMMON_ENV_HPP
+#define FASTCONS_COMMON_ENV_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace fastcons {
+
+/// Returns the value of `name` parsed as u64, or `fallback` when unset or
+/// unparsable.
+std::uint64_t env_u64(const std::string& name, std::uint64_t fallback);
+
+/// Returns the value of `name` parsed as double, or `fallback`.
+double env_double(const std::string& name, double fallback);
+
+}  // namespace fastcons
+
+#endif  // FASTCONS_COMMON_ENV_HPP

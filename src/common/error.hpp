@@ -1,0 +1,38 @@
+// Exception hierarchy. Recoverable runtime failures (bad configuration,
+// malformed wire data, socket errors) throw; broken invariants abort via
+// assert.hpp instead.
+#ifndef FASTCONS_COMMON_ERROR_HPP
+#define FASTCONS_COMMON_ERROR_HPP
+
+#include <stdexcept>
+#include <string>
+
+namespace fastcons {
+
+/// Root of all library-thrown exceptions.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Invalid user-supplied configuration (negative rates, empty topologies...).
+class ConfigError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Malformed or oversized data on the wire.
+class CodecError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Socket / OS-level transport failure. Carries errno text in what().
+class TransportError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace fastcons
+
+#endif  // FASTCONS_COMMON_ERROR_HPP

@@ -1,0 +1,57 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+
+namespace fastcons {
+namespace {
+
+std::atomic<LogLevel> g_threshold{LogLevel::warn};
+
+const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::trace: return "TRACE";
+    case LogLevel::debug: return "DEBUG";
+    case LogLevel::info: return "INFO";
+    case LogLevel::warn: return "WARN";
+    case LogLevel::error: return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_threshold() noexcept { return g_threshold.load(std::memory_order_relaxed); }
+
+void set_log_threshold(LogLevel level) noexcept {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
+
+void init_log_from_env() {
+  const char* env = std::getenv("FASTCONS_LOG");
+  if (env == nullptr) return;
+  const std::string value(env);
+  if (value == "trace") set_log_threshold(LogLevel::trace);
+  else if (value == "debug") set_log_threshold(LogLevel::debug);
+  else if (value == "info") set_log_threshold(LogLevel::info);
+  else if (value == "warn") set_log_threshold(LogLevel::warn);
+  else if (value == "error") set_log_threshold(LogLevel::error);
+}
+
+namespace detail {
+
+void log_write(LogLevel level, std::string_view component,
+               std::string_view message) {
+  // One mutex keeps multi-threaded (net runtime) lines from interleaving.
+  static std::mutex mutex;
+  const std::lock_guard<std::mutex> lock(mutex);
+  std::fprintf(stderr, "[%s %.*s] %.*s\n", level_name(level),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace detail
+}  // namespace fastcons

@@ -1,0 +1,56 @@
+// Minimal leveled logger. Off (warn-and-above) by default so that benchmark
+// output stays clean; tests and examples can raise verbosity. Not a general
+// logging framework on purpose (P.11: encapsulate the messy construct once).
+#ifndef FASTCONS_COMMON_LOG_HPP
+#define FASTCONS_COMMON_LOG_HPP
+
+#include <sstream>
+#include <string_view>
+
+namespace fastcons {
+
+enum class LogLevel { trace = 0, debug = 1, info = 2, warn = 3, error = 4 };
+
+/// Global threshold; messages below it are discarded.
+LogLevel log_threshold() noexcept;
+void set_log_threshold(LogLevel level) noexcept;
+
+/// Reads FASTCONS_LOG (trace|debug|info|warn|error) if present.
+void init_log_from_env();
+
+namespace detail {
+void log_write(LogLevel level, std::string_view component,
+               std::string_view message);
+}
+
+/// Stream-style log statement: FASTCONS_LOG(info, "net") << "bound " << port;
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component) noexcept
+      : level_(level), component_(component) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() {
+    if (enabled()) detail::log_write(level_, component_, stream_.str());
+  }
+
+  bool enabled() const noexcept { return level_ >= log_threshold(); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (enabled()) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace fastcons
+
+#define FASTCONS_LOG(level, component) \
+  ::fastcons::LogLine(::fastcons::LogLevel::level, component)
+
+#endif  // FASTCONS_COMMON_LOG_HPP

@@ -1,0 +1,115 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace fastcons {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t x = seed;
+  for (auto& word : s_) word = splitmix64(x);
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::next_double() noexcept {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Rng::uniform_u64(std::uint64_t lo, std::uint64_t hi) noexcept {
+  FASTCONS_EXPECTS(lo <= hi);
+  const std::uint64_t span = hi - lo;
+  if (span == ~std::uint64_t{0}) return next_u64();
+  const std::uint64_t n = span + 1;
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto l = static_cast<std::uint64_t>(m);
+  if (l < n) {
+    const std::uint64_t floor = (~n + 1) % n;  // == 2^64 mod n
+    while (l < floor) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * n;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return lo + static_cast<std::uint64_t>(m >> 64);
+}
+
+std::size_t Rng::index(std::size_t n) noexcept {
+  FASTCONS_EXPECTS(n > 0);
+  return static_cast<std::size_t>(uniform_u64(0, n - 1));
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  FASTCONS_EXPECTS(lo <= hi);
+  return lo + (hi - lo) * next_double();
+}
+
+double Rng::exponential(double mean) noexcept {
+  FASTCONS_EXPECTS(mean > 0.0);
+  // -log(1 - u) with u in [0,1) never evaluates log(0).
+  return -mean * std::log1p(-next_double());
+}
+
+bool Rng::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+std::uint64_t Rng::zipf(std::uint64_t n, double s) noexcept {
+  FASTCONS_EXPECTS(n >= 1);
+  FASTCONS_EXPECTS(s >= 0.0);
+  if (n == 1) return 1;
+  // Rejection-inversion (Hörmann & Derflinger). H is the integral of the
+  // unnormalised density x^-s, extended piecewise for s == 1.
+  const auto h = [s](double x) {
+    return s == 1.0 ? std::log(x) : (std::pow(x, 1.0 - s) / (1.0 - s));
+  };
+  const auto h_inv = [s](double x) {
+    return s == 1.0 ? std::exp(x) : std::pow((1.0 - s) * x, 1.0 / (1.0 - s));
+  };
+  const double h_x1 = h(1.5) - 1.0;
+  const double h_n = h(static_cast<double>(n) + 0.5);
+  for (;;) {
+    const double u = h_x1 + next_double() * (h_n - h_x1);
+    const double x = h_inv(u);
+    auto k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n) k = n;
+    const double kd = static_cast<double>(k);
+    if (u >= h(kd + 0.5) - std::pow(kd, -s)) return k;
+  }
+}
+
+Rng Rng::split() noexcept {
+  Rng child(next_u64());
+  return child;
+}
+
+}  // namespace fastcons

@@ -1,0 +1,82 @@
+// Deterministic pseudo-random number generation.
+//
+// We implement xoshiro256** seeded via splitmix64 instead of using
+// std::mt19937 + std::distributions because the standard distributions are
+// implementation-defined: the same seed produces different streams on
+// different standard libraries, which would make every experiment in this
+// repository irreproducible across platforms. All distribution code here is
+// explicit and fully specified.
+#ifndef FASTCONS_COMMON_RNG_HPP
+#define FASTCONS_COMMON_RNG_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace fastcons {
+
+/// Deterministic 64-bit PRNG (xoshiro256**). Cheap to copy; copies diverge
+/// independently from the copied state.
+class Rng {
+ public:
+  /// Seeds the four 64-bit words of state from `seed` via splitmix64, which
+  /// guarantees a non-zero, well-mixed state for every seed including 0.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) noexcept;
+
+  /// Uniform on [0, 2^64).
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform on [0, 1) with 53 bits of precision.
+  double next_double() noexcept;
+
+  /// Uniform integer on [lo, hi] inclusive. Requires lo <= hi. Uses
+  /// rejection sampling (Lemire) so the result is exactly uniform.
+  std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi) noexcept;
+
+  /// Uniform integer on [0, n). Requires n > 0.
+  std::size_t index(std::size_t n) noexcept;
+
+  /// Uniform real on [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi) noexcept;
+
+  /// Exponential with the given mean (inverse rate). Requires mean > 0.
+  double exponential(double mean) noexcept;
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept;
+
+  /// Zipf-distributed rank on [1, n] with exponent s >= 0 (s == 0 is
+  /// uniform). Sampled by inversion over the precomputable CDF-free
+  /// rejection-inversion method of Hörmann; exact for all n >= 1.
+  std::uint64_t zipf(std::uint64_t n, double s) noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    if (v.size() < 2) return;
+    for (std::size_t i = v.size() - 1; i > 0; --i) {
+      using std::swap;
+      swap(v[i], v[index(i + 1)]);
+    }
+  }
+
+  /// Picks a uniformly random element. Requires non-empty.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) noexcept {
+    FASTCONS_EXPECTS(!v.empty());
+    return v[index(v.size())];
+  }
+
+  /// Derives an independent child generator; used to give every node /
+  /// repetition its own stream so that adding consumers does not perturb
+  /// other streams.
+  Rng split() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace fastcons
+
+#endif  // FASTCONS_COMMON_RNG_HPP

@@ -1,0 +1,14 @@
+#include "core/config.hpp"
+
+namespace fastcons {
+
+std::string_view selection_name(PartnerSelection s) noexcept {
+  switch (s) {
+    case PartnerSelection::uniform_random: return "uniform-random";
+    case PartnerSelection::demand_static: return "demand-static";
+    case PartnerSelection::demand_dynamic: return "demand-dynamic";
+  }
+  return "?";
+}
+
+}  // namespace fastcons

@@ -1,0 +1,378 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace fastcons {
+
+std::string_view delivery_path_name(DeliveryPath p) noexcept {
+  switch (p) {
+    case DeliveryPath::local_write: return "local-write";
+    case DeliveryPath::session: return "session";
+    case DeliveryPath::fast_push: return "fast-push";
+  }
+  return "?";
+}
+
+ReplicaEngine::ReplicaEngine(NodeId self, std::vector<NodeId> neighbours,
+                             ProtocolConfig config, std::uint64_t seed)
+    : self_(self),
+      config_(config),
+      rng_(seed),
+      table_(std::move(neighbours), config.liveness_window),
+      policy_(make_policy(config.selection)) {
+  FASTCONS_EXPECTS(config_.session_period > 0.0);
+  FASTCONS_EXPECTS(config_.fast_fanout >= 1);
+}
+
+void ReplicaEngine::prime_neighbour_demand(NodeId peer, double demand,
+                                           SimTime now) {
+  table_.update(peer, demand, now);
+}
+
+void ReplicaEngine::add_overlay_neighbour(NodeId peer, SimTime now) {
+  table_.add_neighbour(peer, now);
+  policy_->reset();
+}
+
+void ReplicaEngine::send(std::vector<Outbound>& out, NodeId to, Message msg) {
+  counters_.record(traffic_class_of(msg), estimated_wire_size(msg));
+  out.push_back(Outbound{to, std::move(msg)});
+}
+
+// --------------------------------------------------------------------------
+// Applying updates
+
+std::vector<Update> ReplicaEngine::apply_all(const std::vector<Update>& updates,
+                                             DeliveryPath path, SimTime now) {
+  std::vector<Update> gained;
+  for (const Update& update : updates) {
+    if (log_.apply(update)) {
+      ++stats_.updates_applied;
+      gained.push_back(update);
+      if (hooks_.on_delivery) hooks_.on_delivery(update, path, now);
+    } else {
+      ++stats_.duplicate_updates;
+    }
+  }
+  return gained;
+}
+
+// --------------------------------------------------------------------------
+// Client writes
+
+std::vector<Outbound> ReplicaEngine::local_write(std::string key,
+                                                 std::string value,
+                                                 SimTime now) {
+  const Update update{UpdateId{self_, ++next_seq_}, now, std::move(key),
+                      std::move(value)};
+  const std::vector<Update> gained =
+      apply_all({update}, DeliveryPath::local_write, now);
+  FASTCONS_ASSERT(gained.size() == 1);
+  return after_gain(gained, kInvalidNode, DeliveryPath::local_write, now);
+}
+
+// --------------------------------------------------------------------------
+// Anti-entropy sessions (paper §2.1 steps 1-12)
+
+void ReplicaEngine::maybe_auto_truncate() {
+  if (!config_.auto_truncate) return;
+  // The frontier needs evidence about every neighbour; one we have never
+  // exchanged summaries with contributes bottom, making the meet empty.
+  SummaryVector stable = log_.summary();
+  for (const DemandEntry& entry : table_.entries()) {
+    const auto it = peer_knowledge_.find(entry.peer);
+    if (it == peer_knowledge_.end()) return;
+    stable = SummaryVector::meet(stable, it->second);
+  }
+  stats_.payloads_truncated += log_.truncate_below(stable);
+}
+
+std::vector<Outbound> ReplicaEngine::on_session_timer(SimTime now) {
+  std::vector<Outbound> out;
+  expire_inflight(now);
+  maybe_auto_truncate();
+  const NodeId peer = policy_->choose(table_, now, rng_);
+  if (peer == kInvalidNode) return out;
+  const std::uint64_t session_id =
+      (static_cast<std::uint64_t>(self_) << 32) | ++next_session_;
+  sessions_[session_id] = SessionState{peer, now, /*awaiting_reply=*/false};
+  ++stats_.sessions_initiated;
+  send(out, peer, SessionRequest{session_id});
+  return out;
+}
+
+std::vector<Outbound> ReplicaEngine::on_session_request(
+    NodeId from, const SessionRequest& m, SimTime /*now*/) {
+  // Step 4: "B sends to E its summary vector." The responder keeps no state;
+  // everything it needs later arrives inside SessionPush.
+  std::vector<Outbound> out;
+  send(out, from, SessionSummary{m.session_id, log_.summary()});
+  return out;
+}
+
+std::vector<Outbound> ReplicaEngine::on_session_summary(
+    NodeId from, const SessionSummary& m, SimTime now) {
+  std::vector<Outbound> out;
+  const auto it = sessions_.find(m.session_id);
+  if (it == sessions_.end() || it->second.peer != from ||
+      it->second.awaiting_reply) {
+    return out;  // stale or spoofed; the session already timed out
+  }
+  it->second.awaiting_reply = true;
+  it->second.started_at = now;
+  note_peer_summary(from, m.summary);
+  // Steps 7-8: send the messages the partner has not seen. Ids truncated
+  // out of the log fall back to a full transfer of what we retain.
+  std::vector<UpdateId> truncated;
+  std::vector<Update> missing = log_.updates_for(m.summary, &truncated);
+  if (!truncated.empty()) {
+    missing = log_.all_retained();
+  }
+  for (const Update& u : missing) note_peer_has(from, u.id);
+  send(out, from, SessionPush{m.session_id, log_.summary(), std::move(missing)});
+  return out;
+}
+
+std::vector<Outbound> ReplicaEngine::on_session_push(NodeId from,
+                                                     const SessionPush& m,
+                                                     SimTime now) {
+  std::vector<Outbound> out;
+  // The initiator's summary plus the updates it just sent describe
+  // everything it will hold once this exchange completes.
+  note_peer_summary(from, m.summary);
+  for (const Update& u : m.updates) note_peer_has(from, u.id);
+  const std::vector<Update> gained =
+      apply_all(m.updates, DeliveryPath::session, now);
+  // Steps 10-11: reply with what the initiator lacks.
+  SummaryVector their_view = m.summary;
+  for (const Update& u : m.updates) their_view.add(u.id);
+  std::vector<UpdateId> truncated;
+  std::vector<Update> reply = log_.updates_for(their_view, &truncated);
+  if (!truncated.empty()) {
+    reply = log_.all_retained();
+  }
+  for (const Update& u : reply) note_peer_has(from, u.id);
+  send(out, from, SessionReply{m.session_id, std::move(reply)});
+  ++stats_.sessions_responded;
+  if (hooks_.on_session_complete) hooks_.on_session_complete(from, now);
+  // Steps 12-13: novel content arrived -> fast update part takes over.
+  auto pushes = after_gain(gained, from, DeliveryPath::session, now);
+  out.insert(out.end(), std::make_move_iterator(pushes.begin()),
+             std::make_move_iterator(pushes.end()));
+  return out;
+}
+
+std::vector<Outbound> ReplicaEngine::on_session_reply(NodeId from,
+                                                      const SessionReply& m,
+                                                      SimTime now) {
+  std::vector<Outbound> out;
+  const auto it = sessions_.find(m.session_id);
+  if (it == sessions_.end() || it->second.peer != from) return out;
+  sessions_.erase(it);
+  for (const Update& u : m.updates) note_peer_has(from, u.id);
+  const std::vector<Update> gained =
+      apply_all(m.updates, DeliveryPath::session, now);
+  ++stats_.sessions_completed;
+  if (hooks_.on_session_complete) hooks_.on_session_complete(from, now);
+  return after_gain(gained, from, DeliveryPath::session, now);
+}
+
+void ReplicaEngine::expire_inflight(SimTime now) {
+  if (config_.session_timeout <= 0.0) return;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (now - it->second.started_at > config_.session_timeout) {
+      it = sessions_.erase(it);
+      ++stats_.sessions_expired;
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = offers_.begin(); it != offers_.end();) {
+    if (now - it->second.started_at > config_.session_timeout) {
+      it = offers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Fast updates (paper §2.1 steps 13-18)
+
+std::vector<Outbound> ReplicaEngine::after_gain(const std::vector<Update>& gained,
+                                                NodeId source,
+                                                DeliveryPath path,
+                                                SimTime now) {
+  std::vector<Outbound> out;
+  if (!config_.fast_push || gained.empty()) return out;
+  if (!config_.push_on_any_gain && path != DeliveryPath::local_write) return out;
+
+  std::size_t sent = 0;
+  for (const NodeId peer : table_.by_demand_desc(now)) {
+    if (sent >= config_.fast_fanout) break;
+    if (peer == source) continue;
+    if (config_.push_rule == FastPushRule::gradient) {
+      // "the neighbour with even greater demand": the chain only continues
+      // downhill into the demand valley.
+      const auto demand = table_.demand_of(peer);
+      if (!demand.has_value() || *demand <= own_demand_) continue;
+    }
+    if (peer_known_to_have_all(peer, gained)) continue;
+    FastOffer offer;
+    offer.offer_id = (static_cast<std::uint64_t>(self_) << 32) | ++next_offer_;
+    OfferState state{peer, now, {}};
+    for (const Update& u : gained) {
+      const auto& knowledge = peer_knowledge_[peer];
+      if (knowledge.contains(u.id)) continue;
+      offer.offered.push_back(OfferedId{u.id, u.created_at});
+      state.offered.push_back(u.id);
+    }
+    if (offer.offered.empty()) continue;
+    offers_[offer.offer_id] = std::move(state);
+    ++stats_.offers_sent;
+    send(out, peer, std::move(offer));
+    ++sent;
+  }
+  return out;
+}
+
+std::vector<Outbound> ReplicaEngine::on_fast_offer(NodeId from,
+                                                   const FastOffer& m,
+                                                   SimTime now) {
+  std::vector<Outbound> out;
+  ++stats_.offers_received;
+  (void)now;
+  FastAck ack;
+  ack.offer_id = m.offer_id;
+  std::vector<UpdateId> missing;
+  for (const OfferedId& offered : m.offered) {
+    note_peer_has(from, offered.id);  // the offerer evidently has it
+    if (!log_.contains(offered.id)) missing.push_back(offered.id);
+  }
+  ack.yes = !missing.empty();
+  if (config_.ack_mode == FastAckMode::subset) ack.wanted = std::move(missing);
+  if (ack.yes) {
+    ++stats_.offers_accepted;
+  } else {
+    ++stats_.offers_declined;
+  }
+  send(out, from, std::move(ack));
+  return out;
+}
+
+std::vector<Outbound> ReplicaEngine::on_fast_ack(NodeId from, const FastAck& m,
+                                                 SimTime /*now*/) {
+  std::vector<Outbound> out;
+  const auto it = offers_.find(m.offer_id);
+  if (it == offers_.end() || it->second.peer != from) return out;
+  const OfferState state = std::move(it->second);
+  offers_.erase(it);
+  if (!m.yes) {
+    // Step 18: "B sends nothing" — but we learned the peer has everything.
+    for (const UpdateId id : state.offered) note_peer_has(from, id);
+    return out;
+  }
+  // Step 17: send the payloads. Strict YES/NO mode resends the whole offer;
+  // subset mode sends exactly what was asked for.
+  const std::vector<UpdateId>& ids =
+      config_.ack_mode == FastAckMode::subset ? m.wanted : state.offered;
+  FastData data;
+  data.offer_id = m.offer_id;
+  for (const UpdateId id : ids) {
+    // Only ship what we actually offered (ignore bogus requests) and still
+    // retain (truncation may have raced; sessions will repair).
+    if (std::find(state.offered.begin(), state.offered.end(), id) ==
+        state.offered.end()) {
+      continue;
+    }
+    if (const auto update = log_.get(id); update.has_value()) {
+      data.updates.push_back(*update);
+      note_peer_has(from, id);
+    }
+  }
+  if (!data.updates.empty()) send(out, from, std::move(data));
+  return out;
+}
+
+std::vector<Outbound> ReplicaEngine::on_fast_data(NodeId from,
+                                                  const FastData& m,
+                                                  SimTime now) {
+  for (const Update& u : m.updates) note_peer_has(from, u.id);
+  const std::vector<Update> gained =
+      apply_all(m.updates, DeliveryPath::fast_push, now);
+  // Step 13 applies recursively: novel content chains to the next valley.
+  return after_gain(gained, from, DeliveryPath::fast_push, now);
+}
+
+// --------------------------------------------------------------------------
+// Demand adverts (paper §4)
+
+std::vector<Outbound> ReplicaEngine::on_advert_timer(SimTime now) {
+  std::vector<Outbound> out;
+  (void)now;
+  for (const DemandEntry& entry : table_.entries()) {
+    send(out, entry.peer, DemandAdvert{own_demand_});
+  }
+  return out;
+}
+
+std::vector<Outbound> ReplicaEngine::on_demand_advert(NodeId from,
+                                                      const DemandAdvert& m,
+                                                      SimTime now) {
+  table_.update(from, m.demand, now);
+  return {};
+}
+
+// --------------------------------------------------------------------------
+// Dispatch and peer knowledge
+
+std::vector<Outbound> ReplicaEngine::handle(NodeId from, const Message& msg,
+                                            SimTime now) {
+  // Any message proves the sender and the link are alive (§4: the table
+  // "tells us if this replica is available").
+  table_.touch(from, now);
+  return std::visit(
+      [&](const auto& m) -> std::vector<Outbound> {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, SessionRequest>) {
+          return on_session_request(from, m, now);
+        } else if constexpr (std::is_same_v<T, SessionSummary>) {
+          return on_session_summary(from, m, now);
+        } else if constexpr (std::is_same_v<T, SessionPush>) {
+          return on_session_push(from, m, now);
+        } else if constexpr (std::is_same_v<T, SessionReply>) {
+          return on_session_reply(from, m, now);
+        } else if constexpr (std::is_same_v<T, FastOffer>) {
+          return on_fast_offer(from, m, now);
+        } else if constexpr (std::is_same_v<T, FastAck>) {
+          return on_fast_ack(from, m, now);
+        } else if constexpr (std::is_same_v<T, FastData>) {
+          return on_fast_data(from, m, now);
+        } else {
+          return on_demand_advert(from, m, now);
+        }
+      },
+      msg);
+}
+
+void ReplicaEngine::note_peer_has(NodeId peer, UpdateId id) {
+  peer_knowledge_[peer].add(id);
+}
+
+void ReplicaEngine::note_peer_summary(NodeId peer,
+                                      const SummaryVector& summary) {
+  peer_knowledge_[peer].merge(summary);
+}
+
+bool ReplicaEngine::peer_known_to_have_all(
+    NodeId peer, const std::vector<Update>& updates) const {
+  const auto it = peer_knowledge_.find(peer);
+  if (it == peer_knowledge_.end()) return false;
+  return std::all_of(updates.begin(), updates.end(), [&](const Update& u) {
+    return it->second.contains(u.id);
+  });
+}
+
+}  // namespace fastcons

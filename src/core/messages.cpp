@@ -1,0 +1,102 @@
+#include "core/messages.hpp"
+
+namespace fastcons {
+namespace {
+
+// Wire layout constants shared with net/wire.cpp (see that file for the
+// format definition). Header: 1 tag byte + 4 sender bytes; frame adds a
+// 4-byte length prefix.
+constexpr std::size_t kFrameAndHeader = 4 + 1 + 4;
+
+std::size_t summary_size(const SummaryVector& sv) noexcept {
+  // u32 count + (u32 origin + u64 mark) per watermark,
+  // u32 count + per-origin (u32 origin + u32 n + n * u64) extras.
+  std::size_t size = 4;
+  size += sv.watermarks().size() * (4 + 8);
+  size += 4;
+  for (const auto& [origin, seqs] : sv.extras()) {
+    (void)origin;
+    size += 4 + 4 + seqs.size() * 8;
+  }
+  return size;
+}
+
+std::size_t update_size(const Update& u) noexcept {
+  // id (4+8) + created_at (8) + key (4 + len) + value (4 + len).
+  return 4 + 8 + 8 + 4 + u.key.size() + 4 + u.value.size();
+}
+
+std::size_t updates_size(const std::vector<Update>& updates) noexcept {
+  std::size_t size = 4;
+  for (const Update& u : updates) size += update_size(u);
+  return size;
+}
+
+}  // namespace
+
+std::string_view message_name(const Message& msg) noexcept {
+  return std::visit(
+      [](const auto& m) -> std::string_view {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, SessionRequest>) return "SessionRequest";
+        else if constexpr (std::is_same_v<T, SessionSummary>) return "SessionSummary";
+        else if constexpr (std::is_same_v<T, SessionPush>) return "SessionPush";
+        else if constexpr (std::is_same_v<T, SessionReply>) return "SessionReply";
+        else if constexpr (std::is_same_v<T, FastOffer>) return "FastOffer";
+        else if constexpr (std::is_same_v<T, FastAck>) return "FastAck";
+        else if constexpr (std::is_same_v<T, FastData>) return "FastData";
+        else return "DemandAdvert";
+      },
+      msg);
+}
+
+TrafficClass traffic_class_of(const Message& msg) noexcept {
+  return std::visit(
+      [](const auto& m) -> TrafficClass {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, SessionRequest> ||
+                      std::is_same_v<T, SessionSummary>) {
+          return TrafficClass::session_control;
+        } else if constexpr (std::is_same_v<T, SessionPush> ||
+                             std::is_same_v<T, SessionReply>) {
+          return TrafficClass::session_payload;
+        } else if constexpr (std::is_same_v<T, FastOffer> ||
+                             std::is_same_v<T, FastAck>) {
+          return TrafficClass::fast_control;
+        } else if constexpr (std::is_same_v<T, FastData>) {
+          return TrafficClass::fast_payload;
+        } else {
+          return TrafficClass::demand_advert;
+        }
+      },
+      msg);
+}
+
+std::size_t estimated_wire_size(const Message& msg) noexcept {
+  return kFrameAndHeader +
+         std::visit(
+             [](const auto& m) -> std::size_t {
+               using T = std::decay_t<decltype(m)>;
+               if constexpr (std::is_same_v<T, SessionRequest>) {
+                 return 8;
+               } else if constexpr (std::is_same_v<T, SessionSummary>) {
+                 return 8 + summary_size(m.summary);
+               } else if constexpr (std::is_same_v<T, SessionPush>) {
+                 return 8 + summary_size(m.summary) + updates_size(m.updates);
+               } else if constexpr (std::is_same_v<T, SessionReply>) {
+                 return 8 + updates_size(m.updates);
+               } else if constexpr (std::is_same_v<T, FastOffer>) {
+                 // offer id + count + (origin, seq, timestamp) each.
+                 return 8 + 4 + m.offered.size() * (4 + 8 + 8);
+               } else if constexpr (std::is_same_v<T, FastAck>) {
+                 return 8 + 1 + 4 + m.wanted.size() * (4 + 8);
+               } else if constexpr (std::is_same_v<T, FastData>) {
+                 return 8 + updates_size(m.updates);
+               } else {  // DemandAdvert
+                 return 8;
+               }
+             },
+             msg);
+}
+
+}  // namespace fastcons

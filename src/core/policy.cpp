@@ -1,0 +1,72 @@
+#include "core/policy.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace fastcons {
+
+NodeId RandomPolicy::choose(const DemandTable& table, SimTime now, Rng& rng) {
+  const std::vector<NodeId> alive = table.alive(now);
+  if (alive.empty()) return kInvalidNode;
+  return alive[rng.index(alive.size())];
+}
+
+NodeId DemandCyclePolicy::choose(const DemandTable& table, SimTime now,
+                                 Rng& /*rng*/) {
+  if (resort_each_pick_) {
+    // Dynamic: among alive neighbours not yet visited this cycle, take the
+    // one with the highest *current* demand. A fresh cycle starts when all
+    // alive neighbours have been visited.
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      const std::vector<NodeId> order = table.by_demand_desc(now);
+      for (const NodeId peer : order) {
+        if (!visited_.contains(peer)) {
+          visited_.insert(peer);
+          return peer;
+        }
+      }
+      if (order.empty()) return kInvalidNode;
+      visited_.clear();  // cycle exhausted; start over
+    }
+    return kInvalidNode;
+  }
+  // Static: freeze the order when the cycle begins; walk it to the end even
+  // if demand shifts underneath (the behaviour §3 criticises).
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (frozen_order_.empty()) {
+      frozen_order_ = table.by_demand_desc(now);
+      visited_.clear();
+      if (frozen_order_.empty()) return kInvalidNode;
+    }
+    for (const NodeId peer : frozen_order_) {
+      if (visited_.contains(peer)) continue;
+      visited_.insert(peer);
+      // Skip silently if the peer died after the order froze.
+      if (!table.is_alive(peer, now)) continue;
+      return peer;
+    }
+    frozen_order_.clear();  // cycle exhausted; refreeze next attempt
+  }
+  return kInvalidNode;
+}
+
+void DemandCyclePolicy::reset() {
+  visited_.clear();
+  frozen_order_.clear();
+}
+
+std::unique_ptr<PartnerPolicy> make_policy(PartnerSelection selection) {
+  switch (selection) {
+    case PartnerSelection::uniform_random:
+      return std::make_unique<RandomPolicy>();
+    case PartnerSelection::demand_static:
+      return std::make_unique<DemandCyclePolicy>(/*resort_each_pick=*/false);
+    case PartnerSelection::demand_dynamic:
+      return std::make_unique<DemandCyclePolicy>(/*resort_each_pick=*/true);
+  }
+  FASTCONS_ASSERT(false);
+  return nullptr;
+}
+
+}  // namespace fastcons

@@ -1,0 +1,64 @@
+// Anti-entropy partner-selection policies. The policy object owns the cycle
+// state (which neighbours have been visited since the cycle began), so the
+// engine stays oblivious to selection details.
+#ifndef FASTCONS_CORE_POLICY_HPP
+#define FASTCONS_CORE_POLICY_HPP
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "core/config.hpp"
+#include "demand/demand_table.hpp"
+
+namespace fastcons {
+
+/// Strategy interface: pick the partner for the next anti-entropy session.
+class PartnerPolicy {
+ public:
+  virtual ~PartnerPolicy() = default;
+
+  /// Returns the chosen neighbour or kInvalidNode when none is eligible
+  /// (e.g. all neighbours dead).
+  virtual NodeId choose(const DemandTable& table, SimTime now, Rng& rng) = 0;
+
+  /// Forgets cycle state (used when the neighbour set changes).
+  virtual void reset() {}
+};
+
+/// Golding's baseline: uniformly random alive neighbour, with replacement.
+class RandomPolicy final : public PartnerPolicy {
+ public:
+  NodeId choose(const DemandTable& table, SimTime now, Rng& rng) override;
+};
+
+/// Demand-ordered cycle without replacement (paper §2 static / §4 dynamic).
+///
+/// resort_each_pick == false: the order is frozen from the demand table at
+/// the moment a cycle starts — §3's static algorithm, which mis-routes when
+/// demand shifts mid-cycle.
+/// resort_each_pick == true: the highest-demand *currently alive, not yet
+/// visited* neighbour is recomputed at every pick — §4's dynamic algorithm
+/// (picks C' over A' in Fig. 4).
+class DemandCyclePolicy final : public PartnerPolicy {
+ public:
+  explicit DemandCyclePolicy(bool resort_each_pick)
+      : resort_each_pick_(resort_each_pick) {}
+
+  NodeId choose(const DemandTable& table, SimTime now, Rng& rng) override;
+  void reset() override;
+
+ private:
+  bool resort_each_pick_;
+  std::set<NodeId> visited_;
+  std::vector<NodeId> frozen_order_;  // only used when !resort_each_pick_
+};
+
+/// Factory keyed by the configuration enum.
+std::unique_ptr<PartnerPolicy> make_policy(PartnerSelection selection);
+
+}  // namespace fastcons
+
+#endif  // FASTCONS_CORE_POLICY_HPP

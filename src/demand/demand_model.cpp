@@ -1,0 +1,143 @@
+#include "demand/demand_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/error.hpp"
+
+namespace fastcons {
+
+StaticDemand::StaticDemand(std::vector<double> demands)
+    : demands_(std::move(demands)) {
+  for (const double d : demands_) {
+    if (d < 0.0) throw ConfigError("demand must be non-negative");
+  }
+}
+
+double StaticDemand::demand_at(NodeId n, SimTime /*t*/) const {
+  FASTCONS_EXPECTS(n < demands_.size());
+  return demands_[n];
+}
+
+StaticDemand make_uniform_random_demand(std::size_t n, double lo, double hi,
+                                        Rng& rng) {
+  if (lo < 0.0 || hi < lo) throw ConfigError("bad uniform demand range");
+  std::vector<double> demands(n);
+  for (auto& d : demands) d = rng.uniform(lo, hi);
+  return StaticDemand(std::move(demands));
+}
+
+StaticDemand make_zipf_demand(std::size_t n, double s, double scale,
+                              Rng& rng) {
+  if (scale <= 0.0) throw ConfigError("zipf demand needs scale > 0");
+  if (s < 0.0) throw ConfigError("zipf demand needs s >= 0");
+  std::vector<NodeId> ranks(n);
+  for (std::size_t i = 0; i < n; ++i) ranks[i] = static_cast<NodeId>(i);
+  rng.shuffle(ranks);
+  std::vector<double> demands(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double rank = static_cast<double>(ranks[i]) + 1.0;
+    demands[i] = scale / std::pow(rank, s);
+  }
+  return StaticDemand(std::move(demands));
+}
+
+StepDemand::StepDemand(std::vector<std::map<SimTime, double>> schedules)
+    : schedules_(std::move(schedules)) {
+  for (const auto& schedule : schedules_) {
+    if (schedule.empty() || schedule.begin()->first != 0.0) {
+      throw ConfigError("StepDemand schedule must start at time 0");
+    }
+    for (const auto& [t, d] : schedule) {
+      if (d < 0.0) throw ConfigError("demand must be non-negative");
+      (void)t;
+    }
+  }
+}
+
+double StepDemand::demand_at(NodeId n, SimTime t) const {
+  FASTCONS_EXPECTS(n < schedules_.size());
+  const auto& schedule = schedules_[n];
+  auto it = schedule.upper_bound(t);
+  FASTCONS_ASSERT(it != schedule.begin());
+  --it;
+  return it->second;
+}
+
+RandomWalkDemand::RandomWalkDemand(std::size_t n, double initial,
+                                   double factor, double floor, double cap,
+                                   SimTime step, SimTime horizon, Rng& rng)
+    : step_(step) {
+  if (initial < floor || initial > cap || floor < 0.0 || cap < floor) {
+    throw ConfigError("bad random-walk demand bounds");
+  }
+  if (factor <= 1.0) throw ConfigError("random-walk factor must exceed 1");
+  if (step <= 0.0 || horizon < 0.0) throw ConfigError("bad random-walk times");
+  const auto steps = static_cast<std::size_t>(horizon / step) + 2;
+  walks_.resize(n);
+  for (auto& walk : walks_) {
+    walk.resize(steps);
+    double value = initial;
+    for (auto& slot : walk) {
+      slot = value;
+      value = rng.bernoulli(0.5) ? value * factor : value / factor;
+      value = std::clamp(value, floor, cap);
+    }
+  }
+}
+
+double RandomWalkDemand::demand_at(NodeId n, SimTime t) const {
+  FASTCONS_EXPECTS(n < walks_.size());
+  FASTCONS_EXPECTS(t >= 0.0);
+  const auto& walk = walks_[n];
+  const auto idx = static_cast<std::size_t>(t / step_);
+  return walk[std::min(idx, walk.size() - 1)];
+}
+
+MigratingHotspotDemand::MigratingHotspotDemand(
+    std::vector<std::size_t> hops_from_a, std::vector<std::size_t> hops_from_b,
+    SimTime switch_time, double peak, double base)
+    : hops_a_(std::move(hops_from_a)),
+      hops_b_(std::move(hops_from_b)),
+      switch_time_(switch_time),
+      peak_(peak),
+      base_(base) {
+  if (hops_a_.size() != hops_b_.size()) {
+    throw ConfigError("hotspot hop vectors must have equal size");
+  }
+  if (peak_ < base_ || base_ < 0.0) throw ConfigError("bad hotspot demands");
+}
+
+double MigratingHotspotDemand::demand_at(NodeId n, SimTime t) const {
+  FASTCONS_EXPECTS(n < hops_a_.size());
+  const std::size_t hops = t < switch_time_ ? hops_a_[n] : hops_b_[n];
+  // Demand halves with every hop away from the hotspot centre.
+  return base_ + (peak_ - base_) / std::pow(2.0, static_cast<double>(hops));
+}
+
+DiurnalDemand::DiurnalDemand(std::size_t n, double base, double amplitude,
+                             SimTime period, Rng& rng)
+    : base_(base), amplitude_(amplitude), period_(period) {
+  if (base < 0.0 || amplitude < 0.0) throw ConfigError("bad diurnal demands");
+  if (period <= 0.0) throw ConfigError("diurnal period must be positive");
+  phases_.resize(n);
+  for (auto& phase : phases_) phase = rng.uniform(0.0, period);
+}
+
+double DiurnalDemand::demand_at(NodeId n, SimTime t) const {
+  FASTCONS_EXPECTS(n < phases_.size());
+  constexpr double kTwoPi = 6.283185307179586;
+  const double wave = std::sin(kTwoPi * (t - phases_[n]) / period_);
+  return base_ + amplitude_ * std::max(0.0, wave);
+}
+
+std::vector<double> demand_snapshot(const DemandModel& model, SimTime t) {
+  std::vector<double> snapshot(model.size());
+  for (std::size_t n = 0; n < snapshot.size(); ++n) {
+    snapshot[n] = model.demand_at(static_cast<NodeId>(n), t);
+  }
+  return snapshot;
+}
+
+}  // namespace fastcons

@@ -1,0 +1,140 @@
+// Demand substrate (DESIGN.md S3). Demand is the paper's central quantity:
+// client service requests per unit time at a replica. A DemandModel answers
+// "what is node n's demand at time t", which lets one implementation cover
+// the paper's static experiments (§2, §5), the dynamic model (§3–4) and the
+// island scenarios (§6).
+#ifndef FASTCONS_DEMAND_DEMAND_MODEL_HPP
+#define FASTCONS_DEMAND_DEMAND_MODEL_HPP
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace fastcons {
+
+/// Interface: demand of a node as a function of simulated time.
+/// Implementations must be deterministic (any randomness fixed at
+/// construction) so repetitions are reproducible.
+class DemandModel {
+ public:
+  virtual ~DemandModel() = default;
+
+  /// Requests per unit time of node `n` at time `t`. Never negative.
+  virtual double demand_at(NodeId n, SimTime t) const = 0;
+
+  /// Number of nodes this model covers.
+  virtual std::size_t size() const = 0;
+
+  /// True when demand_at() depends on t; lets static experiments cache.
+  virtual bool is_dynamic() const { return false; }
+};
+
+/// Fixed per-node demands supplied explicitly (paper §2's A..E example).
+class StaticDemand final : public DemandModel {
+ public:
+  explicit StaticDemand(std::vector<double> demands);
+
+  double demand_at(NodeId n, SimTime t) const override;
+  std::size_t size() const override { return demands_.size(); }
+
+ private:
+  std::vector<double> demands_;
+};
+
+/// Independent uniform demands on [lo, hi] — the paper's §5 setup
+/// ("assigning to each replica, also in a random way, their respective
+/// demands").
+StaticDemand make_uniform_random_demand(std::size_t n, double lo, double hi,
+                                        Rng& rng);
+
+/// Zipf-like demand: node ranks are a random permutation, demand of rank r
+/// is scale / r^s. Produces the few-hot-many-cold "hills and valleys"
+/// surface of paper Fig. 1.
+StaticDemand make_zipf_demand(std::size_t n, double s, double scale, Rng& rng);
+
+/// Piecewise-constant schedule per node: the §3/§4 dynamic model (Fig. 4's
+/// A: 2 -> 0 and C: 0 -> 9 steps). Between breakpoints demand is constant;
+/// before the first breakpoint it is the value given at time 0 (which every
+/// schedule must include).
+class StepDemand final : public DemandModel {
+ public:
+  /// schedules[n] maps time -> demand from that time onward; each must
+  /// contain an entry at time 0.
+  explicit StepDemand(std::vector<std::map<SimTime, double>> schedules);
+
+  double demand_at(NodeId n, SimTime t) const override;
+  std::size_t size() const override { return schedules_.size(); }
+  bool is_dynamic() const override { return true; }
+
+ private:
+  std::vector<std::map<SimTime, double>> schedules_;
+};
+
+/// Demand that random-walks multiplicatively on a lattice of instants:
+/// demand(t+dt) = demand(t) * factor^(+-1), clamped to [floor, cap]. Used to
+/// stress the dynamic policy's table refresh.
+class RandomWalkDemand final : public DemandModel {
+ public:
+  RandomWalkDemand(std::size_t n, double initial, double factor, double floor,
+                   double cap, SimTime step, SimTime horizon, Rng& rng);
+
+  double demand_at(NodeId n, SimTime t) const override;
+  std::size_t size() const override { return walks_.size(); }
+  bool is_dynamic() const override { return true; }
+
+ private:
+  std::vector<std::vector<double>> walks_;  // per node, per step index
+  SimTime step_;
+};
+
+/// A hotspot of high demand centred on `centre` that relocates to
+/// `new_centre` at `switch_time`; demand decays with hop distance from the
+/// active centre. Models a flash crowd moving between regions.
+class MigratingHotspotDemand final : public DemandModel {
+ public:
+  MigratingHotspotDemand(std::vector<std::size_t> hops_from_a,
+                         std::vector<std::size_t> hops_from_b,
+                         SimTime switch_time, double peak, double base);
+
+  double demand_at(NodeId n, SimTime t) const override;
+  std::size_t size() const override { return hops_a_.size(); }
+  bool is_dynamic() const override { return true; }
+
+ private:
+  std::vector<std::size_t> hops_a_;
+  std::vector<std::size_t> hops_b_;
+  SimTime switch_time_;
+  double peak_;
+  double base_;
+};
+
+/// Day/night demand cycle: demand(n, t) = base + amplitude *
+/// max(0, sin(2*pi*(t - phase_n) / period)). Per-node phases model
+/// geographic timezones — the paper's "geographical distribution" factor.
+class DiurnalDemand final : public DemandModel {
+ public:
+  /// Phases uniform on [0, period). Requires period > 0, amplitude >= 0.
+  DiurnalDemand(std::size_t n, double base, double amplitude, SimTime period,
+                Rng& rng);
+
+  double demand_at(NodeId n, SimTime t) const override;
+  std::size_t size() const override { return phases_.size(); }
+  bool is_dynamic() const override { return true; }
+
+ private:
+  std::vector<SimTime> phases_;
+  double base_;
+  double amplitude_;
+  SimTime period_;
+};
+
+/// Convenience: samples every node's demand at one instant.
+std::vector<double> demand_snapshot(const DemandModel& model, SimTime t);
+
+}  // namespace fastcons
+
+#endif  // FASTCONS_DEMAND_DEMAND_MODEL_HPP

@@ -1,0 +1,88 @@
+#include "demand/demand_table.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace fastcons {
+
+DemandTable::DemandTable(std::vector<NodeId> neighbours,
+                         SimTime liveness_window)
+    : liveness_window_(liveness_window) {
+  entries_.reserve(neighbours.size());
+  for (const NodeId peer : neighbours) {
+    entries_.push_back(DemandEntry{peer, 0.0, 0.0});
+  }
+}
+
+const DemandEntry* DemandTable::find(NodeId peer) const {
+  for (const auto& entry : entries_) {
+    if (entry.peer == peer) return &entry;
+  }
+  return nullptr;
+}
+
+void DemandTable::update(NodeId peer, double demand, SimTime now) {
+  for (auto& entry : entries_) {
+    if (entry.peer == peer) {
+      entry.demand = demand;
+      entry.last_heard = now;
+      return;
+    }
+  }
+}
+
+void DemandTable::touch(NodeId peer, SimTime now) {
+  for (auto& entry : entries_) {
+    if (entry.peer == peer) {
+      entry.last_heard = now;
+      return;
+    }
+  }
+}
+
+std::optional<double> DemandTable::demand_of(NodeId peer) const {
+  const DemandEntry* entry = find(peer);
+  if (entry == nullptr) return std::nullopt;
+  return entry->demand;
+}
+
+bool DemandTable::is_alive(NodeId peer, SimTime now) const {
+  const DemandEntry* entry = find(peer);
+  if (entry == nullptr) return false;
+  if (liveness_window_ <= 0.0) return true;
+  return now - entry->last_heard <= liveness_window_;
+}
+
+std::vector<NodeId> DemandTable::by_demand_desc(SimTime now) const {
+  std::vector<const DemandEntry*> live;
+  live.reserve(entries_.size());
+  for (const auto& entry : entries_) {
+    if (is_alive(entry.peer, now)) live.push_back(&entry);
+  }
+  std::sort(live.begin(), live.end(),
+            [](const DemandEntry* a, const DemandEntry* b) {
+              if (a->demand != b->demand) return a->demand > b->demand;
+              return a->peer < b->peer;
+            });
+  std::vector<NodeId> order;
+  order.reserve(live.size());
+  for (const DemandEntry* entry : live) order.push_back(entry->peer);
+  return order;
+}
+
+std::vector<NodeId> DemandTable::alive(SimTime now) const {
+  std::vector<NodeId> result;
+  result.reserve(entries_.size());
+  for (const auto& entry : entries_) {
+    if (is_alive(entry.peer, now)) result.push_back(entry.peer);
+  }
+  return result;
+}
+
+void DemandTable::add_neighbour(NodeId peer, SimTime now) {
+  if (find(peer) != nullptr) return;
+  entries_.push_back(DemandEntry{peer, 0.0, now});
+}
+
+}  // namespace fastcons

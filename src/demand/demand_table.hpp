@@ -1,0 +1,72 @@
+// The per-replica neighbour demand table of paper §4: "Each replica
+// maintains a table with its neighbours' data. The table holds at least an
+// identifying name and its demand. Before any replication process is
+// carried out, this table must be updated... as an added advantage, tells us
+// if this replica is available."
+//
+// Entries are refreshed by DemandAdvert messages; an entry older than the
+// liveness window marks the neighbour unreachable and partner policies skip
+// it.
+#ifndef FASTCONS_DEMAND_DEMAND_TABLE_HPP
+#define FASTCONS_DEMAND_DEMAND_TABLE_HPP
+
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fastcons {
+
+/// One neighbour's last-advertised state.
+struct DemandEntry {
+  NodeId peer = kInvalidNode;
+  double demand = 0.0;
+  SimTime last_heard = 0.0;
+};
+
+/// Neighbour demand table with staleness-based liveness.
+class DemandTable {
+ public:
+  /// `liveness_window`: a neighbour not heard from for longer than this is
+  /// reported unreachable; <= 0 disables liveness tracking (every neighbour
+  /// always considered alive), which matches the static model of §2.
+  explicit DemandTable(std::vector<NodeId> neighbours,
+                       SimTime liveness_window = 0.0);
+
+  /// Records an advert (or any message doubling as one) from `peer`.
+  /// Unknown peers are ignored (overlay churn can race with adverts).
+  void update(NodeId peer, double demand, SimTime now);
+
+  /// Refreshes liveness only (any received message proves the link and the
+  /// server are up, even if it carries no demand figure).
+  void touch(NodeId peer, SimTime now);
+
+  /// Demand of `peer` as last advertised; nullopt if `peer` is not a
+  /// neighbour.
+  std::optional<double> demand_of(NodeId peer) const;
+
+  bool is_alive(NodeId peer, SimTime now) const;
+
+  /// Neighbours sorted by decreasing demand (ties broken by ascending id so
+  /// the order is total and deterministic), dead neighbours excluded.
+  std::vector<NodeId> by_demand_desc(SimTime now) const;
+
+  /// Alive neighbours in id order.
+  std::vector<NodeId> alive(SimTime now) const;
+
+  const std::vector<DemandEntry>& entries() const noexcept { return entries_; }
+
+  /// Adds a neighbour discovered after construction (island bridges).
+  /// No-op if already present.
+  void add_neighbour(NodeId peer, SimTime now);
+
+ private:
+  const DemandEntry* find(NodeId peer) const;
+
+  std::vector<DemandEntry> entries_;
+  SimTime liveness_window_;
+};
+
+}  // namespace fastcons
+
+#endif  // FASTCONS_DEMAND_DEMAND_TABLE_HPP

@@ -1,0 +1,88 @@
+#include "experiment/propagation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/error.hpp"
+
+namespace fastcons {
+namespace {
+
+/// Ids of the ceil(fraction * n) highest-demand nodes (demand desc, id asc).
+std::vector<bool> high_demand_mask(const std::vector<double>& demands,
+                                   double fraction) {
+  const std::size_t n = demands.size();
+  std::vector<NodeId> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<NodeId>(i);
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    if (demands[a] != demands[b]) return demands[a] > demands[b];
+    return a < b;
+  });
+  const auto k = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(fraction * static_cast<double>(n))));
+  std::vector<bool> mask(n, false);
+  for (std::size_t i = 0; i < std::min(k, n); ++i) mask[order[i]] = true;
+  return mask;
+}
+
+}  // namespace
+
+PropagationResult run_propagation(const PropagationExperiment& config) {
+  if (!config.topology || !config.demand) {
+    throw ConfigError("propagation experiment needs topology and demand factories");
+  }
+  if (config.repetitions == 0) throw ConfigError("repetitions must be > 0");
+  if (config.high_demand_fraction <= 0.0 || config.high_demand_fraction > 1.0) {
+    throw ConfigError("high_demand_fraction must be in (0, 1]");
+  }
+
+  Rng master(config.seed);
+  PropagationResult result;
+  const SimTime period = config.sim.protocol.session_period;
+
+  for (std::size_t rep = 0; rep < config.repetitions; ++rep) {
+    Rng rep_rng = master.split();
+    Graph graph = config.topology(rep_rng);
+    auto demand = config.demand(graph, rep_rng);
+    SimConfig sim_config = config.sim;
+    sim_config.seed = rep_rng.next_u64();
+    SimNetwork net(std::move(graph), demand, sim_config);
+
+    const auto writer = static_cast<NodeId>(rep_rng.index(net.size()));
+    // Random phase relative to the session timers, after a short settling
+    // interval so adverts have fired at least once.
+    const SimTime write_at = rep_rng.uniform(0.5, 1.5);
+    const UpdateId id = net.schedule_write(writer, "key", "value", write_at);
+
+    const bool converged =
+        net.run_until_update_everywhere(id, write_at + config.deadline);
+    result.reps_converged += converged ? 1 : 0;
+    ++result.reps_total;
+
+    const std::vector<double> demands = demand_snapshot(*demand, write_at);
+    const std::vector<bool> high = high_demand_mask(demands,
+                                                    config.high_demand_fraction);
+
+    double last = 0.0;
+    for (NodeId node = 0; node < net.size(); ++node) {
+      if (node == writer) continue;
+      const auto at = net.first_delivery(node, id);
+      double sessions;
+      if (at.has_value()) {
+        sessions = (*at - write_at) / period;
+      } else {
+        sessions = config.deadline / period;
+        ++result.censored_samples;
+      }
+      last = std::max(last, sessions);
+      result.all.add(sessions);
+      if (high[node]) result.high_demand.add(sessions);
+    }
+    result.time_to_full.add(last);
+    result.traffic.merge(net.total_traffic());
+  }
+  return result;
+}
+
+}  // namespace fastcons

@@ -1,0 +1,71 @@
+// The paper's §5 experiment, as a reusable harness: "The simulation begins
+// by assuming a change on a randomly chosen replica, with the aim of
+// measuring the number of sessions the algorithm uses to propagate this
+// change, both in the replica with most demand and in those with less
+// demand. ... experiments were repeated 10,000 times."
+#ifndef FASTCONS_EXPERIMENT_PROPAGATION_HPP
+#define FASTCONS_EXPERIMENT_PROPAGATION_HPP
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "demand/demand_model.hpp"
+#include "sim_runtime/sim_network.hpp"
+#include "stats/cdf.hpp"
+#include "stats/counters.hpp"
+#include "stats/online_stats.hpp"
+#include "topology/graph.hpp"
+
+namespace fastcons {
+
+/// Factories let each repetition draw a fresh topology and demand
+/// assignment, as the paper does.
+using TopologyFactory = std::function<Graph(Rng&)>;
+using DemandFactory =
+    std::function<std::shared_ptr<const DemandModel>(const Graph&, Rng&)>;
+
+struct PropagationExperiment {
+  TopologyFactory topology;
+  DemandFactory demand;
+  SimConfig sim;
+
+  std::size_t repetitions = 1000;
+
+  /// "Replicas with most demand": the top fraction by demand at write time.
+  double high_demand_fraction = 0.10;
+
+  /// Give up on a repetition after this many session periods.
+  SimTime deadline = 60.0;
+
+  std::uint64_t seed = 42;
+};
+
+struct PropagationResult {
+  /// Sessions until the change reached each replica (writer excluded),
+  /// pooled over repetitions — the paper's Figs. 5/6 curves.
+  EmpiricalCdf all;
+
+  /// Same, restricted to the high-demand subset.
+  EmpiricalCdf high_demand;
+
+  /// Sessions until the change reached the last replica, per repetition.
+  OnlineStats time_to_full;
+
+  /// Wire traffic summed over nodes and repetitions (full horizon).
+  TrafficCounters traffic;
+
+  std::uint64_t reps_converged = 0;
+  std::uint64_t reps_total = 0;
+  /// Replica samples that hit the deadline before delivery (censored at the
+  /// deadline value in `all`).
+  std::uint64_t censored_samples = 0;
+};
+
+/// Runs the experiment. Deterministic for a given config.
+PropagationResult run_propagation(const PropagationExperiment& config);
+
+}  // namespace fastcons
+
+#endif  // FASTCONS_EXPERIMENT_PROPAGATION_HPP

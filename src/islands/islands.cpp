@@ -1,0 +1,140 @@
+#include "islands/islands.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "common/assert.hpp"
+#include "common/error.hpp"
+#include "topology/metrics.hpp"
+
+namespace fastcons {
+
+std::vector<std::vector<NodeId>> detect_islands(
+    const Graph& g, const std::vector<double>& demand, double threshold) {
+  FASTCONS_EXPECTS(demand.size() == g.size());
+  std::vector<std::vector<NodeId>> islands;
+  std::vector<bool> seen(g.size(), false);
+  for (NodeId start = 0; start < g.size(); ++start) {
+    if (seen[start] || demand[start] < threshold) continue;
+    islands.emplace_back();
+    auto& island = islands.back();
+    std::queue<NodeId> frontier;
+    seen[start] = true;
+    frontier.push(start);
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop();
+      island.push_back(u);
+      for (const Edge& e : g.neighbours(u)) {
+        if (!seen[e.peer] && demand[e.peer] >= threshold) {
+          seen[e.peer] = true;
+          frontier.push(e.peer);
+        }
+      }
+    }
+    std::sort(island.begin(), island.end());
+  }
+  return islands;
+}
+
+std::vector<NodeId> elect_leaders(
+    const std::vector<std::vector<NodeId>>& islands,
+    const std::vector<double>& demand) {
+  std::vector<NodeId> leaders;
+  leaders.reserve(islands.size());
+  for (const auto& island : islands) {
+    FASTCONS_EXPECTS(!island.empty());
+    NodeId best = island.front();
+    for (const NodeId member : island) {
+      FASTCONS_EXPECTS(member < demand.size());
+      if (demand[member] > demand[best] ||
+          (demand[member] == demand[best] && member < best)) {
+        best = member;
+      }
+    }
+    leaders.push_back(best);
+  }
+  return leaders;
+}
+
+std::vector<NodeId> flood_election(const Graph& g,
+                                   const std::vector<double>& demand,
+                                   double threshold,
+                                   std::size_t* rounds_out) {
+  FASTCONS_EXPECTS(demand.size() == g.size());
+  // claim[n] = best (demand, id) node n has heard of within its island.
+  std::vector<NodeId> claim(g.size(), kInvalidNode);
+  for (NodeId n = 0; n < g.size(); ++n) {
+    if (demand[n] >= threshold) claim[n] = n;
+  }
+  const auto better = [&](NodeId a, NodeId b) {
+    // Is a a stronger claim than b?
+    if (b == kInvalidNode) return a != kInvalidNode;
+    if (a == kInvalidNode) return false;
+    if (demand[a] != demand[b]) return demand[a] > demand[b];
+    return a < b;
+  };
+  std::size_t rounds = 0;
+  for (bool changed = true; changed; ++rounds) {
+    changed = false;
+    // Synchronous round: everyone advertises the claim from the previous
+    // round (read from a snapshot so order does not matter).
+    const std::vector<NodeId> snapshot = claim;
+    for (NodeId n = 0; n < g.size(); ++n) {
+      if (snapshot[n] == kInvalidNode) continue;
+      for (const Edge& e : g.neighbours(n)) {
+        if (demand[e.peer] < threshold) continue;  // not an island member
+        if (better(snapshot[n], claim[e.peer])) {
+          claim[e.peer] = snapshot[n];
+          changed = true;
+        }
+      }
+    }
+  }
+  if (rounds_out != nullptr) *rounds_out = rounds;
+  return claim;
+}
+
+std::vector<Bridge> compute_bridges(const Graph& g,
+                                    const std::vector<NodeId>& leaders) {
+  if (leaders.size() < 2) return {};
+  if (!is_connected(g)) {
+    throw ConfigError("compute_bridges requires a connected underlay");
+  }
+  // Metric closure: pairwise shortest-path latencies between leaders.
+  const std::size_t k = leaders.size();
+  std::vector<std::vector<double>> dist(k, std::vector<double>(k, 0.0));
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto d = shortest_latencies(g, leaders[i]);
+    for (std::size_t j = 0; j < k; ++j) dist[i][j] = d[leaders[j]];
+  }
+  // Prim's MST over the closure.
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  std::vector<bool> in_tree(k, false);
+  std::vector<double> best(k, inf);
+  std::vector<std::size_t> parent(k, 0);
+  best[0] = 0.0;
+  std::vector<Bridge> bridges;
+  for (std::size_t iter = 0; iter < k; ++iter) {
+    std::size_t u = k;
+    for (std::size_t i = 0; i < k; ++i) {
+      if (!in_tree[i] && (u == k || best[i] < best[u])) u = i;
+    }
+    FASTCONS_ASSERT(u < k);
+    in_tree[u] = true;
+    if (u != 0) {
+      bridges.push_back(
+          Bridge{leaders[parent[u]], leaders[u], dist[parent[u]][u]});
+    }
+    for (std::size_t v = 0; v < k; ++v) {
+      if (!in_tree[v] && dist[u][v] < best[v]) {
+        best[v] = dist[u][v];
+        parent[v] = u;
+      }
+    }
+  }
+  return bridges;
+}
+
+}  // namespace fastcons

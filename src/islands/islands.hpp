@@ -1,0 +1,64 @@
+// Paper §6 "Complex demand distribution": clusters of high-demand replicas
+// ("islands") separated by low-demand regions slow down inter-island
+// propagation. The paper sketches the remedy as ongoing work — island
+// detection, a leader per island, and a leader interconnection network. We
+// implement all three:
+//
+//   detect_islands   — connected components of the demand >= threshold
+//                      induced subgraph
+//   elect_leaders    — max-demand member per island (deterministic tie-break)
+//   flood_election   — the same election as a distributed message-passing
+//                      round protocol (validates the centralised shortcut)
+//   compute_bridges  — overlay links between leaders: MST over the metric
+//                      closure of leader-to-leader shortest-path latencies,
+//                      so every island pair is connected at minimal cost
+#ifndef FASTCONS_ISLANDS_ISLANDS_HPP
+#define FASTCONS_ISLANDS_ISLANDS_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+#include "topology/graph.hpp"
+
+namespace fastcons {
+
+/// A bridge overlay link between two island leaders. `latency` is the
+/// underlying shortest-path latency between them (the overlay rides on the
+/// physical network).
+struct Bridge {
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  double latency = 0.0;
+};
+
+/// Connected components of the subgraph induced by nodes with
+/// demand >= threshold. Singleton high-demand nodes count as islands.
+/// Ordered by smallest member id.
+std::vector<std::vector<NodeId>> detect_islands(const Graph& g,
+                                                const std::vector<double>& demand,
+                                                double threshold);
+
+/// Leader of each island: the member with maximum (demand, then lowest id).
+std::vector<NodeId> elect_leaders(const std::vector<std::vector<NodeId>>& islands,
+                                  const std::vector<double>& demand);
+
+/// Distributed flooding election run to fixpoint on each island's subgraph:
+/// every member repeatedly tells island neighbours the best (demand, id)
+/// claim it knows. Returns per-node leader (kInvalidNode for non-members)
+/// and reports the number of synchronous rounds until quiescence via
+/// `rounds_out` (bounded by the island diameter + 1).
+std::vector<NodeId> flood_election(const Graph& g,
+                                   const std::vector<double>& demand,
+                                   double threshold,
+                                   std::size_t* rounds_out = nullptr);
+
+/// Minimum-latency spanning tree over the metric closure of the leaders:
+/// |leaders| - 1 bridges connecting every island. Requires the underlying
+/// graph to be connected.
+std::vector<Bridge> compute_bridges(const Graph& g,
+                                    const std::vector<NodeId>& leaders);
+
+}  // namespace fastcons
+
+#endif  // FASTCONS_ISLANDS_ISLANDS_HPP

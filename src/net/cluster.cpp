@@ -1,0 +1,72 @@
+#include "net/cluster.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "common/assert.hpp"
+#include "common/error.hpp"
+
+namespace fastcons {
+
+LocalCluster::LocalCluster(const Graph& topology, ClusterConfig config) {
+  if (!config.demands.empty() && config.demands.size() != topology.size()) {
+    throw ConfigError("cluster demand vector size mismatch");
+  }
+  // Phase 1: construct all servers so every listener knows its port.
+  Rng rng(config.seed);
+  for (NodeId n = 0; n < topology.size(); ++n) {
+    ServerConfig sc;
+    sc.self = n;
+    sc.protocol = config.protocol;
+    sc.seconds_per_unit = config.seconds_per_unit;
+    sc.demand = config.demands.empty() ? 0.0 : config.demands[n];
+    sc.seed = rng.next_u64();
+    servers_.push_back(std::make_unique<ReplicaServer>(std::move(sc)));
+  }
+  // Phase 2: wire peer addresses along topology edges.
+  for (NodeId n = 0; n < topology.size(); ++n) {
+    std::vector<PeerAddress> peers;
+    for (const Edge& e : topology.neighbours(n)) {
+      peers.push_back(PeerAddress{e.peer, "127.0.0.1",
+                                  servers_[e.peer]->port()});
+    }
+    servers_[n]->set_peers(std::move(peers));
+  }
+}
+
+LocalCluster::~LocalCluster() { stop(); }
+
+ReplicaServer& LocalCluster::server(NodeId n) {
+  FASTCONS_EXPECTS(n < servers_.size());
+  return *servers_[n];
+}
+
+void LocalCluster::start() {
+  for (auto& server : servers_) server->start();
+}
+
+void LocalCluster::stop() {
+  for (auto& server : servers_) server->stop();
+}
+
+bool LocalCluster::converged(std::uint64_t min_updates) const {
+  const SummaryVector reference = servers_.front()->summary();
+  if (reference.total() < min_updates) return false;
+  for (std::size_t n = 1; n < servers_.size(); ++n) {
+    if (!(servers_[n]->summary() == reference)) return false;
+  }
+  return true;
+}
+
+bool LocalCluster::wait_for_convergence(double timeout_seconds,
+                                        std::uint64_t min_updates) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_seconds);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (converged(min_updates)) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return converged(min_updates);
+}
+
+}  // namespace fastcons

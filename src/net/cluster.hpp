@@ -1,0 +1,56 @@
+// LocalCluster: spins up one ReplicaServer per topology node on loopback
+// ephemeral ports — the integration harness for running the protocol over
+// real TCP (tests and the live_cluster example).
+#ifndef FASTCONS_NET_CLUSTER_HPP
+#define FASTCONS_NET_CLUSTER_HPP
+
+#include <memory>
+#include <vector>
+
+#include "net/server.hpp"
+#include "topology/graph.hpp"
+
+namespace fastcons {
+
+struct ClusterConfig {
+  ProtocolConfig protocol;
+  /// Wall-clock seconds per session period; keep small in tests.
+  double seconds_per_unit = 0.05;
+  std::uint64_t seed = 1;
+  /// Per-node demands (size must match the topology; empty = all zero).
+  std::vector<double> demands;
+};
+
+/// Owns n servers wired according to a topology graph.
+class LocalCluster {
+ public:
+  LocalCluster(const Graph& topology, ClusterConfig config);
+  ~LocalCluster();
+
+  LocalCluster(const LocalCluster&) = delete;
+  LocalCluster& operator=(const LocalCluster&) = delete;
+
+  std::size_t size() const noexcept { return servers_.size(); }
+  ReplicaServer& server(NodeId n);
+
+  void start();
+  void stop();
+
+  /// True when every server's summary equals every other's and at least
+  /// `min_updates` updates exist. Pass the number of writes you issued:
+  /// with the default of 1, a cluster that has fully spread the first write
+  /// counts as converged even if a later write is still in flight inside a
+  /// server's command queue.
+  bool converged(std::uint64_t min_updates = 1) const;
+
+  /// Polls converged(min_updates) up to `timeout_seconds`; returns success.
+  bool wait_for_convergence(double timeout_seconds,
+                            std::uint64_t min_updates = 1);
+
+ private:
+  std::vector<std::unique_ptr<ReplicaServer>> servers_;
+};
+
+}  // namespace fastcons
+
+#endif  // FASTCONS_NET_CLUSTER_HPP

@@ -1,0 +1,250 @@
+#include "net/server.hpp"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace fastcons {
+
+ReplicaServer::ReplicaServer(ServerConfig config)
+    : config_(std::move(config)),
+      listener_(TcpListener::bind_loopback(config_.listen_port)),
+      timer_rng_(config_.seed) {
+  if (config_.self == kInvalidNode) throw ConfigError("server needs a NodeId");
+  if (config_.seconds_per_unit <= 0.0) {
+    throw ConfigError("seconds_per_unit must be positive");
+  }
+}
+
+ReplicaServer::~ReplicaServer() { stop(); }
+
+void ReplicaServer::set_peers(std::vector<PeerAddress> peers) {
+  FASTCONS_EXPECTS(!running_.load());
+  config_.peers = std::move(peers);
+}
+
+void ReplicaServer::start() {
+  FASTCONS_EXPECTS(!running_.load());
+  std::vector<NodeId> neighbour_ids;
+  for (const PeerAddress& peer : config_.peers) {
+    neighbour_ids.push_back(peer.id);
+    peer_links_[peer.id] = PeerLink{peer, TcpConnection{}};
+  }
+  engine_ = std::make_unique<ReplicaEngine>(config_.self,
+                                            std::move(neighbour_ids),
+                                            config_.protocol,
+                                            timer_rng_.next_u64());
+  engine_->set_own_demand(config_.demand);
+  epoch_ = std::chrono::steady_clock::now();
+  next_session_units_ =
+      timer_rng_.exponential(config_.protocol.session_period);
+  next_advert_units_ = config_.protocol.advert_period > 0.0
+                           ? timer_rng_.uniform(0.0, config_.protocol.advert_period)
+                           : -1.0;
+  stop_requested_.store(false);
+  running_.store(true);
+  thread_ = std::thread([this] { loop(); });
+}
+
+void ReplicaServer::stop() {
+  if (!running_.load()) return;
+  stop_requested_.store(true);
+  wake_.wake();
+  if (thread_.joinable()) thread_.join();
+  running_.store(false);
+}
+
+double ReplicaServer::now_units() const {
+  const auto elapsed = std::chrono::steady_clock::now() - epoch_;
+  const double seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(elapsed)
+          .count();
+  return seconds / config_.seconds_per_unit;
+}
+
+void ReplicaServer::write(std::string key, std::string value) {
+  {
+    const std::lock_guard<std::mutex> lock(command_mutex_);
+    commands_.push_back([this, key = std::move(key),
+                         value = std::move(value)]() mutable {
+      dispatch(engine_->local_write(std::move(key), std::move(value),
+                                    now_units()));
+    });
+  }
+  wake_.wake();
+}
+
+void ReplicaServer::set_demand(double demand) {
+  {
+    const std::lock_guard<std::mutex> lock(command_mutex_);
+    commands_.push_back([this, demand] { engine_->set_own_demand(demand); });
+  }
+  wake_.wake();
+}
+
+std::optional<std::string> ReplicaServer::read(const std::string& key) const {
+  const std::lock_guard<std::mutex> lock(engine_mutex_);
+  if (engine_ == nullptr) return std::nullopt;
+  return engine_->read(key);
+}
+
+SummaryVector ReplicaServer::summary() const {
+  const std::lock_guard<std::mutex> lock(engine_mutex_);
+  if (engine_ == nullptr) return SummaryVector{};
+  return engine_->summary();
+}
+
+EngineStats ReplicaServer::stats() const {
+  const std::lock_guard<std::mutex> lock(engine_mutex_);
+  if (engine_ == nullptr) return EngineStats{};
+  return engine_->stats();
+}
+
+TrafficCounters ReplicaServer::traffic() const {
+  const std::lock_guard<std::mutex> lock(engine_mutex_);
+  if (engine_ == nullptr) return TrafficCounters{};
+  return engine_->counters();
+}
+
+void ReplicaServer::pump_commands() {
+  std::vector<std::function<void()>> pending;
+  {
+    const std::lock_guard<std::mutex> lock(command_mutex_);
+    pending.swap(commands_);
+  }
+  const std::lock_guard<std::mutex> lock(engine_mutex_);
+  for (auto& command : pending) command();
+}
+
+void ReplicaServer::send_to_peer(NodeId peer, const Message& msg) {
+  const auto it = peer_links_.find(peer);
+  if (it == peer_links_.end()) return;
+  PeerLink& link = it->second;
+  if (!link.connection.valid()) {
+    try {
+      link.connection =
+          TcpConnection::connect(link.address.host, link.address.port);
+    } catch (const TransportError& e) {
+      // Weak consistency tolerates message loss: the next session retries.
+      FASTCONS_LOG(debug, "net") << "connect to " << peer << " failed: "
+                                 << e.what();
+      return;
+    }
+  }
+  const std::vector<std::uint8_t> frame = encode_frame(config_.self, msg);
+  if (link.connection.send(frame) == IoStatus::error) {
+    link.connection.close();  // reconnect lazily on the next send
+  }
+}
+
+void ReplicaServer::dispatch(std::vector<Outbound> outs) {
+  for (Outbound& out : outs) send_to_peer(out.to, out.msg);
+}
+
+void ReplicaServer::poll_once(int timeout_ms) {
+  std::vector<pollfd> fds;
+  fds.push_back(pollfd{wake_.read_fd(), POLLIN, 0});
+  fds.push_back(pollfd{listener_.fd(), POLLIN, 0});
+  const std::size_t inbound_base = fds.size();
+  for (Inbound& in : inbound_) {
+    fds.push_back(pollfd{in.connection.fd(), POLLIN, 0});
+  }
+  const std::size_t peer_base = fds.size();
+  std::vector<NodeId> peer_order;
+  for (auto& [id, link] : peer_links_) {
+    if (link.connection.valid() && link.connection.has_pending_output()) {
+      fds.push_back(pollfd{link.connection.fd(), POLLOUT, 0});
+      peer_order.push_back(id);
+    }
+  }
+
+  const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (ready <= 0) return;
+
+  if ((fds[0].revents & POLLIN) != 0) wake_.drain();
+
+  if ((fds[1].revents & POLLIN) != 0) {
+    while (auto conn = listener_.accept()) {
+      inbound_.push_back(Inbound{std::move(*conn), FrameReader{}});
+    }
+  }
+
+  // Inbound traffic -> engine.
+  std::vector<std::uint8_t> bytes;
+  for (std::size_t i = 0; i < inbound_.size(); ++i) {
+    const short revents = fds[inbound_base + i].revents;
+    if ((revents & (POLLIN | POLLERR | POLLHUP)) == 0) continue;
+    Inbound& in = inbound_[i];
+    bytes.clear();
+    const IoStatus status = in.connection.read_available(bytes);
+    if (!bytes.empty()) {
+      in.reader.feed(bytes);
+      try {
+        while (auto frame = in.reader.next()) {
+          const std::lock_guard<std::mutex> lock(engine_mutex_);
+          dispatch(engine_->handle(frame->sender, frame->msg, now_units()));
+        }
+      } catch (const CodecError& e) {
+        FASTCONS_LOG(warn, "net") << "dropping connection: " << e.what();
+        in.connection.close();
+      }
+    }
+    if (status == IoStatus::closed || status == IoStatus::error) {
+      in.connection.close();
+    }
+  }
+  std::erase_if(inbound_, [](const Inbound& in) {
+    return !in.connection.valid();
+  });
+
+  // Flush peers that were waiting for writability.
+  for (std::size_t i = 0; i < peer_order.size(); ++i) {
+    const short revents = fds[peer_base + i].revents;
+    if ((revents & (POLLOUT | POLLERR | POLLHUP)) == 0) continue;
+    PeerLink& link = peer_links_[peer_order[i]];
+    if (link.connection.flush() == IoStatus::error) link.connection.close();
+  }
+}
+
+void ReplicaServer::loop() {
+  const ProtocolConfig& proto = config_.protocol;
+  while (!stop_requested_.load()) {
+    pump_commands();
+
+    const double now = now_units();
+    if (now >= next_session_units_) {
+      {
+        const std::lock_guard<std::mutex> lock(engine_mutex_);
+        dispatch(engine_->on_session_timer(now));
+      }
+      next_session_units_ = now + timer_rng_.exponential(proto.session_period);
+    }
+    if (next_advert_units_ >= 0.0 && now >= next_advert_units_) {
+      {
+        const std::lock_guard<std::mutex> lock(engine_mutex_);
+        dispatch(engine_->on_advert_timer(now));
+      }
+      next_advert_units_ = now + proto.advert_period;
+    }
+    {
+      const std::lock_guard<std::mutex> lock(engine_mutex_);
+      engine_->expire_inflight(now);
+    }
+
+    double next_deadline = next_session_units_;
+    if (next_advert_units_ >= 0.0) {
+      next_deadline = std::min(next_deadline, next_advert_units_);
+    }
+    const double wait_units = std::max(0.0, next_deadline - now_units());
+    const int timeout_ms = static_cast<int>(
+        std::ceil(wait_units * config_.seconds_per_unit * 1000.0));
+    poll_once(std::min(timeout_ms, 50));
+  }
+}
+
+}  // namespace fastcons

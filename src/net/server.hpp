@@ -1,0 +1,133 @@
+// ReplicaServer: the same ReplicaEngine that powers the simulation, run as a
+// real networked process component — a poll-driven event loop over TCP with
+// exponential session timers and periodic demand adverts.
+//
+// Threading model: one background thread owns the engine and all sockets.
+// Public methods communicate with it through a mutex-guarded command queue
+// plus a wake pipe; read-only queries copy state under the same mutex the
+// loop holds while touching the engine.
+#ifndef FASTCONS_NET_SERVER_HPP
+#define FASTCONS_NET_SERVER_HPP
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/engine.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+
+namespace fastcons {
+
+/// Address of a peer replica.
+struct PeerAddress {
+  NodeId id = kInvalidNode;
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+struct ServerConfig {
+  NodeId self = kInvalidNode;
+  ProtocolConfig protocol;
+  std::vector<PeerAddress> peers;
+
+  /// Loopback port to listen on; 0 picks an ephemeral port (query port()).
+  std::uint16_t listen_port = 0;
+
+  /// Wall-clock seconds per protocol time unit (session period). Tests use
+  /// small values so sessions fire quickly.
+  double seconds_per_unit = 0.05;
+
+  /// The server's own advertised demand (static in the real runtime unless
+  /// set_demand() is called).
+  double demand = 0.0;
+
+  std::uint64_t seed = 1;
+};
+
+/// A replica server bound to a loopback TCP port.
+class ReplicaServer {
+ public:
+  /// Binds the listener (learning the ephemeral port) without starting the
+  /// loop; peers can be configured afterwards, then start() runs the thread.
+  explicit ReplicaServer(ServerConfig config);
+  ~ReplicaServer();
+
+  ReplicaServer(const ReplicaServer&) = delete;
+  ReplicaServer& operator=(const ReplicaServer&) = delete;
+
+  std::uint16_t port() const noexcept { return listener_.port(); }
+  NodeId self() const noexcept { return config_.self; }
+
+  /// Replaces the peer table (call before start()).
+  void set_peers(std::vector<PeerAddress> peers);
+
+  void start();
+  void stop();
+  bool running() const noexcept { return running_.load(); }
+
+  /// Thread-safe client write; applied on the server thread.
+  void write(std::string key, std::string value);
+
+  /// Thread-safe client read of the materialised state.
+  std::optional<std::string> read(const std::string& key) const;
+
+  /// Thread-safe demand change (advertised from the next advert on).
+  void set_demand(double demand);
+
+  /// Snapshots for convergence checks.
+  SummaryVector summary() const;
+  EngineStats stats() const;
+  TrafficCounters traffic() const;
+
+ private:
+  struct PeerLink {
+    PeerAddress address;
+    TcpConnection connection;  // lazily (re)established outbound channel
+  };
+  struct Inbound {
+    TcpConnection connection;
+    FrameReader reader;
+  };
+
+  void loop();
+  void pump_commands();
+  double now_units() const;
+  void dispatch(std::vector<Outbound> outs);
+  void send_to_peer(NodeId peer, const Message& msg);
+  void poll_once(int timeout_ms);
+
+  ServerConfig config_;
+  TcpListener listener_;
+  std::unique_ptr<ReplicaEngine> engine_;
+  mutable std::mutex engine_mutex_;
+
+  WakePipe wake_;
+  std::mutex command_mutex_;
+  std::vector<std::function<void()>> commands_;
+
+  std::map<NodeId, PeerLink> peer_links_;
+  std::vector<Inbound> inbound_;
+
+  Rng timer_rng_;
+  double next_session_units_ = 0.0;
+  double next_advert_units_ = 0.0;
+  std::chrono::steady_clock::time_point epoch_;
+
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+};
+
+}  // namespace fastcons
+
+#endif  // FASTCONS_NET_SERVER_HPP

@@ -1,0 +1,119 @@
+// Thin RAII layer over POSIX TCP sockets: everything the replica server
+// needs and nothing more (P.11 — encapsulate the messy construct once).
+// All sockets are non-blocking; readiness is multiplexed with poll(2).
+#ifndef FASTCONS_NET_SOCKET_HPP
+#define FASTCONS_NET_SOCKET_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fastcons {
+
+/// Owning file descriptor. Move-only; closes on destruction.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) noexcept : fd_(fd) {}
+  ~Fd();
+  Fd(Fd&& other) noexcept;
+  Fd& operator=(Fd&& other) noexcept;
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+  int release() noexcept;
+  void reset(int fd = -1) noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Result of a non-blocking read/write attempt.
+enum class IoStatus : std::uint8_t {
+  ok,           // made progress
+  would_block,  // no progress now, try again on readiness
+  closed,       // orderly shutdown by the peer
+  error,        // connection is dead
+};
+
+/// A non-blocking TCP connection.
+class TcpConnection {
+ public:
+  TcpConnection() = default;
+  explicit TcpConnection(Fd fd) noexcept : fd_(std::move(fd)) {}
+
+  /// Starts a non-blocking connect to host:port (numeric IPv4 only — the
+  /// runtime targets loopback clusters). The connection becomes writable
+  /// when established. Throws TransportError if the attempt cannot start.
+  static TcpConnection connect(const std::string& host, std::uint16_t port);
+
+  bool valid() const noexcept { return fd_.valid(); }
+  int fd() const noexcept { return fd_.get(); }
+
+  /// Appends to the outbound buffer and attempts to flush.
+  IoStatus send(std::span<const std::uint8_t> bytes);
+
+  /// Flushes as much buffered output as the kernel accepts.
+  IoStatus flush();
+
+  bool has_pending_output() const noexcept { return !outbox_.empty(); }
+
+  /// Reads whatever is available into `out` (appends). Returns would_block
+  /// when drained, closed on EOF.
+  IoStatus read_available(std::vector<std::uint8_t>& out);
+
+  void close() noexcept { fd_.reset(); }
+
+ private:
+  Fd fd_;
+  std::vector<std::uint8_t> outbox_;
+};
+
+/// A listening TCP socket on 127.0.0.1.
+class TcpListener {
+ public:
+  /// Binds to 127.0.0.1:`port` (0 = ephemeral) and listens. Throws
+  /// TransportError on failure.
+  static TcpListener bind_loopback(std::uint16_t port);
+
+  std::uint16_t port() const noexcept { return port_; }
+  int fd() const noexcept { return fd_.get(); }
+  bool valid() const noexcept { return fd_.valid(); }
+
+  /// Accepts one pending connection, if any (non-blocking).
+  std::optional<TcpConnection> accept();
+
+ private:
+  Fd fd_;
+  std::uint16_t port_ = 0;
+};
+
+/// Self-pipe used to wake a poll loop from another thread.
+class WakePipe {
+ public:
+  WakePipe();  // throws TransportError on failure
+
+  int read_fd() const noexcept { return read_end_.get(); }
+
+  /// Signals the poll loop (async-signal-safe, thread-safe).
+  void wake() noexcept;
+
+  /// Drains pending wake bytes.
+  void drain() noexcept;
+
+ private:
+  Fd read_end_;
+  Fd write_end_;
+};
+
+/// Sets O_NONBLOCK; throws TransportError on failure.
+void set_nonblocking(int fd);
+
+}  // namespace fastcons
+
+#endif  // FASTCONS_NET_SOCKET_HPP

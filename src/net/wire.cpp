@@ -1,0 +1,332 @@
+#include "net/wire.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace fastcons {
+namespace {
+
+// --- primitive writers -----------------------------------------------------
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) { out.push_back(v); }
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void put_string(std::vector<std::uint8_t>& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+// --- primitive readers -----------------------------------------------------
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  std::string string() {
+    const std::uint32_t len = u32();
+    need(len);
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len);
+    pos_ += len;
+    return s;
+  }
+
+  bool exhausted() const noexcept { return pos_ == data_.size(); }
+
+ private:
+  void need(std::size_t n) const {
+    if (pos_ + n > data_.size()) throw CodecError("truncated frame body");
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+// --- composite writers/readers ----------------------------------------------
+
+void put_summary(std::vector<std::uint8_t>& out, const SummaryVector& sv) {
+  put_u32(out, static_cast<std::uint32_t>(sv.watermarks().size()));
+  for (const auto& [origin, mark] : sv.watermarks()) {
+    put_u32(out, origin);
+    put_u64(out, mark);
+  }
+  put_u32(out, static_cast<std::uint32_t>(sv.extras().size()));
+  for (const auto& [origin, seqs] : sv.extras()) {
+    put_u32(out, origin);
+    put_u32(out, static_cast<std::uint32_t>(seqs.size()));
+    for (const SeqNo seq : seqs) put_u64(out, seq);
+  }
+}
+
+SummaryVector read_summary(Reader& r) {
+  std::map<NodeId, SeqNo> watermarks;
+  const std::uint32_t n_marks = r.u32();
+  for (std::uint32_t i = 0; i < n_marks; ++i) {
+    const NodeId origin = r.u32();
+    watermarks[origin] = r.u64();
+  }
+  std::map<NodeId, std::set<SeqNo>> extras;
+  const std::uint32_t n_extra_origins = r.u32();
+  for (std::uint32_t i = 0; i < n_extra_origins; ++i) {
+    const NodeId origin = r.u32();
+    const std::uint32_t count = r.u32();
+    auto& set = extras[origin];
+    for (std::uint32_t j = 0; j < count; ++j) set.insert(r.u64());
+  }
+  return SummaryVector::from_parts(std::move(watermarks), std::move(extras));
+}
+
+void put_update(std::vector<std::uint8_t>& out, const Update& u) {
+  put_u32(out, u.id.origin);
+  put_u64(out, u.id.seq);
+  put_f64(out, u.created_at);
+  put_string(out, u.key);
+  put_string(out, u.value);
+}
+
+Update read_update(Reader& r) {
+  Update u;
+  u.id.origin = r.u32();
+  u.id.seq = r.u64();
+  u.created_at = r.f64();
+  u.key = r.string();
+  u.value = r.string();
+  return u;
+}
+
+void put_updates(std::vector<std::uint8_t>& out, const std::vector<Update>& v) {
+  put_u32(out, static_cast<std::uint32_t>(v.size()));
+  for (const Update& u : v) put_update(out, u);
+}
+
+std::vector<Update> read_updates(Reader& r) {
+  const std::uint32_t count = r.u32();
+  std::vector<Update> v;
+  v.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) v.push_back(read_update(r));
+  return v;
+}
+
+// Tags are wire ABI; append only, never renumber.
+enum : std::uint8_t {
+  kTagSessionRequest = 1,
+  kTagSessionSummary = 2,
+  kTagSessionPush = 3,
+  kTagSessionReply = 4,
+  kTagFastOffer = 5,
+  kTagFastAck = 6,
+  kTagFastData = 7,
+  kTagDemandAdvert = 8,
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_frame(NodeId sender, const Message& msg) {
+  std::vector<std::uint8_t> out;
+  put_u32(out, 0);  // length placeholder
+  std::visit(
+      [&out, sender](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, SessionRequest>) {
+          put_u8(out, kTagSessionRequest);
+          put_u32(out, sender);
+          put_u64(out, m.session_id);
+        } else if constexpr (std::is_same_v<T, SessionSummary>) {
+          put_u8(out, kTagSessionSummary);
+          put_u32(out, sender);
+          put_u64(out, m.session_id);
+          put_summary(out, m.summary);
+        } else if constexpr (std::is_same_v<T, SessionPush>) {
+          put_u8(out, kTagSessionPush);
+          put_u32(out, sender);
+          put_u64(out, m.session_id);
+          put_summary(out, m.summary);
+          put_updates(out, m.updates);
+        } else if constexpr (std::is_same_v<T, SessionReply>) {
+          put_u8(out, kTagSessionReply);
+          put_u32(out, sender);
+          put_u64(out, m.session_id);
+          put_updates(out, m.updates);
+        } else if constexpr (std::is_same_v<T, FastOffer>) {
+          put_u8(out, kTagFastOffer);
+          put_u32(out, sender);
+          put_u64(out, m.offer_id);
+          put_u32(out, static_cast<std::uint32_t>(m.offered.size()));
+          for (const OfferedId& o : m.offered) {
+            put_u32(out, o.id.origin);
+            put_u64(out, o.id.seq);
+            put_f64(out, o.timestamp);
+          }
+        } else if constexpr (std::is_same_v<T, FastAck>) {
+          put_u8(out, kTagFastAck);
+          put_u32(out, sender);
+          put_u64(out, m.offer_id);
+          put_u8(out, m.yes ? 1 : 0);
+          put_u32(out, static_cast<std::uint32_t>(m.wanted.size()));
+          for (const UpdateId& id : m.wanted) {
+            put_u32(out, id.origin);
+            put_u64(out, id.seq);
+          }
+        } else if constexpr (std::is_same_v<T, FastData>) {
+          put_u8(out, kTagFastData);
+          put_u32(out, sender);
+          put_u64(out, m.offer_id);
+          put_updates(out, m.updates);
+        } else {  // DemandAdvert
+          put_u8(out, kTagDemandAdvert);
+          put_u32(out, sender);
+          put_f64(out, m.demand);
+        }
+      },
+      msg);
+  const auto body_len = static_cast<std::uint32_t>(out.size() - 4);
+  if (body_len > kMaxFrameBody) throw CodecError("frame body exceeds limit");
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<std::uint8_t>(body_len >> (8 * i));
+  return out;
+}
+
+WireFrame decode_body(std::span<const std::uint8_t> body) {
+  Reader r(body);
+  const std::uint8_t tag = r.u8();
+  WireFrame frame;
+  frame.sender = r.u32();
+  switch (tag) {
+    case kTagSessionRequest: {
+      frame.msg = SessionRequest{r.u64()};
+      break;
+    }
+    case kTagSessionSummary: {
+      SessionSummary m;
+      m.session_id = r.u64();
+      m.summary = read_summary(r);
+      frame.msg = std::move(m);
+      break;
+    }
+    case kTagSessionPush: {
+      SessionPush m;
+      m.session_id = r.u64();
+      m.summary = read_summary(r);
+      m.updates = read_updates(r);
+      frame.msg = std::move(m);
+      break;
+    }
+    case kTagSessionReply: {
+      SessionReply m;
+      m.session_id = r.u64();
+      m.updates = read_updates(r);
+      frame.msg = std::move(m);
+      break;
+    }
+    case kTagFastOffer: {
+      FastOffer m;
+      m.offer_id = r.u64();
+      const std::uint32_t count = r.u32();
+      m.offered.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        OfferedId o;
+        o.id.origin = r.u32();
+        o.id.seq = r.u64();
+        o.timestamp = r.f64();
+        m.offered.push_back(o);
+      }
+      frame.msg = std::move(m);
+      break;
+    }
+    case kTagFastAck: {
+      FastAck m;
+      m.offer_id = r.u64();
+      m.yes = r.u8() != 0;
+      const std::uint32_t count = r.u32();
+      m.wanted.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        UpdateId id;
+        id.origin = r.u32();
+        id.seq = r.u64();
+        m.wanted.push_back(id);
+      }
+      frame.msg = std::move(m);
+      break;
+    }
+    case kTagFastData: {
+      FastData m;
+      m.offer_id = r.u64();
+      m.updates = read_updates(r);
+      frame.msg = std::move(m);
+      break;
+    }
+    case kTagDemandAdvert: {
+      frame.msg = DemandAdvert{r.f64()};
+      break;
+    }
+    default:
+      throw CodecError("unknown message tag");
+  }
+  if (!r.exhausted()) throw CodecError("trailing bytes in frame body");
+  return frame;
+}
+
+void FrameReader::feed(std::span<const std::uint8_t> bytes) {
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+void FrameReader::compact() {
+  // Reclaim consumed prefix occasionally to bound memory.
+  if (consumed_ > 4096 && consumed_ * 2 > buffer_.size()) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+}
+
+std::optional<WireFrame> FrameReader::next() {
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < 4) return std::nullopt;
+  std::uint32_t body_len = 0;
+  for (int i = 0; i < 4; ++i) {
+    body_len |= static_cast<std::uint32_t>(buffer_[consumed_ + i]) << (8 * i);
+  }
+  if (body_len > kMaxFrameBody) throw CodecError("announced frame too large");
+  if (body_len == 0) throw CodecError("empty frame body");
+  if (available < 4 + static_cast<std::size_t>(body_len)) return std::nullopt;
+  const std::span<const std::uint8_t> body(buffer_.data() + consumed_ + 4,
+                                           body_len);
+  WireFrame frame = decode_body(body);
+  consumed_ += 4 + body_len;
+  compact();
+  return frame;
+}
+
+}  // namespace fastcons

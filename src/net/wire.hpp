@@ -1,0 +1,63 @@
+// Binary wire codec for protocol messages.
+//
+// Frame layout (all integers little-endian):
+//   u32  body_length                (excludes these 4 bytes)
+//   u8   message tag                (one per Message alternative)
+//   u32  sender NodeId
+//   ...  payload (per message type, see wire.cpp)
+//
+// core/messages.cpp's estimated_wire_size() mirrors this layout; a test
+// asserts encode_frame().size() == estimated_wire_size() for random
+// messages so the two can never drift apart silently.
+#ifndef FASTCONS_NET_WIRE_HPP
+#define FASTCONS_NET_WIRE_HPP
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/messages.hpp"
+
+namespace fastcons {
+
+/// Upper bound on a frame body; larger announced lengths are treated as a
+/// protocol violation (CodecError) rather than an allocation request.
+inline constexpr std::uint32_t kMaxFrameBody = 16u << 20;
+
+/// A decoded frame: who sent it and what it says.
+struct WireFrame {
+  NodeId sender = kInvalidNode;
+  Message msg;
+};
+
+/// Encodes a full frame (length prefix included).
+std::vector<std::uint8_t> encode_frame(NodeId sender, const Message& msg);
+
+/// Decodes a frame body (length prefix already stripped). Throws CodecError
+/// on any malformed input: unknown tag, truncated payload, trailing bytes.
+WireFrame decode_body(std::span<const std::uint8_t> body);
+
+/// Incremental frame extractor for a TCP byte stream: feed() arbitrary
+/// chunks, next() yields complete frames as they become available.
+class FrameReader {
+ public:
+  void feed(std::span<const std::uint8_t> bytes);
+
+  /// Returns the next complete frame, or nullopt if more bytes are needed.
+  /// Throws CodecError on oversized or malformed frames; the stream is
+  /// unusable afterwards (callers drop the connection).
+  std::optional<WireFrame> next();
+
+  std::size_t buffered() const noexcept { return buffer_.size() - consumed_; }
+
+ private:
+  void compact();
+
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;
+};
+
+}  // namespace fastcons
+
+#endif  // FASTCONS_NET_WIRE_HPP

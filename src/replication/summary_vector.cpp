@@ -1,0 +1,195 @@
+#include "replication/summary_vector.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace fastcons {
+
+bool SummaryVector::contains(UpdateId id) const {
+  FASTCONS_EXPECTS(id.seq > 0);
+  if (const auto it = watermarks_.find(id.origin);
+      it != watermarks_.end() && id.seq <= it->second) {
+    return true;
+  }
+  if (const auto it = extras_.find(id.origin); it != extras_.end()) {
+    return it->second.contains(id.seq);
+  }
+  return false;
+}
+
+void SummaryVector::add(UpdateId id) {
+  FASTCONS_EXPECTS(id.seq > 0);
+  if (contains(id)) return;
+  extras_[id.origin].insert(id.seq);
+  normalise(id.origin);
+}
+
+void SummaryVector::normalise(NodeId origin) {
+  const auto extra_it = extras_.find(origin);
+  if (extra_it == extras_.end()) return;
+  auto& extra = extra_it->second;
+  SeqNo& mark = watermarks_[origin];  // creates 0 watermark if absent
+  // One pass to fixpoint: absorb the contiguous run starting at mark+1 and
+  // drop ids at or below the watermark. The two interleave — dropping a
+  // stale id can expose the next absorbable one — so a single loop handles
+  // both until neither applies.
+  while (!extra.empty()) {
+    const SeqNo lowest = *extra.begin();
+    if (lowest <= mark) {
+      extra.erase(extra.begin());
+    } else if (lowest == mark + 1) {
+      ++mark;
+      extra.erase(extra.begin());
+    } else {
+      break;
+    }
+  }
+  if (extra.empty()) extras_.erase(extra_it);
+  if (mark == 0) watermarks_.erase(origin);
+}
+
+SeqNo SummaryVector::watermark(NodeId origin) const {
+  const auto it = watermarks_.find(origin);
+  return it == watermarks_.end() ? 0 : it->second;
+}
+
+void SummaryVector::merge(const SummaryVector& other) {
+  for (const auto& [origin, mark] : other.watermarks_) {
+    SeqNo& mine = watermarks_[origin];
+    if (mark > mine) mine = mark;
+  }
+  for (const auto& [origin, seqs] : other.extras_) {
+    const SeqNo mine = watermark(origin);
+    for (const SeqNo seq : seqs) {
+      if (seq > mine) extras_[origin].insert(seq);
+    }
+  }
+  // Normalise every origin that might have gained coverage.
+  for (const auto& [origin, mark] : other.watermarks_) {
+    (void)mark;
+    normalise(origin);
+  }
+  for (const auto& [origin, seqs] : other.extras_) {
+    (void)seqs;
+    normalise(origin);
+  }
+}
+
+bool SummaryVector::covers(const SummaryVector& other) const {
+  for (const auto& [origin, mark] : other.watermarks_) {
+    const SeqNo mine = watermark(origin);
+    if (mine >= mark) continue;
+    // Every seq in (mine, mark] must appear in our extras.
+    const auto it = extras_.find(origin);
+    if (it == extras_.end()) return false;
+    for (SeqNo s = mine + 1; s <= mark; ++s) {
+      if (!it->second.contains(s)) return false;
+    }
+  }
+  for (const auto& [origin, seqs] : other.extras_) {
+    for (const SeqNo seq : seqs) {
+      if (!contains(UpdateId{origin, seq})) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<UpdateId> SummaryVector::missing_from(
+    const SummaryVector& other) const {
+  std::vector<UpdateId> missing;
+  for (const auto& [origin, mark] : watermarks_) {
+    const SeqNo theirs = other.watermark(origin);
+    for (SeqNo s = theirs + 1; s <= mark; ++s) {
+      const UpdateId id{origin, s};
+      if (!other.contains(id)) missing.push_back(id);
+    }
+  }
+  for (const auto& [origin, seqs] : extras_) {
+    for (const SeqNo seq : seqs) {
+      const UpdateId id{origin, seq};
+      if (!other.contains(id)) missing.push_back(id);
+    }
+  }
+  return missing;
+}
+
+std::uint64_t SummaryVector::total() const {
+  std::uint64_t count = 0;
+  for (const auto& [origin, mark] : watermarks_) {
+    (void)origin;
+    count += mark;
+  }
+  for (const auto& [origin, seqs] : extras_) {
+    (void)origin;
+    count += seqs.size();
+  }
+  return count;
+}
+
+std::vector<NodeId> SummaryVector::origins() const {
+  std::vector<NodeId> result;
+  for (const auto& [origin, mark] : watermarks_) {
+    (void)mark;
+    result.push_back(origin);
+  }
+  for (const auto& [origin, seqs] : extras_) {
+    (void)seqs;
+    if (!watermarks_.contains(origin)) result.push_back(origin);
+  }
+  return result;
+}
+
+SummaryVector SummaryVector::meet(const SummaryVector& a,
+                                  const SummaryVector& b) {
+  SummaryVector result;
+  // Only origins covered by both inputs can contribute.
+  for (const NodeId origin : a.origins()) {
+    const SeqNo wm = std::min(a.watermark(origin), b.watermark(origin));
+    if (wm > 0) result.watermarks_[origin] = wm;
+    // Candidates above the common prefix: everything a covers there, kept
+    // iff b covers it too. a's coverage above wm is the rest of its own
+    // prefix plus its extras.
+    auto& extra = result.extras_[origin];
+    for (SeqNo s = wm + 1; s <= a.watermark(origin); ++s) {
+      if (b.contains(UpdateId{origin, s})) extra.insert(s);
+    }
+    if (const auto it = a.extras_.find(origin); it != a.extras_.end()) {
+      for (const SeqNo s : it->second) {
+        if (s > wm && b.contains(UpdateId{origin, s})) extra.insert(s);
+      }
+    }
+    if (extra.empty()) {
+      result.extras_.erase(origin);
+    } else {
+      result.normalise(origin);
+    }
+  }
+  return result;
+}
+
+SummaryVector SummaryVector::from_parts(
+    std::map<NodeId, SeqNo> watermarks,
+    std::map<NodeId, std::set<SeqNo>> extras) {
+  SummaryVector sv;
+  sv.watermarks_ = std::move(watermarks);
+  sv.extras_ = std::move(extras);
+  // Drop zero watermarks and normalise each origin so equality of logical
+  // content implies structural equality.
+  for (auto it = sv.watermarks_.begin(); it != sv.watermarks_.end();) {
+    if (it->second == 0) {
+      it = sv.watermarks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::vector<NodeId> origins;
+  for (const auto& [origin, seqs] : sv.extras_) {
+    (void)seqs;
+    origins.push_back(origin);
+  }
+  for (const NodeId origin : origins) sv.normalise(origin);
+  return sv;
+}
+
+}  // namespace fastcons

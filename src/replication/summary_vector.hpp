@@ -1,0 +1,84 @@
+// Summary vectors for anti-entropy (paper §1: "In an update session two
+// servers mutually exchange summary vectors").
+//
+// Golding's TSAE summary is a per-origin high watermark, which assumes
+// updates from an origin arrive contiguously. Fast pushes break that
+// assumption: a push can deliver (origin, 7) before (origin, 6) has arrived
+// through a session. We therefore extend the summary to {watermark +
+// explicit out-of-order extras}; contiguous extras are absorbed into the
+// watermark on every mutation, so in the no-push case this degenerates to
+// exactly Golding's vector.
+//
+// The structure is a join-semilattice: merge() is the join, covers() the
+// partial order. Tests verify commutativity/associativity/idempotence.
+#ifndef FASTCONS_REPLICATION_SUMMARY_VECTOR_HPP
+#define FASTCONS_REPLICATION_SUMMARY_VECTOR_HPP
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "replication/update.hpp"
+
+namespace fastcons {
+
+/// Compact description of "which updates a replica has seen".
+class SummaryVector {
+ public:
+  SummaryVector() = default;
+
+  /// True when (origin, seq) is covered.
+  bool contains(UpdateId id) const;
+
+  /// Records an update as seen. Idempotent.
+  void add(UpdateId id);
+
+  /// Watermark for one origin (largest w such that all of 1..w are seen).
+  SeqNo watermark(NodeId origin) const;
+
+  /// Joins with `other`: afterwards contains(x) holds iff it held in either
+  /// input.
+  void merge(const SummaryVector& other);
+
+  /// True when every update covered by `other` is covered by *this.
+  bool covers(const SummaryVector& other) const;
+
+  /// Ids covered by *this but not by `other`, in (origin, seq) order.
+  /// This is the paper's step 7/10: "determines if it has messages that
+  /// [the partner] has not yet received".
+  std::vector<UpdateId> missing_from(const SummaryVector& other) const;
+
+  /// Total number of updates covered.
+  std::uint64_t total() const;
+
+  /// Origins with at least one update covered.
+  std::vector<NodeId> origins() const;
+
+  /// Out-of-order ids beyond the watermarks (exposed for wire encoding).
+  const std::map<NodeId, std::set<SeqNo>>& extras() const { return extras_; }
+  const std::map<NodeId, SeqNo>& watermarks() const { return watermarks_; }
+
+  /// Rebuilds from wire parts; normalises (absorbs contiguous extras).
+  static SummaryVector from_parts(std::map<NodeId, SeqNo> watermarks,
+                                  std::map<NodeId, std::set<SeqNo>> extras);
+
+  /// Greatest lower bound: the result covers an id iff both inputs cover
+  /// it. Together with merge() (the join) this makes SummaryVector a full
+  /// lattice; the meet over a node's neighbour summaries is its log
+  /// truncation frontier (every neighbour provably holds everything below
+  /// it).
+  static SummaryVector meet(const SummaryVector& a, const SummaryVector& b);
+
+  friend bool operator==(const SummaryVector&, const SummaryVector&) = default;
+
+ private:
+  void normalise(NodeId origin);
+
+  std::map<NodeId, SeqNo> watermarks_;          // origin -> contiguous prefix
+  std::map<NodeId, std::set<SeqNo>> extras_;    // origin -> ids > watermark
+};
+
+}  // namespace fastcons
+
+#endif  // FASTCONS_REPLICATION_SUMMARY_VECTOR_HPP

@@ -1,0 +1,49 @@
+// Updates: the unit of replicated state. "An update is a message that
+// carries a 'write' operation to replica in other neighbouring nodes"
+// (paper §2). Each node's writes are numbered 1, 2, 3, ...; (origin, seq)
+// identifies an update globally.
+#ifndef FASTCONS_REPLICATION_UPDATE_HPP
+#define FASTCONS_REPLICATION_UPDATE_HPP
+
+#include <compare>
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace fastcons {
+
+/// Globally unique update identity.
+struct UpdateId {
+  NodeId origin = kInvalidNode;
+  SeqNo seq = 0;
+
+  friend auto operator<=>(const UpdateId&, const UpdateId&) = default;
+};
+
+/// A replicated write operation. `created_at` is the origin's clock when the
+/// client issued the write — the "timestamp" the fast-update offer carries.
+struct Update {
+  UpdateId id;
+  SimTime created_at = 0.0;
+  std::string key;
+  std::string value;
+
+  friend bool operator==(const Update&, const Update&) = default;
+};
+
+struct UpdateIdHash {
+  std::size_t operator()(const UpdateId& id) const noexcept {
+    // splitmix-style mix of the two fields.
+    std::uint64_t x =
+        (static_cast<std::uint64_t>(id.origin) << 32) ^ (id.seq * 0x9e3779b97f4a7c15ull);
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return static_cast<std::size_t>(x ^ (x >> 31));
+  }
+};
+
+}  // namespace fastcons
+
+#endif  // FASTCONS_REPLICATION_UPDATE_HPP

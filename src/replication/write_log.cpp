@@ -1,0 +1,94 @@
+#include "replication/write_log.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/assert.hpp"
+
+namespace fastcons {
+
+bool WriteLog::apply(const Update& update) {
+  FASTCONS_EXPECTS(update.id.seq > 0);
+  if (summary_.contains(update.id)) return false;
+  summary_.add(update.id);
+  updates_.emplace(update.id, update);
+  // Last-writer-wins on (created_at, origin, seq).
+  auto& state = kv_[update.key];
+  const auto candidate =
+      std::tuple(update.created_at, update.id.origin, update.id.seq);
+  const auto incumbent = std::tuple(state.written_at, state.by.origin, state.by.seq);
+  if (state.written_at < 0.0 || candidate > incumbent) {
+    state.written_at = update.created_at;
+    state.by = update.id;
+    state.value = update.value;
+  }
+  return true;
+}
+
+bool WriteLog::contains(UpdateId id) const { return summary_.contains(id); }
+
+std::optional<Update> WriteLog::get(UpdateId id) const {
+  const auto it = updates_.find(id);
+  if (it == updates_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<Update> WriteLog::updates_for(
+    const SummaryVector& their_summary,
+    std::vector<UpdateId>* missing_truncated) const {
+  const std::vector<UpdateId> ids = summary_.missing_from(their_summary);
+  std::vector<Update> result;
+  result.reserve(ids.size());
+  for (const UpdateId id : ids) {
+    const auto it = updates_.find(id);
+    if (it != updates_.end()) {
+      result.push_back(it->second);
+    } else if (missing_truncated != nullptr) {
+      missing_truncated->push_back(id);
+    }
+  }
+  return result;
+}
+
+std::optional<std::string> WriteLog::read(const std::string& key) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return std::nullopt;
+  return it->second.value;
+}
+
+std::vector<std::string> WriteLog::keys() const {
+  std::vector<std::string> result;
+  result.reserve(kv_.size());
+  for (const auto& [key, state] : kv_) {
+    (void)state;
+    result.push_back(key);
+  }
+  return result;
+}
+
+std::size_t WriteLog::truncate_below(const SummaryVector& stable) {
+  std::size_t discarded = 0;
+  for (auto it = updates_.begin(); it != updates_.end();) {
+    if (stable.contains(it->first)) {
+      it = updates_.erase(it);
+      ++discarded;
+    } else {
+      ++it;
+    }
+  }
+  return discarded;
+}
+
+std::vector<Update> WriteLog::all_retained() const {
+  std::vector<Update> result;
+  result.reserve(updates_.size());
+  for (const auto& [id, update] : updates_) {
+    (void)id;
+    result.push_back(update);
+  }
+  std::sort(result.begin(), result.end(),
+            [](const Update& a, const Update& b) { return a.id < b.id; });
+  return result;
+}
+
+}  // namespace fastcons

@@ -1,0 +1,76 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace fastcons {
+
+TimerHandle Simulator::schedule_at(SimTime when, Action action) {
+  FASTCONS_EXPECTS(when >= now_);
+  FASTCONS_EXPECTS(action != nullptr);
+  const std::uint64_t id = next_id_++;
+  queue_.push(Entry{when, next_seq_++, id});
+  actions_.emplace(id, std::move(action));
+  return TimerHandle{id};
+}
+
+TimerHandle Simulator::schedule_in(SimTime delay, Action action) {
+  FASTCONS_EXPECTS(delay >= 0.0);
+  return schedule_at(now_ + delay, std::move(action));
+}
+
+bool Simulator::cancel(TimerHandle handle) noexcept {
+  if (!handle.valid()) return false;
+  return actions_.erase(handle.id_) > 0;
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    const Entry entry = queue_.top();
+    queue_.pop();
+    const auto it = actions_.find(entry.id);
+    if (it == actions_.end()) continue;  // cancelled
+    // Move the action out before invoking: the action may schedule or
+    // cancel other events, invalidating iterators into actions_.
+    Action action = std::move(it->second);
+    actions_.erase(it);
+    now_ = entry.when;
+    action();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Simulator::run() {
+  stop_requested_ = false;
+  std::uint64_t executed = 0;
+  while (!stop_requested_ && step()) ++executed;
+  return executed;
+}
+
+std::uint64_t Simulator::run_until(SimTime deadline) {
+  FASTCONS_EXPECTS(deadline >= now_);
+  stop_requested_ = false;
+  std::uint64_t executed = 0;
+  while (!stop_requested_) {
+    // Peek for the next live event without executing it.
+    bool found = false;
+    while (!queue_.empty()) {
+      const Entry& top = queue_.top();
+      if (actions_.find(top.id) == actions_.end()) {
+        queue_.pop();  // drop cancelled entries eagerly
+        continue;
+      }
+      found = true;
+      break;
+    }
+    if (!found || queue_.top().when > deadline) break;
+    step();
+    ++executed;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return executed;
+}
+
+}  // namespace fastcons

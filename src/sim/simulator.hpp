@@ -1,0 +1,99 @@
+// Deterministic discrete-event simulator — the substrate that replaces NS-2
+// for this reproduction (DESIGN.md S1).
+//
+// Events are closures ordered by (time, insertion sequence); ties are broken
+// by insertion order so runs are bit-for-bit reproducible. Timers can be
+// cancelled in O(1): the heap entry is lazily discarded when popped.
+#ifndef FASTCONS_SIM_SIMULATOR_HPP
+#define FASTCONS_SIM_SIMULATOR_HPP
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fastcons {
+
+/// Handle returned by schedule(); can cancel the event before it fires.
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+
+  bool valid() const noexcept { return id_ != 0; }
+
+ private:
+  friend class Simulator;
+  explicit TimerHandle(std::uint64_t id) noexcept : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+/// Single-threaded event-driven simulator.
+///
+/// The time unit convention is set by the caller; all experiments in this
+/// repository use 1.0 == one mean anti-entropy period (see common/types.hpp).
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time. Starts at 0.
+  SimTime now() const noexcept { return now_; }
+
+  /// Schedules `action` at absolute time `when`; `when` must not be in the
+  /// past. Returns a cancellation handle.
+  TimerHandle schedule_at(SimTime when, Action action);
+
+  /// Schedules `action` `delay` from now. `delay` must be >= 0.
+  TimerHandle schedule_in(SimTime delay, Action action);
+
+  /// Cancels a pending event. Safe to call on already-fired, cancelled, or
+  /// default-constructed handles; returns whether the event was pending.
+  bool cancel(TimerHandle handle) noexcept;
+
+  /// Runs events until the queue drains or stop() is called. Returns the
+  /// number of events executed.
+  std::uint64_t run();
+
+  /// Runs events with time <= `deadline`, then sets now() = deadline (if
+  /// the queue drained earlier, time still advances to the deadline).
+  std::uint64_t run_until(SimTime deadline);
+
+  /// Executes at most one event. Returns false when the queue is empty.
+  bool step();
+
+  /// Requests run()/run_until() to return after the current event.
+  void stop() noexcept { stop_requested_ = true; }
+
+  std::size_t pending_events() const noexcept { return actions_.size(); }
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;  // insertion order for deterministic tie-breaking
+    std::uint64_t id;
+    // Ordering for a min-heap via std::greater.
+    friend bool operator>(const Entry& a, const Entry& b) noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue_;
+  // Live actions keyed by event id; an Entry whose id is absent here was
+  // cancelled and is skipped when popped.
+  std::unordered_map<std::uint64_t, Action> actions_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  bool stop_requested_ = false;
+};
+
+}  // namespace fastcons
+
+#endif  // FASTCONS_SIM_SIMULATOR_HPP

@@ -1,0 +1,257 @@
+#include "sim_runtime/sim_network.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/error.hpp"
+
+namespace fastcons {
+
+SimNetwork::SimNetwork(Graph graph, std::shared_ptr<const DemandModel> demand,
+                       SimConfig config)
+    : graph_(std::move(graph)),
+      demand_(std::move(demand)),
+      config_(config),
+      rng_(config.seed) {
+  if (demand_ == nullptr) throw ConfigError("SimNetwork needs a demand model");
+  if (demand_->size() != graph_.size()) {
+    throw ConfigError("demand model size does not match topology size");
+  }
+  if (config_.loss_rate < 0.0 || config_.loss_rate >= 1.0) {
+    throw ConfigError("loss rate must be in [0, 1)");
+  }
+  const std::size_t n = graph_.size();
+  engines_.reserve(n);
+  node_rngs_.reserve(n);
+  first_seen_.resize(n);
+  planned_writes_.assign(n, 0);
+  for (NodeId node = 0; node < n; ++node) {
+    std::vector<NodeId> neighbours;
+    neighbours.reserve(graph_.neighbours(node).size());
+    for (const Edge& e : graph_.neighbours(node)) neighbours.push_back(e.peer);
+    engines_.push_back(std::make_unique<ReplicaEngine>(
+        node, std::move(neighbours), config_.protocol, rng_.next_u64()));
+    node_rngs_.push_back(rng_.split());
+  }
+  // Prime demand knowledge at t=0.
+  for (NodeId node = 0; node < n; ++node) {
+    refresh_own_demand(node);
+    if (config_.prime_tables) {
+      for (const Edge& e : graph_.neighbours(node)) {
+        engines_[node]->prime_neighbour_demand(
+            e.peer, demand_->demand_at(e.peer, 0.0), 0.0);
+      }
+    }
+    EngineHooks hooks;
+    hooks.on_delivery = [this, node](const Update& u, DeliveryPath path,
+                                     SimTime now) {
+      auto& seen = first_seen_[node];
+      if (seen.emplace(u.id, now).second) {
+        ++holding_count_[u.id];
+        if (on_delivery) on_delivery(node, u, path, now);
+      }
+    };
+    engines_[node]->set_hooks(std::move(hooks));
+  }
+  start_timers();
+}
+
+ReplicaEngine& SimNetwork::engine(NodeId n) {
+  FASTCONS_EXPECTS(n < engines_.size());
+  return *engines_[n];
+}
+
+const ReplicaEngine& SimNetwork::engine(NodeId n) const {
+  FASTCONS_EXPECTS(n < engines_.size());
+  return *engines_[n];
+}
+
+std::uint64_t SimNetwork::edge_key(NodeId a, NodeId b) noexcept {
+  const NodeId lo = std::min(a, b);
+  const NodeId hi = std::max(a, b);
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+void SimNetwork::refresh_own_demand(NodeId n) {
+  engines_[n]->set_own_demand(demand_->demand_at(n, sim_.now()));
+}
+
+void SimNetwork::start_timers() {
+  const ProtocolConfig& proto = config_.protocol;
+  for (NodeId node = 0; node < engines_.size(); ++node) {
+    // Session timer: self-rescheduling closure.
+    auto session_tick = std::make_shared<std::function<void()>>();
+    auto schedule_next_session = [this, node, session_tick] {
+      const SimTime gap =
+          config_.timing == SimConfig::Timing::exponential
+              ? node_rngs_[node].exponential(config_.protocol.session_period)
+              : config_.protocol.session_period;
+      sim_.schedule_in(gap, [session_tick] { (*session_tick)(); });
+    };
+    *session_tick = [this, node, schedule_next_session] {
+      refresh_own_demand(node);
+      dispatch(node, engines_[node]->on_session_timer(sim_.now()));
+      schedule_next_session();
+    };
+    // First session: exponential gap for Poisson timing, uniform phase for
+    // periodic timing — either way nodes are desynchronised.
+    const SimTime first =
+        config_.timing == SimConfig::Timing::exponential
+            ? node_rngs_[node].exponential(proto.session_period)
+            : node_rngs_[node].uniform(0.0, proto.session_period);
+    sim_.schedule_at(first, [session_tick] { (*session_tick)(); });
+
+    if (proto.advert_period > 0.0) {
+      auto advert_tick = std::make_shared<std::function<void()>>();
+      *advert_tick = [this, node, advert_tick] {
+        refresh_own_demand(node);
+        dispatch(node, engines_[node]->on_advert_timer(sim_.now()));
+        sim_.schedule_in(config_.protocol.advert_period,
+                         [advert_tick] { (*advert_tick)(); });
+      };
+      sim_.schedule_at(node_rngs_[node].uniform(0.0, proto.advert_period),
+                       [advert_tick] { (*advert_tick)(); });
+    }
+  }
+}
+
+UpdateId SimNetwork::schedule_write(NodeId node, std::string key,
+                                    std::string value, SimTime at) {
+  FASTCONS_EXPECTS(node < engines_.size());
+  const UpdateId id{node, ++planned_writes_[node]};
+  sim_.schedule_at(at, [this, node, key = std::move(key),
+                        value = std::move(value)] {
+    refresh_own_demand(node);
+    dispatch(node, engines_[node]->local_write(key, value, sim_.now()));
+  });
+  return id;
+}
+
+void SimNetwork::add_overlay_link(NodeId a, NodeId b, double latency) {
+  FASTCONS_EXPECTS(a < engines_.size() && b < engines_.size());
+  FASTCONS_EXPECTS(a != b);
+  FASTCONS_EXPECTS(latency >= 0.0);
+  overlay_latency_[edge_key(a, b)] = latency;
+  engines_[a]->add_overlay_neighbour(b, sim_.now());
+  engines_[b]->add_overlay_neighbour(a, sim_.now());
+  if (config_.prime_tables) {
+    engines_[a]->prime_neighbour_demand(b, demand_->demand_at(b, sim_.now()),
+                                        sim_.now());
+    engines_[b]->prime_neighbour_demand(a, demand_->demand_at(a, sim_.now()),
+                                        sim_.now());
+  }
+}
+
+void SimNetwork::add_link_failure(NodeId a, NodeId b, SimTime down_at,
+                                  SimTime up_at) {
+  FASTCONS_EXPECTS(down_at <= up_at);
+  outages_[edge_key(a, b)].push_back(Outage{down_at, up_at});
+}
+
+double SimNetwork::link_latency(NodeId a, NodeId b) const {
+  if (graph_.has_edge(a, b)) return graph_.latency(a, b);
+  const auto it = overlay_latency_.find(edge_key(a, b));
+  if (it != overlay_latency_.end()) return it->second;
+  throw ConfigError("message between non-adjacent nodes");
+}
+
+bool SimNetwork::link_down(NodeId a, NodeId b, SimTime at) const {
+  const auto it = outages_.find(edge_key(a, b));
+  if (it == outages_.end()) return false;
+  return std::any_of(it->second.begin(), it->second.end(),
+                     [at](const Outage& o) {
+                       return at >= o.down_at && at < o.up_at;
+                     });
+}
+
+void SimNetwork::dispatch(NodeId from, std::vector<Outbound> outs) {
+  for (Outbound& out : outs) {
+    if (link_down(from, out.to, sim_.now()) ||
+        (config_.loss_rate > 0.0 && rng_.bernoulli(config_.loss_rate))) {
+      ++dropped_;
+      continue;
+    }
+    const double latency = link_latency(from, out.to);
+    sim_.schedule_in(latency, [this, from, to = out.to,
+                               msg = std::move(out.msg)] {
+      deliver(from, to, msg);
+    });
+  }
+}
+
+void SimNetwork::deliver(NodeId from, NodeId to, const Message& msg) {
+  refresh_own_demand(to);  // gradient decisions use current demand
+  dispatch(to, engines_[to]->handle(from, msg, sim_.now()));
+}
+
+void SimNetwork::run_until(SimTime t) { sim_.run_until(t); }
+
+bool SimNetwork::run_until_update_everywhere(UpdateId id, SimTime deadline) {
+  // Step in slices so we can stop as soon as coverage is complete without
+  // draining the (endless) timer queue.
+  const SimTime slice = 0.1;
+  while (sim_.now() < deadline) {
+    if (nodes_holding(id) == size()) return true;
+    sim_.run_until(std::min(deadline, sim_.now() + slice));
+  }
+  return nodes_holding(id) == size();
+}
+
+bool SimNetwork::run_until_consistent(SimTime deadline, SimTime check_every) {
+  FASTCONS_EXPECTS(check_every > 0.0);
+  while (sim_.now() < deadline) {
+    if (all_consistent()) return true;
+    sim_.run_until(std::min(deadline, sim_.now() + check_every));
+  }
+  return all_consistent();
+}
+
+bool SimNetwork::all_consistent() const {
+  for (std::size_t n = 1; n < engines_.size(); ++n) {
+    if (!(engines_[n]->summary() == engines_[0]->summary())) return false;
+  }
+  return true;
+}
+
+std::size_t SimNetwork::nodes_holding(UpdateId id) const {
+  const auto it = holding_count_.find(id);
+  return it == holding_count_.end() ? 0 : it->second;
+}
+
+std::optional<SimTime> SimNetwork::first_delivery(NodeId n, UpdateId id) const {
+  FASTCONS_EXPECTS(n < first_seen_.size());
+  const auto it = first_seen_[n].find(id);
+  if (it == first_seen_[n].end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<double> SimNetwork::demand_now() const {
+  return demand_snapshot(*demand_, sim_.now());
+}
+
+TrafficCounters SimNetwork::total_traffic() const {
+  TrafficCounters total;
+  for (const auto& engine : engines_) total.merge(engine->counters());
+  return total;
+}
+
+EngineStats SimNetwork::total_stats() const {
+  EngineStats total;
+  for (const auto& engine : engines_) {
+    const EngineStats& s = engine->stats();
+    total.sessions_initiated += s.sessions_initiated;
+    total.sessions_completed += s.sessions_completed;
+    total.sessions_responded += s.sessions_responded;
+    total.sessions_expired += s.sessions_expired;
+    total.offers_sent += s.offers_sent;
+    total.offers_received += s.offers_received;
+    total.offers_accepted += s.offers_accepted;
+    total.offers_declined += s.offers_declined;
+    total.duplicate_updates += s.duplicate_updates;
+    total.updates_applied += s.updates_applied;
+    total.payloads_truncated += s.payloads_truncated;
+  }
+  return total;
+}
+
+}  // namespace fastcons

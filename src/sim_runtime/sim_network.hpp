@@ -1,0 +1,138 @@
+// SimNetwork: runs one ReplicaEngine per topology node on the discrete-event
+// simulator, modelling link latencies, message loss and link failures — the
+// ns-2 replacement glue (DESIGN.md S6).
+#ifndef FASTCONS_SIM_RUNTIME_SIM_NETWORK_HPP
+#define FASTCONS_SIM_RUNTIME_SIM_NETWORK_HPP
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/engine.hpp"
+#include "demand/demand_model.hpp"
+#include "sim/simulator.hpp"
+#include "topology/graph.hpp"
+
+namespace fastcons {
+
+/// Simulation-level knobs on top of the protocol configuration.
+struct SimConfig {
+  ProtocolConfig protocol;
+
+  /// Inter-session timing: a Poisson process (exponential gaps, the classic
+  /// anti-entropy model, "at random time" in the paper) or a fixed period
+  /// with a uniformly random phase per node.
+  enum class Timing { exponential, periodic } timing = Timing::exponential;
+
+  /// Probability that any individual message is silently dropped.
+  double loss_rate = 0.0;
+
+  /// Master seed; every node and the network driver derive independent
+  /// streams from it.
+  std::uint64_t seed = 1;
+
+  /// Prime every node's neighbour table with true demands at t=0 (the
+  /// paper's experiments assume nodes already know neighbour demand; the
+  /// advert protocol then keeps tables fresh if enabled).
+  bool prime_tables = true;
+};
+
+/// A fully wired simulated replica network.
+class SimNetwork {
+ public:
+  SimNetwork(Graph graph, std::shared_ptr<const DemandModel> demand,
+             SimConfig config);
+
+  SimNetwork(const SimNetwork&) = delete;
+  SimNetwork& operator=(const SimNetwork&) = delete;
+
+  std::size_t size() const noexcept { return engines_.size(); }
+  Simulator& sim() noexcept { return sim_; }
+  const Graph& graph() const noexcept { return graph_; }
+  ReplicaEngine& engine(NodeId n);
+  const ReplicaEngine& engine(NodeId n) const;
+
+  /// Schedules a client write at `node` at absolute time `at`; returns the
+  /// id the write will get (deterministic: only SimNetwork injects writes).
+  UpdateId schedule_write(NodeId node, std::string key, std::string value,
+                          SimTime at);
+
+  /// Adds an island-overlay link (§6): both engines treat each other as
+  /// neighbours; messages between them take `latency`.
+  void add_overlay_link(NodeId a, NodeId b, double latency);
+
+  /// Messages sent over {a, b} during [down_at, up_at) are dropped.
+  void add_link_failure(NodeId a, NodeId b, SimTime down_at, SimTime up_at);
+
+  /// Runs the simulation until the given absolute time.
+  void run_until(SimTime t);
+
+  /// Runs until every node holds `id` or `deadline` passes. Returns whether
+  /// full coverage was reached.
+  bool run_until_update_everywhere(UpdateId id, SimTime deadline);
+
+  /// Runs until all summaries are equal (checked every `check_every`) or
+  /// deadline. Returns whether convergence was reached.
+  bool run_until_consistent(SimTime deadline, SimTime check_every = 0.5);
+
+  /// True when every engine's summary equals every other's.
+  bool all_consistent() const;
+
+  std::size_t nodes_holding(UpdateId id) const;
+
+  /// Time node `n` first applied `id` (any path), if it has.
+  std::optional<SimTime> first_delivery(NodeId n, UpdateId id) const;
+
+  /// Demand of every node at the current simulated time.
+  std::vector<double> demand_now() const;
+
+  /// Sum of per-engine traffic counters.
+  TrafficCounters total_traffic() const;
+
+  /// Sum of per-engine protocol statistics.
+  EngineStats total_stats() const;
+
+  std::uint64_t messages_dropped() const noexcept { return dropped_; }
+
+  /// Optional observer invoked on every first-time delivery at any node.
+  std::function<void(NodeId, const Update&, DeliveryPath, SimTime)> on_delivery;
+
+ private:
+  void start_timers();
+  void dispatch(NodeId from, std::vector<Outbound> outs);
+  void deliver(NodeId from, NodeId to, const Message& msg);
+  void refresh_own_demand(NodeId n);
+  double link_latency(NodeId a, NodeId b) const;
+  bool link_down(NodeId a, NodeId b, SimTime at) const;
+  static std::uint64_t edge_key(NodeId a, NodeId b) noexcept;
+
+  Graph graph_;
+  std::shared_ptr<const DemandModel> demand_;
+  SimConfig config_;
+  Simulator sim_;
+  Rng rng_;
+  std::vector<std::unique_ptr<ReplicaEngine>> engines_;
+  std::vector<Rng> node_rngs_;
+
+  std::unordered_map<std::uint64_t, double> overlay_latency_;
+  struct Outage {
+    SimTime down_at;
+    SimTime up_at;
+  };
+  std::unordered_map<std::uint64_t, std::vector<Outage>> outages_;
+
+  // first_seen_[n] maps update id -> first application time at node n.
+  std::vector<std::unordered_map<UpdateId, SimTime, UpdateIdHash>> first_seen_;
+  std::unordered_map<UpdateId, std::size_t, UpdateIdHash> holding_count_;
+  std::vector<SeqNo> planned_writes_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace fastcons
+
+#endif  // FASTCONS_SIM_RUNTIME_SIM_NETWORK_HPP

@@ -1,0 +1,50 @@
+#include "sim_runtime/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace fastcons {
+
+TraceRecorder::TraceRecorder(SimNetwork& net) {
+  net.on_delivery = [this](NodeId node, const Update& update,
+                           DeliveryPath path, SimTime now) {
+    events_.push_back(TraceEvent{now, node, update.id, path});
+  };
+}
+
+std::vector<TraceEvent> TraceRecorder::for_update(UpdateId id) const {
+  std::vector<TraceEvent> result;
+  for (const TraceEvent& event : events_) {
+    if (event.update == id) result.push_back(event);
+  }
+  return result;
+}
+
+std::size_t TraceRecorder::count_path(DeliveryPath path) const {
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(),
+                    [path](const TraceEvent& e) { return e.path == path; }));
+}
+
+std::string TraceRecorder::describe(UpdateId id) const {
+  std::ostringstream out;
+  bool first = true;
+  for (const TraceEvent& event : for_update(id)) {
+    if (!first) out << " -> ";
+    first = false;
+    out << event.node << "@" << event.at << "("
+        << delivery_path_name(event.path) << ")";
+  }
+  return out.str();
+}
+
+void TraceRecorder::write_csv(std::ostream& out) const {
+  out << "at,node,origin,seq,path\n";
+  for (const TraceEvent& event : events_) {
+    out << event.at << ',' << event.node << ',' << event.update.origin << ','
+        << event.update.seq << ',' << delivery_path_name(event.path) << '\n';
+  }
+}
+
+}  // namespace fastcons

@@ -1,0 +1,51 @@
+// Event trace recorder: captures delivery/session events from a SimNetwork
+// into an in-memory timeline that can be queried or dumped as CSV — the
+// debugging/visualisation companion to the aggregate statistics.
+#ifndef FASTCONS_SIM_RUNTIME_TRACE_HPP
+#define FASTCONS_SIM_RUNTIME_TRACE_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "sim_runtime/sim_network.hpp"
+
+namespace fastcons {
+
+/// One recorded event.
+struct TraceEvent {
+  SimTime at = 0.0;
+  NodeId node = kInvalidNode;
+  UpdateId update;
+  DeliveryPath path = DeliveryPath::local_write;
+};
+
+/// Attaches to a SimNetwork's delivery observer and accumulates events.
+/// Attach exactly one recorder per network (it owns the observer slot).
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(SimNetwork& net);
+
+  const std::vector<TraceEvent>& events() const noexcept { return events_; }
+
+  /// Events for one update id, in delivery order.
+  std::vector<TraceEvent> for_update(UpdateId id) const;
+
+  /// Number of deliveries through a given path.
+  std::size_t count_path(DeliveryPath path) const;
+
+  /// Delivery-order propagation trace of `id`: "0 ->(fast-push) 3 ->..."
+  /// — one line per hop, handy in test failure messages and demos.
+  std::string describe(UpdateId id) const;
+
+  /// CSV: at,node,origin,seq,path
+  void write_csv(std::ostream& out) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace fastcons
+
+#endif  // FASTCONS_SIM_RUNTIME_TRACE_HPP

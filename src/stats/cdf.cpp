@@ -1,0 +1,83 @@
+#include "stats/cdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace fastcons {
+
+void EmpiricalCdf::add(double sample) {
+  samples_.push_back(sample);
+  sorted_ = false;
+}
+
+void EmpiricalCdf::add_all(const std::vector<double>& samples) {
+  samples_.insert(samples_.end(), samples.begin(), samples.end());
+  sorted_ = false;
+}
+
+void EmpiricalCdf::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double EmpiricalCdf::at(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double EmpiricalCdf::quantile(double q) const {
+  FASTCONS_EXPECTS(!samples_.empty());
+  FASTCONS_EXPECTS(q >= 0.0 && q <= 1.0);
+  ensure_sorted();
+  if (q <= 0.0) return samples_.front();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(samples_.size())));
+  const std::size_t idx = rank == 0 ? 0 : rank - 1;
+  return samples_[std::min(idx, samples_.size() - 1)];
+}
+
+double EmpiricalCdf::mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double EmpiricalCdf::min() const {
+  FASTCONS_EXPECTS(!samples_.empty());
+  ensure_sorted();
+  return samples_.front();
+}
+
+double EmpiricalCdf::max() const {
+  FASTCONS_EXPECTS(!samples_.empty());
+  ensure_sorted();
+  return samples_.back();
+}
+
+std::vector<double> EmpiricalCdf::curve(double lo, double hi,
+                                        std::size_t points) const {
+  FASTCONS_EXPECTS(points >= 2);
+  FASTCONS_EXPECTS(lo <= hi);
+  std::vector<double> values;
+  values.reserve(points);
+  const double step = (hi - lo) / static_cast<double>(points - 1);
+  for (std::size_t i = 0; i < points; ++i) {
+    values.push_back(at(lo + step * static_cast<double>(i)));
+  }
+  return values;
+}
+
+const std::vector<double>& EmpiricalCdf::sorted_samples() const {
+  ensure_sorted();
+  return samples_;
+}
+
+}  // namespace fastcons

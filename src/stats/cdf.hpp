@@ -1,0 +1,47 @@
+// Empirical cumulative distribution over collected samples — the paper's
+// figures 5 and 6 are exactly this object evaluated on a session-count grid.
+#ifndef FASTCONS_STATS_CDF_HPP
+#define FASTCONS_STATS_CDF_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace fastcons {
+
+/// Collects samples, then answers P(X <= x) and quantile queries.
+/// Sorting is deferred and cached; adding samples invalidates the cache.
+class EmpiricalCdf {
+ public:
+  void add(double sample);
+  void add_all(const std::vector<double>& samples);
+
+  std::size_t count() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+
+  /// Fraction of samples <= x. Returns 0 when empty.
+  double at(double x) const;
+
+  /// q-quantile for q in [0,1] (nearest-rank). Requires non-empty.
+  double quantile(double q) const;
+
+  double mean() const;
+  double min() const;
+  double max() const;
+
+  /// Evaluates the CDF at `points` evenly spaced values from lo to hi
+  /// inclusive; convenient for printing figure series.
+  std::vector<double> curve(double lo, double hi, std::size_t points) const;
+
+  /// Read access to the (sorted) sample vector.
+  const std::vector<double>& sorted_samples() const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace fastcons
+
+#endif  // FASTCONS_STATS_CDF_HPP

@@ -1,0 +1,18 @@
+#include "stats/counters.hpp"
+
+namespace fastcons {
+
+std::string_view traffic_class_name(TrafficClass c) noexcept {
+  switch (c) {
+    case TrafficClass::session_control: return "session-control";
+    case TrafficClass::session_payload: return "session-payload";
+    case TrafficClass::fast_control: return "fast-control";
+    case TrafficClass::fast_payload: return "fast-payload";
+    case TrafficClass::demand_advert: return "demand-advert";
+    case TrafficClass::island_control: return "island-control";
+    case TrafficClass::kCount: break;
+  }
+  return "?";
+}
+
+}  // namespace fastcons

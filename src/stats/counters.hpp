@@ -1,0 +1,70 @@
+// Message/byte accounting used by the overhead experiment (E8): every
+// runtime increments these when a protocol message is sent.
+#ifndef FASTCONS_STATS_COUNTERS_HPP
+#define FASTCONS_STATS_COUNTERS_HPP
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace fastcons {
+
+/// Message classes tracked separately so the fast-path overhead can be
+/// reported against the baseline anti-entropy traffic.
+enum class TrafficClass : std::uint8_t {
+  session_control,   // SessionRequest / SessionSummary headers
+  session_payload,   // updates carried by sessions
+  fast_control,      // FastOffer / FastAck
+  fast_payload,      // updates carried by fast pushes
+  demand_advert,     // periodic demand/liveness adverts
+  island_control,    // island leader election / bridge maintenance
+  kCount,
+};
+
+std::string_view traffic_class_name(TrafficClass c) noexcept;
+
+/// Plain counters; value type, merged across nodes/repetitions.
+class TrafficCounters {
+ public:
+  void record(TrafficClass c, std::uint64_t bytes) noexcept {
+    auto& cell = cells_[static_cast<std::size_t>(c)];
+    ++cell.messages;
+    cell.bytes += bytes;
+  }
+
+  void merge(const TrafficCounters& other) noexcept {
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      cells_[i].messages += other.cells_[i].messages;
+      cells_[i].bytes += other.cells_[i].bytes;
+    }
+  }
+
+  std::uint64_t messages(TrafficClass c) const noexcept {
+    return cells_[static_cast<std::size_t>(c)].messages;
+  }
+  std::uint64_t bytes(TrafficClass c) const noexcept {
+    return cells_[static_cast<std::size_t>(c)].bytes;
+  }
+
+  std::uint64_t total_messages() const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto& cell : cells_) sum += cell.messages;
+    return sum;
+  }
+  std::uint64_t total_bytes() const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto& cell : cells_) sum += cell.bytes;
+    return sum;
+  }
+
+ private:
+  struct Cell {
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+  };
+  std::array<Cell, static_cast<std::size_t>(TrafficClass::kCount)> cells_{};
+};
+
+}  // namespace fastcons
+
+#endif  // FASTCONS_STATS_COUNTERS_HPP

@@ -1,0 +1,44 @@
+#include "stats/histogram.hpp"
+
+#include "common/assert.hpp"
+
+namespace fastcons {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo),
+      width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  FASTCONS_EXPECTS(bins > 0);
+  FASTCONS_EXPECTS(hi > lo);
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  const auto bin = static_cast<std::size_t>((x - lo_) / width_);
+  if (bin >= counts_.size()) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[bin];
+}
+
+std::uint64_t Histogram::bin_count(std::size_t i) const {
+  FASTCONS_EXPECTS(i < counts_.size());
+  return counts_[i];
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  FASTCONS_EXPECTS(i < counts_.size());
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const {
+  FASTCONS_EXPECTS(i < counts_.size());
+  return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+}  // namespace fastcons

@@ -1,0 +1,39 @@
+// Fixed-width-bin histogram for degree distributions and latency spreads.
+#ifndef FASTCONS_STATS_HISTOGRAM_HPP
+#define FASTCONS_STATS_HISTOGRAM_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace fastcons {
+
+/// Histogram over [lo, hi) with `bins` equal-width bins plus explicit
+/// underflow/overflow counters.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::uint64_t bin_count(std::size_t i) const;
+  /// Inclusive lower edge of bin i.
+  double bin_lo(std::size_t i) const;
+  /// Exclusive upper edge of bin i.
+  double bin_hi(std::size_t i) const;
+  std::uint64_t underflow() const noexcept { return underflow_; }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+  std::uint64_t total() const noexcept { return total_; }
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace fastcons
+
+#endif  // FASTCONS_STATS_HISTOGRAM_HPP

@@ -1,0 +1,62 @@
+// Single-pass mean/variance/extrema accumulator (Welford).
+#ifndef FASTCONS_STATS_ONLINE_STATS_HPP
+#define FASTCONS_STATS_ONLINE_STATS_HPP
+
+#include <cstdint>
+#include <limits>
+
+namespace fastcons {
+
+/// Numerically stable streaming statistics. Regular value type.
+class OnlineStats {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+    sum_ += x;
+  }
+
+  /// Merges another accumulator (parallel Welford combination).
+  void merge(const OnlineStats& other) noexcept {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double delta = other.mean_ - mean_;
+    const auto n1 = static_cast<double>(count_);
+    const auto n2 = static_cast<double>(other.count_);
+    const double n = n1 + n2;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+    mean_ = (n1 * mean_ + n2 * other.mean_) / n;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+  double sum() const noexcept { return sum_; }
+  double mean() const noexcept { return count_ == 0 ? 0.0 : mean_; }
+  double variance() const noexcept {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+  }
+  double min() const noexcept { return count_ == 0 ? 0.0 : min_; }
+  double max() const noexcept { return count_ == 0 ? 0.0 : max_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace fastcons
+
+#endif  // FASTCONS_STATS_ONLINE_STATS_HPP

@@ -1,0 +1,39 @@
+// Fixed-width ASCII table and CSV writers for benchmark output. Every bench
+// binary prints the same rows/series the paper reports through this.
+#ifndef FASTCONS_STATS_TABLE_HPP
+#define FASTCONS_STATS_TABLE_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fastcons {
+
+/// Accumulates rows of stringly-typed cells, then renders them aligned.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double value, int precision = 4);
+  static std::string num(std::uint64_t value);
+
+  /// Renders with column alignment and a header underline.
+  void print(std::ostream& out) const;
+
+  /// Writes RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  void write_csv(const std::string& path) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fastcons
+
+#endif  // FASTCONS_STATS_TABLE_HPP

@@ -1,0 +1,206 @@
+#include "topology/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/error.hpp"
+#include "topology/metrics.hpp"
+
+namespace fastcons {
+namespace {
+
+double draw_latency(LatencyRange lat, Rng& rng) {
+  FASTCONS_EXPECTS(lat.lo >= 0.0 && lat.hi >= lat.lo);
+  return rng.uniform(lat.lo, lat.hi);
+}
+
+/// Joins all components to the component of node 0 with one random edge
+/// each, so sampled random graphs are always usable as replica networks.
+void connect_components(Graph& g, LatencyRange lat, Rng& rng) {
+  const auto components = connected_components(g);
+  if (components.size() <= 1) return;
+  // components[0] holds node 0's component; link every other one to it.
+  for (std::size_t c = 1; c < components.size(); ++c) {
+    const NodeId a = rng.pick(components[0]);
+    const NodeId b = rng.pick(components[c]);
+    if (!g.has_edge(a, b)) g.add_edge(a, b, draw_latency(lat, rng));
+  }
+}
+
+}  // namespace
+
+Graph make_line(std::size_t n, LatencyRange lat, Rng& rng) {
+  if (n < 1) throw ConfigError("line topology needs n >= 1");
+  Graph g(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(i + 1),
+               draw_latency(lat, rng));
+  }
+  return g;
+}
+
+Graph make_ring(std::size_t n, LatencyRange lat, Rng& rng) {
+  if (n < 3) throw ConfigError("ring topology needs n >= 3");
+  Graph g = make_line(n, lat, rng);
+  g.add_edge(static_cast<NodeId>(n - 1), 0, draw_latency(lat, rng));
+  return g;
+}
+
+Graph make_grid(std::size_t width, std::size_t height, LatencyRange lat,
+                Rng& rng) {
+  if (width < 1 || height < 1) throw ConfigError("grid needs width,height >= 1");
+  Graph g(width * height);
+  const auto id = [width](std::size_t x, std::size_t y) {
+    return static_cast<NodeId>(y * width + x);
+  };
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      if (x + 1 < width) g.add_edge(id(x, y), id(x + 1, y), draw_latency(lat, rng));
+      if (y + 1 < height) g.add_edge(id(x, y), id(x, y + 1), draw_latency(lat, rng));
+    }
+  }
+  return g;
+}
+
+Graph make_star(std::size_t n, LatencyRange lat, Rng& rng) {
+  if (n < 2) throw ConfigError("star topology needs n >= 2");
+  Graph g(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    g.add_edge(0, static_cast<NodeId>(i), draw_latency(lat, rng));
+  }
+  return g;
+}
+
+Graph make_complete(std::size_t n, LatencyRange lat, Rng& rng) {
+  if (n < 2) throw ConfigError("complete topology needs n >= 2");
+  Graph g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j),
+                 draw_latency(lat, rng));
+    }
+  }
+  return g;
+}
+
+Graph make_binary_tree(std::size_t n, LatencyRange lat, Rng& rng) {
+  if (n < 1) throw ConfigError("tree topology needs n >= 1");
+  Graph g(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    g.add_edge(static_cast<NodeId>((i - 1) / 2), static_cast<NodeId>(i),
+               draw_latency(lat, rng));
+  }
+  return g;
+}
+
+Graph make_barabasi_albert(std::size_t n, std::size_t m, LatencyRange lat,
+                           Rng& rng) {
+  if (m < 1) throw ConfigError("barabasi_albert needs m >= 1");
+  if (n <= m) throw ConfigError("barabasi_albert needs n > m");
+  const std::size_t m0 = m + 1;
+  Graph g(n);
+  // `stubs` holds one entry per edge endpoint; sampling uniformly from it is
+  // sampling nodes proportionally to degree (preferential connectivity F1).
+  std::vector<NodeId> stubs;
+  stubs.reserve(2 * m * n);
+  for (std::size_t i = 0; i < m0; ++i) {
+    for (std::size_t j = i + 1; j < m0; ++j) {
+      g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j),
+                 draw_latency(lat, rng));
+      stubs.push_back(static_cast<NodeId>(i));
+      stubs.push_back(static_cast<NodeId>(j));
+    }
+  }
+  // Incremental growth (F2): nodes join one at a time.
+  std::vector<NodeId> targets;
+  for (std::size_t v = m0; v < n; ++v) {
+    targets.clear();
+    while (targets.size() < m) {
+      const NodeId candidate = stubs[rng.index(stubs.size())];
+      if (std::find(targets.begin(), targets.end(), candidate) ==
+          targets.end()) {
+        targets.push_back(candidate);
+      }
+    }
+    for (const NodeId t : targets) {
+      g.add_edge(static_cast<NodeId>(v), t, draw_latency(lat, rng));
+      stubs.push_back(static_cast<NodeId>(v));
+      stubs.push_back(t);
+    }
+  }
+  return g;
+}
+
+Graph make_erdos_renyi(std::size_t n, double p, LatencyRange lat, Rng& rng) {
+  if (n < 2) throw ConfigError("erdos_renyi needs n >= 2");
+  if (p < 0.0 || p > 1.0) throw ConfigError("erdos_renyi needs p in [0,1]");
+  Graph g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (rng.bernoulli(p)) {
+        g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j),
+                   draw_latency(lat, rng));
+      }
+    }
+  }
+  connect_components(g, lat, rng);
+  return g;
+}
+
+Graph make_waxman(std::size_t n, double alpha, double beta, LatencyRange lat,
+                  Rng& rng) {
+  if (n < 2) throw ConfigError("waxman needs n >= 2");
+  if (alpha <= 0.0 || alpha > 1.0 || beta <= 0.0 || beta > 1.0) {
+    throw ConfigError("waxman needs alpha,beta in (0,1]");
+  }
+  std::vector<std::pair<double, double>> pos(n);
+  for (auto& p : pos) p = {rng.next_double(), rng.next_double()};
+  const double max_dist = std::sqrt(2.0);
+  Graph g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dx = pos[i].first - pos[j].first;
+      const double dy = pos[i].second - pos[j].second;
+      const double d = std::sqrt(dx * dx + dy * dy);
+      if (rng.bernoulli(alpha * std::exp(-d / (beta * max_dist)))) {
+        // Latency reflects geometric distance, mapped into [lo, hi].
+        const double latency =
+            lat.lo + (lat.hi - lat.lo) * (d / max_dist);
+        g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j), latency);
+      }
+    }
+  }
+  connect_components(g, lat, rng);
+  return g;
+}
+
+Graph make_dumbbell(std::size_t k, std::size_t bridge_len, LatencyRange lat,
+                    Rng& rng) {
+  if (k < 2) throw ConfigError("dumbbell needs clique size k >= 2");
+  const std::size_t n = 2 * k + bridge_len;
+  Graph g(n);
+  const auto clique = [&](std::size_t base) {
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t j = i + 1; j < k; ++j) {
+        g.add_edge(static_cast<NodeId>(base + i), static_cast<NodeId>(base + j),
+                   draw_latency(lat, rng));
+      }
+    }
+  };
+  clique(0);      // left island: nodes [0, k)
+  clique(k);      // right island: nodes [k, 2k)
+  // Chain of bridge nodes [2k, 2k+bridge_len) from node 0 to node k.
+  NodeId prev = 0;
+  for (std::size_t i = 0; i < bridge_len; ++i) {
+    const auto b = static_cast<NodeId>(2 * k + i);
+    g.add_edge(prev, b, draw_latency(lat, rng));
+    prev = b;
+  }
+  g.add_edge(prev, static_cast<NodeId>(k), draw_latency(lat, rng));
+  return g;
+}
+
+}  // namespace fastcons

@@ -1,0 +1,70 @@
+// Topology generators (DESIGN.md S2). barabasi_albert() is the BRITE
+// replacement: Medina et al.'s two Internet-formation factors — incremental
+// growth (F2) and preferential connectivity (F1) — are exactly the BA
+// process, and tests verify the resulting Faloutsos power laws.
+#ifndef FASTCONS_TOPOLOGY_GENERATORS_HPP
+#define FASTCONS_TOPOLOGY_GENERATORS_HPP
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "topology/graph.hpp"
+
+namespace fastcons {
+
+/// Link latency assignment shared by all generators: every edge gets an
+/// independent latency uniform on [lo, hi]. The defaults keep propagation
+/// delays two orders of magnitude below the session period, the regime the
+/// paper's evaluation assumes.
+struct LatencyRange {
+  double lo = 0.01;
+  double hi = 0.05;
+};
+
+/// Path of n nodes: 0-1-2-...-(n-1). Requires n >= 1.
+Graph make_line(std::size_t n, LatencyRange lat, Rng& rng);
+
+/// Cycle of n nodes. Requires n >= 3.
+Graph make_ring(std::size_t n, LatencyRange lat, Rng& rng);
+
+/// width x height grid with 4-neighbour connectivity. Requires both >= 1.
+Graph make_grid(std::size_t width, std::size_t height, LatencyRange lat,
+                Rng& rng);
+
+/// Star: node 0 is the hub, nodes 1..n-1 are leaves. Requires n >= 2.
+Graph make_star(std::size_t n, LatencyRange lat, Rng& rng);
+
+/// Complete graph on n nodes. Requires n >= 2.
+Graph make_complete(std::size_t n, LatencyRange lat, Rng& rng);
+
+/// Balanced binary tree with n nodes (node i's parent is (i-1)/2).
+Graph make_binary_tree(std::size_t n, LatencyRange lat, Rng& rng);
+
+/// Barabási–Albert preferential-attachment graph: starts from a clique of
+/// m0 = m + 1 nodes, then each new node attaches to m distinct existing
+/// nodes chosen with probability proportional to their degree. Connected by
+/// construction. Requires n > m >= 1.
+Graph make_barabasi_albert(std::size_t n, std::size_t m, LatencyRange lat,
+                           Rng& rng);
+
+/// Erdős–Rényi G(n, p) conditioned on connectivity: after sampling, any
+/// disconnected component is joined to the giant component by one random
+/// edge (documented deviation — keeps the generator total). Requires n >= 2
+/// and p in [0, 1].
+Graph make_erdos_renyi(std::size_t n, double p, LatencyRange lat, Rng& rng);
+
+/// Waxman random geometric graph on the unit square: P(edge u,v) =
+/// alpha * exp(-d(u,v) / (beta * L)), L = max distance. Joined up like
+/// make_erdos_renyi if disconnected. Latency is proportional to Euclidean
+/// distance scaled into [lat.lo, lat.hi].
+Graph make_waxman(std::size_t n, double alpha, double beta, LatencyRange lat,
+                  Rng& rng);
+
+/// Two dense regions (cliques of size k) joined by a low-connectivity chain
+/// of `bridge_len` nodes — the "islands" scenario of paper §6.
+Graph make_dumbbell(std::size_t k, std::size_t bridge_len, LatencyRange lat,
+                    Rng& rng);
+
+}  // namespace fastcons
+
+#endif  // FASTCONS_TOPOLOGY_GENERATORS_HPP

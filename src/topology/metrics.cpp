@@ -1,0 +1,146 @@
+#include "topology/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "common/assert.hpp"
+#include "common/error.hpp"
+
+namespace fastcons {
+
+std::vector<std::size_t> bfs_hops(const Graph& g, NodeId source) {
+  FASTCONS_EXPECTS(source < g.size());
+  constexpr auto unreachable = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> dist(g.size(), unreachable);
+  std::queue<NodeId> frontier;
+  dist[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (const Edge& e : g.neighbours(u)) {
+      if (dist[e.peer] == unreachable) {
+        dist[e.peer] = dist[u] + 1;
+        frontier.push(e.peer);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<double> shortest_latencies(const Graph& g, NodeId source) {
+  FASTCONS_EXPECTS(source < g.size());
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(g.size(), inf);
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> heap;
+  dist[source] = 0.0;
+  heap.push({0.0, source});
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) continue;
+    for (const Edge& e : g.neighbours(u)) {
+      const double nd = d + e.latency;
+      if (nd < dist[e.peer]) {
+        dist[e.peer] = nd;
+        heap.push({nd, e.peer});
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::vector<NodeId>> connected_components(const Graph& g) {
+  std::vector<std::vector<NodeId>> components;
+  std::vector<bool> seen(g.size(), false);
+  for (NodeId start = 0; start < g.size(); ++start) {
+    if (seen[start]) continue;
+    components.emplace_back();
+    auto& component = components.back();
+    std::queue<NodeId> frontier;
+    seen[start] = true;
+    frontier.push(start);
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop();
+      component.push_back(u);
+      for (const Edge& e : g.neighbours(u)) {
+        if (!seen[e.peer]) {
+          seen[e.peer] = true;
+          frontier.push(e.peer);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.size() == 0) return true;
+  return connected_components(g).size() == 1;
+}
+
+std::size_t diameter(const Graph& g) {
+  if (g.size() == 0) throw ConfigError("diameter of empty graph");
+  if (!is_connected(g)) throw ConfigError("diameter of disconnected graph");
+  std::size_t best = 0;
+  for (NodeId s = 0; s < g.size(); ++s) {
+    const auto dist = bfs_hops(g, s);
+    for (const std::size_t d : dist) best = std::max(best, d);
+  }
+  return best;
+}
+
+double mean_path_length(const Graph& g) {
+  if (g.size() < 2) throw ConfigError("mean_path_length needs >= 2 nodes");
+  if (!is_connected(g)) throw ConfigError("mean_path_length on disconnected graph");
+  double sum = 0.0;
+  for (NodeId s = 0; s < g.size(); ++s) {
+    const auto dist = bfs_hops(g, s);
+    for (const std::size_t d : dist) sum += static_cast<double>(d);
+  }
+  const auto n = static_cast<double>(g.size());
+  return sum / (n * (n - 1.0));
+}
+
+std::vector<std::size_t> degree_sequence(const Graph& g) {
+  std::vector<std::size_t> degrees(g.size());
+  for (NodeId n = 0; n < g.size(); ++n) degrees[n] = g.degree(n);
+  std::sort(degrees.begin(), degrees.end(), std::greater<>());
+  return degrees;
+}
+
+PowerLawFit degree_rank_fit(const Graph& g) {
+  const auto degrees = degree_sequence(g);
+  // Least squares on (log rank, log degree); degree-0 nodes are skipped
+  // (log undefined) — random-but-connected generators never produce them.
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0, syy = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < degrees.size(); ++i) {
+    if (degrees[i] == 0) continue;
+    const double x = std::log(static_cast<double>(i + 1));
+    const double y = std::log(static_cast<double>(degrees[i]));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    syy += y * y;
+    ++count;
+  }
+  PowerLawFit fit;
+  if (count < 2) return fit;
+  const auto n = static_cast<double>(count);
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0) return fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  const double ss_res = ss_tot - fit.slope * (sxy - sx * sy / n);
+  fit.r_squared = ss_tot <= 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return fit;
+}
+
+}  // namespace fastcons

@@ -1,0 +1,141 @@
+// LocalCluster integration across protocol variants: every named algorithm
+// and the truncation/fanout options must also converge over real TCP, not
+// just in simulation. Skips gracefully without loopback networking.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "net/cluster.hpp"
+#include "topology/generators.hpp"
+
+namespace fastcons {
+namespace {
+
+bool loopback_available() {
+  try {
+    return TcpListener::bind_loopback(0).valid();
+  } catch (const TransportError&) {
+    return false;
+  }
+}
+
+#define REQUIRE_LOOPBACK()                               \
+  do {                                                    \
+    if (!loopback_available()) {                          \
+      GTEST_SKIP() << "loopback networking unavailable";  \
+    }                                                     \
+  } while (0)
+
+struct Variant {
+  const char* name;
+  ProtocolConfig protocol;
+};
+
+std::vector<Variant> variants() {
+  ProtocolConfig truncating = ProtocolConfig::fast();
+  truncating.auto_truncate = true;
+  ProtocolConfig fanout2 = ProtocolConfig::fast();
+  fanout2.fast_fanout = 2;
+  fanout2.ack_mode = FastAckMode::subset;
+  return {
+      {"weak", ProtocolConfig::weak()},
+      {"demand-order", ProtocolConfig::demand_order_only()},
+      {"fast", ProtocolConfig::fast()},
+      {"fast+truncate", truncating},
+      {"fast+fanout2+subset", fanout2},
+  };
+}
+
+class ClusterAlgorithmSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ClusterAlgorithmSweep, StarClusterConverges) {
+  REQUIRE_LOOPBACK();
+  const Variant variant = variants()[GetParam()];
+  Rng rng(GetParam() + 1);
+  const Graph g = make_star(4, {0.0, 0.0}, rng);
+  ClusterConfig cfg;
+  cfg.protocol = variant.protocol;
+  cfg.seconds_per_unit = 0.02;
+  cfg.demands = {1.0, 9.0, 5.0, 3.0};
+  cfg.seed = GetParam() + 10;
+  LocalCluster cluster(g, cfg);
+  cluster.start();
+  cluster.server(0).write("algo", variant.name);
+  const bool converged = cluster.wait_for_convergence(15.0);
+  std::vector<std::optional<std::string>> values;
+  for (NodeId n = 0; n < cluster.size(); ++n) {
+    values.push_back(cluster.server(n).read("algo"));
+  }
+  cluster.stop();
+  ASSERT_TRUE(converged) << variant.name;
+  for (NodeId n = 0; n < values.size(); ++n) {
+    ASSERT_TRUE(values[n].has_value()) << variant.name << " node " << n;
+    EXPECT_EQ(*values[n], variant.name);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, ClusterAlgorithmSweep,
+                         ::testing::Range<std::size_t>(0, 5));
+
+TEST(ClusterAlgorithmsTest, DemandChangeRedirectsLivePushes) {
+  REQUIRE_LOOPBACK();
+  // Hub with two leaves; leaf 2 becomes the hot one at runtime via
+  // set_demand; subsequent writes should reach it via offers.
+  Rng rng(9);
+  const Graph g = make_star(3, {0.0, 0.0}, rng);
+  ClusterConfig cfg;
+  cfg.protocol = ProtocolConfig::fast();
+  cfg.protocol.advert_period = 0.2;
+  cfg.seconds_per_unit = 0.05;
+  cfg.demands = {1.0, 50.0, 2.0};
+  LocalCluster cluster(g, cfg);
+  cluster.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));  // adverts
+  cluster.server(0).write("k1", "v1");
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  // Flip the hot leaf.
+  cluster.server(1).set_demand(2.0);
+  cluster.server(2).set_demand(50.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));  // re-advert
+  cluster.server(0).write("k2", "v2");
+  const bool converged = cluster.wait_for_convergence(15.0, 2);
+  const auto offers_to_someone = cluster.server(0).stats().offers_sent;
+  cluster.stop();
+  ASSERT_TRUE(converged);
+  EXPECT_GE(offers_to_someone, 1u);
+}
+
+TEST(ClusterAlgorithmsTest, SequentialWritesKeepLastWriterWins) {
+  REQUIRE_LOOPBACK();
+  Rng rng(11);
+  const Graph g = make_line(3, {0.0, 0.0}, rng);
+  ClusterConfig cfg;
+  cfg.protocol = ProtocolConfig::fast();
+  cfg.seconds_per_unit = 0.02;
+  cfg.demands = {3.0, 2.0, 1.0};
+  LocalCluster cluster(g, cfg);
+  cluster.start();
+  cluster.server(0).write("x", "first");
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  cluster.server(2).write("x", "second");
+  // Require BOTH updates everywhere: right after the second write() call
+  // the update may still be in server 2's command queue, and the cluster
+  // can momentarily look converged on the first write alone.
+  const bool converged = cluster.wait_for_convergence(15.0, 2);
+  std::vector<std::optional<std::string>> values;
+  for (NodeId n = 0; n < cluster.size(); ++n) {
+    values.push_back(cluster.server(n).read("x"));
+  }
+  cluster.stop();
+  ASSERT_TRUE(converged);
+  for (const auto& value : values) {
+    ASSERT_TRUE(value.has_value());
+    EXPECT_EQ(*value, "second");  // later wall-clock write wins everywhere
+  }
+}
+
+}  // namespace
+}  // namespace fastcons

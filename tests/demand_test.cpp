@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "demand/demand_model.hpp"
+#include "demand/demand_table.hpp"
+
+namespace fastcons {
+namespace {
+
+TEST(StaticDemandTest, ReturnsGivenValues) {
+  const StaticDemand d({4.0, 6.0, 3.0, 8.0, 7.0});  // paper §2's table
+  EXPECT_EQ(d.size(), 5u);
+  EXPECT_DOUBLE_EQ(d.demand_at(0, 0.0), 4.0);
+  EXPECT_DOUBLE_EQ(d.demand_at(3, 100.0), 8.0);
+  EXPECT_FALSE(d.is_dynamic());
+}
+
+TEST(StaticDemandTest, RejectsNegative) {
+  EXPECT_THROW(StaticDemand({1.0, -2.0}), ConfigError);
+}
+
+TEST(UniformRandomDemandTest, StaysInRange) {
+  Rng rng(1);
+  const StaticDemand d = make_uniform_random_demand(200, 10.0, 20.0, rng);
+  for (NodeId n = 0; n < 200; ++n) {
+    EXPECT_GE(d.demand_at(n, 0.0), 10.0);
+    EXPECT_LE(d.demand_at(n, 0.0), 20.0);
+  }
+}
+
+TEST(UniformRandomDemandTest, RejectsBadRange) {
+  Rng rng(1);
+  EXPECT_THROW(make_uniform_random_demand(5, 5.0, 1.0, rng), ConfigError);
+  EXPECT_THROW(make_uniform_random_demand(5, -1.0, 1.0, rng), ConfigError);
+}
+
+TEST(ZipfDemandTest, HasHeavyHeadAndLightTail) {
+  Rng rng(2);
+  const StaticDemand d = make_zipf_demand(100, 1.0, 100.0, rng);
+  double max_d = 0.0, min_d = 1e18;
+  for (NodeId n = 0; n < 100; ++n) {
+    max_d = std::max(max_d, d.demand_at(n, 0.0));
+    min_d = std::min(min_d, d.demand_at(n, 0.0));
+  }
+  EXPECT_DOUBLE_EQ(max_d, 100.0);  // rank 1
+  EXPECT_DOUBLE_EQ(min_d, 1.0);    // rank 100
+}
+
+TEST(StepDemandTest, Figure4Schedule) {
+  // Fig. 4: A: 2 -> 0 and C: 0 -> 9 at t=2; B=6, D=13 constant.
+  const StepDemand d({
+      /*A*/ {{0.0, 2.0}, {2.0, 0.0}},
+      /*B*/ {{0.0, 6.0}},
+      /*C*/ {{0.0, 0.0}, {2.0, 9.0}},
+      /*D*/ {{0.0, 13.0}},
+  });
+  EXPECT_TRUE(d.is_dynamic());
+  EXPECT_DOUBLE_EQ(d.demand_at(0, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(d.demand_at(0, 2.0), 0.0);  // boundary belongs to new step
+  EXPECT_DOUBLE_EQ(d.demand_at(2, 1.99), 0.0);
+  EXPECT_DOUBLE_EQ(d.demand_at(2, 2.0), 9.0);
+  EXPECT_DOUBLE_EQ(d.demand_at(3, 50.0), 13.0);
+}
+
+TEST(StepDemandTest, RequiresTimeZeroEntry) {
+  std::vector<std::map<SimTime, double>> missing_zero{{{1.0, 2.0}}};
+  EXPECT_THROW(StepDemand(std::move(missing_zero)), ConfigError);
+  std::vector<std::map<SimTime, double>> empty_schedule(1);
+  EXPECT_THROW(StepDemand(std::move(empty_schedule)), ConfigError);
+}
+
+TEST(RandomWalkDemandTest, StaysWithinBounds) {
+  Rng rng(3);
+  const RandomWalkDemand d(10, 50.0, 2.0, 1.0, 100.0, 0.5, 20.0, rng);
+  for (NodeId n = 0; n < 10; ++n) {
+    for (double t = 0.0; t <= 20.0; t += 0.25) {
+      const double v = d.demand_at(n, t);
+      EXPECT_GE(v, 1.0);
+      EXPECT_LE(v, 100.0);
+    }
+  }
+}
+
+TEST(RandomWalkDemandTest, ActuallyMoves) {
+  Rng rng(4);
+  const RandomWalkDemand d(1, 50.0, 2.0, 1.0, 100.0, 0.5, 20.0, rng);
+  bool moved = false;
+  for (double t = 0.5; t <= 20.0; t += 0.5) {
+    if (d.demand_at(0, t) != d.demand_at(0, 0.0)) moved = true;
+  }
+  EXPECT_TRUE(moved);
+}
+
+TEST(MigratingHotspotTest, PeakMovesAtSwitchTime) {
+  // Node 0 is centre A (0 hops), node 1 is centre B.
+  const MigratingHotspotDemand d({0, 3}, {3, 0}, 5.0, 100.0, 4.0);
+  EXPECT_DOUBLE_EQ(d.demand_at(0, 0.0), 100.0);
+  EXPECT_GT(d.demand_at(0, 0.0), d.demand_at(1, 0.0));
+  EXPECT_DOUBLE_EQ(d.demand_at(1, 5.0), 100.0);
+  EXPECT_GT(d.demand_at(1, 6.0), d.demand_at(0, 6.0));
+  // Far nodes decay toward the base demand.
+  EXPECT_NEAR(d.demand_at(1, 0.0), 4.0 + 96.0 / 8.0, 1e-12);
+}
+
+TEST(DiurnalDemandTest, OscillatesBetweenBaseAndPeak) {
+  Rng rng(5);
+  const DiurnalDemand d(4, 10.0, 30.0, 8.0, rng);
+  for (NodeId n = 0; n < 4; ++n) {
+    double lo = 1e18, hi = -1e18;
+    for (double t = 0.0; t <= 16.0; t += 0.05) {
+      const double v = d.demand_at(n, t);
+      EXPECT_GE(v, 10.0 - 1e-9);
+      EXPECT_LE(v, 40.0 + 1e-9);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    EXPECT_NEAR(lo, 10.0, 0.5);  // night floor
+    EXPECT_NEAR(hi, 40.0, 0.5);  // midday peak
+  }
+}
+
+TEST(DiurnalDemandTest, PhasesDiffer) {
+  Rng rng(6);
+  const DiurnalDemand d(8, 0.0, 10.0, 4.0, rng);
+  // Not all nodes peak together.
+  bool differ = false;
+  for (NodeId n = 1; n < 8; ++n) {
+    if (d.demand_at(n, 1.0) != d.demand_at(0, 1.0)) differ = true;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(DiurnalDemandTest, RejectsBadParams) {
+  Rng rng(7);
+  EXPECT_THROW(DiurnalDemand(2, -1.0, 1.0, 1.0, rng), ConfigError);
+  EXPECT_THROW(DiurnalDemand(2, 1.0, 1.0, 0.0, rng), ConfigError);
+}
+
+TEST(DemandSnapshotTest, SamplesEveryNode) {
+  const StaticDemand d({1.0, 2.0, 3.0});
+  const auto snap = demand_snapshot(d, 0.0);
+  EXPECT_EQ(snap, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(DemandTableTest, UpdateAndQuery) {
+  DemandTable table({1, 2, 3});
+  table.update(2, 9.0, 1.0);
+  EXPECT_EQ(table.demand_of(2), 9.0);
+  EXPECT_EQ(table.demand_of(1), 0.0);
+  EXPECT_FALSE(table.demand_of(99).has_value());
+}
+
+TEST(DemandTableTest, UnknownPeerUpdateIgnored) {
+  DemandTable table({1});
+  table.update(42, 5.0, 1.0);
+  EXPECT_FALSE(table.demand_of(42).has_value());
+}
+
+TEST(DemandTableTest, OrderByDemandWithIdTieBreak) {
+  DemandTable table({1, 2, 3, 4});
+  table.update(1, 5.0, 0.0);
+  table.update(2, 8.0, 0.0);
+  table.update(3, 5.0, 0.0);
+  table.update(4, 1.0, 0.0);
+  EXPECT_EQ(table.by_demand_desc(0.0), (std::vector<NodeId>{2, 1, 3, 4}));
+}
+
+TEST(DemandTableTest, PaperSection2Ordering) {
+  // B's neighbours A(4), C(3), D(8), E(7) must order D, E, A, C — the
+  // paper's "best case" session order.
+  DemandTable table({0 /*A*/, 2 /*C*/, 3 /*D*/, 4 /*E*/});
+  table.update(0, 4.0, 0.0);
+  table.update(2, 3.0, 0.0);
+  table.update(3, 8.0, 0.0);
+  table.update(4, 7.0, 0.0);
+  EXPECT_EQ(table.by_demand_desc(0.0), (std::vector<NodeId>{3, 4, 0, 2}));
+}
+
+TEST(DemandTableTest, LivenessWindowExpiresSilentPeers) {
+  DemandTable table({1, 2}, /*liveness_window=*/1.0);
+  table.update(1, 5.0, 0.0);
+  table.update(2, 3.0, 0.0);
+  EXPECT_TRUE(table.is_alive(1, 0.5));
+  EXPECT_TRUE(table.is_alive(1, 1.0));   // boundary inclusive
+  EXPECT_FALSE(table.is_alive(1, 1.01));
+  table.touch(1, 1.5);
+  EXPECT_TRUE(table.is_alive(1, 2.0));
+  EXPECT_FALSE(table.is_alive(2, 2.0));
+  EXPECT_EQ(table.by_demand_desc(2.0), (std::vector<NodeId>{1}));
+  EXPECT_EQ(table.alive(2.0), (std::vector<NodeId>{1}));
+}
+
+TEST(DemandTableTest, DisabledLivenessKeepsEveryoneAlive) {
+  DemandTable table({1}, /*liveness_window=*/0.0);
+  EXPECT_TRUE(table.is_alive(1, 1e9));
+}
+
+TEST(DemandTableTest, TouchDoesNotChangeDemand) {
+  DemandTable table({1}, 1.0);
+  table.update(1, 7.0, 0.0);
+  table.touch(1, 10.0);
+  EXPECT_EQ(table.demand_of(1), 7.0);
+  EXPECT_TRUE(table.is_alive(1, 10.5));
+}
+
+TEST(DemandTableTest, AddNeighbourIsIdempotent) {
+  DemandTable table({1});
+  table.add_neighbour(5, 2.0);
+  table.add_neighbour(5, 3.0);
+  EXPECT_EQ(table.entries().size(), 2u);
+  EXPECT_TRUE(table.demand_of(5).has_value());
+}
+
+TEST(DemandTableTest, IsAliveUnknownPeer) {
+  DemandTable table({1});
+  EXPECT_FALSE(table.is_alive(9, 0.0));
+}
+
+}  // namespace
+}  // namespace fastcons

@@ -1,0 +1,115 @@
+#include "experiment/propagation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.hpp"
+#include "topology/generators.hpp"
+
+namespace fastcons {
+namespace {
+
+PropagationExperiment small_experiment(ProtocolConfig protocol,
+                                       std::size_t reps = 40) {
+  PropagationExperiment exp;
+  exp.topology = [](Rng& rng) {
+    return make_barabasi_albert(20, 2, {0.01, 0.05}, rng);
+  };
+  exp.demand = [](const Graph& g, Rng& rng) {
+    return std::make_shared<StaticDemand>(
+        make_uniform_random_demand(g.size(), 0.0, 100.0, rng));
+  };
+  protocol.advert_period = 0.0;  // static demand: primed tables suffice
+  exp.sim.protocol = protocol;
+  exp.repetitions = reps;
+  exp.seed = 2024;
+  return exp;
+}
+
+TEST(PropagationTest, RejectsMissingFactories) {
+  PropagationExperiment exp;
+  EXPECT_THROW(run_propagation(exp), ConfigError);
+}
+
+TEST(PropagationTest, RejectsZeroRepetitions) {
+  auto exp = small_experiment(ProtocolConfig::fast());
+  exp.repetitions = 0;
+  EXPECT_THROW(run_propagation(exp), ConfigError);
+}
+
+TEST(PropagationTest, RejectsBadFraction) {
+  auto exp = small_experiment(ProtocolConfig::fast());
+  exp.high_demand_fraction = 0.0;
+  EXPECT_THROW(run_propagation(exp), ConfigError);
+}
+
+TEST(PropagationTest, SampleCountsMatchTopologySize) {
+  auto exp = small_experiment(ProtocolConfig::fast(), 10);
+  const auto result = run_propagation(exp);
+  // 19 non-writer replicas per repetition.
+  EXPECT_EQ(result.all.count(), 10u * 19u);
+  EXPECT_EQ(result.time_to_full.count(), 10u);
+  EXPECT_EQ(result.reps_total, 10u);
+  // Top 10% of 20 nodes = 2 nodes; the writer may occupy one of them.
+  EXPECT_GE(result.high_demand.count(), 10u);
+  EXPECT_LE(result.high_demand.count(), 20u);
+}
+
+TEST(PropagationTest, AllRepetitionsConverge) {
+  const auto result = run_propagation(small_experiment(ProtocolConfig::fast()));
+  EXPECT_EQ(result.reps_converged, result.reps_total);
+  EXPECT_EQ(result.censored_samples, 0u);
+}
+
+TEST(PropagationTest, DeterministicForSameSeed) {
+  const auto a = run_propagation(small_experiment(ProtocolConfig::fast(), 10));
+  const auto b = run_propagation(small_experiment(ProtocolConfig::fast(), 10));
+  EXPECT_EQ(a.all.mean(), b.all.mean());
+  EXPECT_EQ(a.time_to_full.mean(), b.time_to_full.mean());
+  EXPECT_EQ(a.traffic.total_messages(), b.traffic.total_messages());
+}
+
+TEST(PropagationTest, FastBeatsWeakOnAllThreeHeadlineMetrics) {
+  // The paper's central claim, as a regression test with adequate margins.
+  const auto weak = run_propagation(small_experiment(ProtocolConfig::weak(), 60));
+  const auto fast = run_propagation(small_experiment(ProtocolConfig::fast(), 60));
+  // 1. Mean sessions over all replicas improves.
+  EXPECT_LT(fast.all.mean(), weak.all.mean() * 0.85);
+  // 2. High-demand replicas converge in about one session.
+  EXPECT_LT(fast.high_demand.mean(), 2.0);
+  EXPECT_LT(fast.high_demand.mean(), weak.high_demand.mean() * 0.6);
+  // 3. Time to full consistency improves.
+  EXPECT_LT(fast.time_to_full.mean(), weak.time_to_full.mean());
+}
+
+TEST(PropagationTest, HighDemandSubsetBeatsPopulationUnderFast) {
+  const auto fast = run_propagation(small_experiment(ProtocolConfig::fast(), 60));
+  EXPECT_LT(fast.high_demand.mean(), fast.all.mean());
+  // Under weak consistency the subset enjoys no advantage.
+  const auto weak = run_propagation(small_experiment(ProtocolConfig::weak(), 60));
+  EXPECT_NEAR(weak.high_demand.mean(), weak.all.mean(),
+              0.35 * weak.all.mean());
+}
+
+TEST(PropagationTest, CdfIsProperDistribution) {
+  const auto result = run_propagation(small_experiment(ProtocolConfig::fast(), 20));
+  EXPECT_DOUBLE_EQ(result.all.at(result.all.max()), 1.0);
+  EXPECT_GE(result.all.min(), 0.0);
+  const auto curve = result.all.curve(0.0, 12.0, 13);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i], curve[i - 1]);
+  }
+}
+
+TEST(PropagationTest, DemandOnlySitsBetweenWeakAndFast) {
+  const auto weak = run_propagation(small_experiment(ProtocolConfig::weak(), 60));
+  const auto mid =
+      run_propagation(small_experiment(ProtocolConfig::demand_order_only(), 60));
+  const auto fast = run_propagation(small_experiment(ProtocolConfig::fast(), 60));
+  EXPECT_LT(mid.all.mean(), weak.all.mean());
+  EXPECT_LT(fast.all.mean(), mid.all.mean());
+}
+
+}  // namespace
+}  // namespace fastcons

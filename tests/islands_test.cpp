@@ -1,0 +1,173 @@
+#include "islands/islands.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "sim_runtime/sim_network.hpp"
+#include "topology/generators.hpp"
+#include "topology/metrics.hpp"
+
+namespace fastcons {
+namespace {
+
+const LatencyRange kLat{0.01, 0.03};
+
+TEST(IslandDetectionTest, FindsSeparatedHighDemandRegions) {
+  // Line: hot(0) hot(1) cold(2) cold(3) hot(4).
+  Rng rng(1);
+  const Graph g = make_line(5, kLat, rng);
+  const std::vector<double> demand{10, 12, 1, 1, 20};
+  const auto islands = detect_islands(g, demand, 5.0);
+  ASSERT_EQ(islands.size(), 2u);
+  EXPECT_EQ(islands[0], (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(islands[1], (std::vector<NodeId>{4}));
+}
+
+TEST(IslandDetectionTest, NoIslandsBelowThreshold) {
+  Rng rng(2);
+  const Graph g = make_line(4, kLat, rng);
+  EXPECT_TRUE(detect_islands(g, {1, 1, 1, 1}, 5.0).empty());
+}
+
+TEST(IslandDetectionTest, WholeGraphOneIsland) {
+  Rng rng(3);
+  const Graph g = make_ring(6, kLat, rng);
+  const auto islands = detect_islands(g, std::vector<double>(6, 9.0), 5.0);
+  ASSERT_EQ(islands.size(), 1u);
+  EXPECT_EQ(islands[0].size(), 6u);
+}
+
+TEST(IslandDetectionTest, ThresholdBoundaryIsInclusive) {
+  Rng rng(4);
+  const Graph g = make_line(2, kLat, rng);
+  const auto islands = detect_islands(g, {5.0, 4.99}, 5.0);
+  ASSERT_EQ(islands.size(), 1u);
+  EXPECT_EQ(islands[0], (std::vector<NodeId>{0}));
+}
+
+TEST(LeaderElectionTest, PicksMaxDemandMember) {
+  const std::vector<std::vector<NodeId>> islands{{0, 1, 2}, {5, 6}};
+  const std::vector<double> demand{3, 9, 4, 0, 0, 2, 2};
+  const auto leaders = elect_leaders(islands, demand);
+  ASSERT_EQ(leaders.size(), 2u);
+  EXPECT_EQ(leaders[0], 1u);
+  EXPECT_EQ(leaders[1], 5u);  // tie at demand 2 -> lower id
+}
+
+TEST(FloodElectionTest, AgreesWithCentralisedElection) {
+  Rng rng(5);
+  const Graph g = make_dumbbell(4, 3, kLat, rng);
+  std::vector<double> demand(g.size(), 1.0);
+  // Left island: nodes 0-3 hot, peak at 2; right island: 4-7 hot, peak 6.
+  for (NodeId n = 0; n < 4; ++n) demand[n] = 10.0 + n;
+  for (NodeId n = 4; n < 8; ++n) demand[n] = 20.0 + n;
+  std::size_t rounds = 0;
+  const auto claims = flood_election(g, demand, 10.0, &rounds);
+  const auto islands = detect_islands(g, demand, 10.0);
+  const auto leaders = elect_leaders(islands, demand);
+  ASSERT_EQ(islands.size(), 2u);
+  for (std::size_t i = 0; i < islands.size(); ++i) {
+    for (const NodeId member : islands[i]) {
+      EXPECT_EQ(claims[member], leaders[i]) << "member " << member;
+    }
+  }
+  // Non-members carry no claim.
+  for (NodeId n = 8; n < g.size(); ++n) EXPECT_EQ(claims[n], kInvalidNode);
+  // Flooding converges within diameter+1 rounds (plus the quiescence check).
+  EXPECT_LE(rounds, diameter(g) + 2);
+}
+
+class FloodElectionSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FloodElectionSweep, MatchesCentralisedOnRandomGraphs) {
+  Rng rng(GetParam() * 17 + 3);
+  const Graph g = make_erdos_renyi(30, 0.12, kLat, rng);
+  std::vector<double> demand(30);
+  for (auto& d : demand) d = rng.uniform(0.0, 100.0);
+  const double threshold = 60.0;
+  const auto claims = flood_election(g, demand, threshold);
+  const auto islands = detect_islands(g, demand, threshold);
+  const auto leaders = elect_leaders(islands, demand);
+  for (std::size_t i = 0; i < islands.size(); ++i) {
+    for (const NodeId member : islands[i]) {
+      EXPECT_EQ(claims[member], leaders[i]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FloodElectionSweep,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(BridgeTest, ConnectsAllLeadersWithMstEdges) {
+  Rng rng(6);
+  const Graph g = make_line(9, kLat, rng);
+  const std::vector<NodeId> leaders{0, 4, 8};
+  const auto bridges = compute_bridges(g, leaders);
+  ASSERT_EQ(bridges.size(), 2u);  // MST over 3 leaders
+  // Every bridge latency equals the shortest-path latency between its ends.
+  for (const Bridge& b : bridges) {
+    const auto d = shortest_latencies(g, b.a);
+    EXPECT_DOUBLE_EQ(b.latency, d[b.b]);
+  }
+  // The bridges span all leaders.
+  std::set<NodeId> touched;
+  for (const Bridge& b : bridges) {
+    touched.insert(b.a);
+    touched.insert(b.b);
+  }
+  EXPECT_EQ(touched.size(), 3u);
+}
+
+TEST(BridgeTest, FewerThanTwoLeadersNoBridges) {
+  Rng rng(7);
+  const Graph g = make_line(3, kLat, rng);
+  EXPECT_TRUE(compute_bridges(g, {}).empty());
+  EXPECT_TRUE(compute_bridges(g, {1}).empty());
+}
+
+TEST(BridgeTest, DisconnectedUnderlayThrows) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_THROW(compute_bridges(g, {0, 2}), ConfigError);
+}
+
+TEST(IslandOverlayTest, BridgeAcceleratesFarIsland) {
+  // Dumbbell: two hot cliques joined by a long cold chain. With the §6
+  // overlay the far island's leader hears about the update at fast-push
+  // speed instead of session-crawling across the cold bridge.
+  const auto run = [&](bool with_overlay) {
+    Rng rng(8);
+    Graph g = make_dumbbell(5, 8, kLat, rng);
+    std::vector<double> demand(g.size(), 1.0);
+    for (NodeId n = 0; n < 5; ++n) demand[n] = 50.0 + n;   // left island
+    for (NodeId n = 5; n < 10; ++n) demand[n] = 60.0 + n;  // right island
+    auto model = std::make_shared<StaticDemand>(demand);
+    SimConfig cfg;
+    cfg.protocol = ProtocolConfig::fast();
+    cfg.seed = 99;
+    SimNetwork net(std::move(g), model, cfg);
+    if (with_overlay) {
+      const auto islands = detect_islands(net.graph(), demand, 40.0);
+      const auto leaders = elect_leaders(islands, demand);
+      for (const Bridge& b : compute_bridges(net.graph(), leaders)) {
+        net.add_overlay_link(b.a, b.b, b.latency);
+      }
+    }
+    const UpdateId id = net.schedule_write(0, "k", "v", 0.5);
+    net.run_until_update_everywhere(id, 60.0);
+    // Measure arrival at the far island's hottest node (node 9).
+    return net.first_delivery(9, id).value_or(1e9) - 0.5;
+  };
+  const double without = run(false);
+  const double with = run(true);
+  EXPECT_LT(with, without);
+  EXPECT_LT(with, 1.0);  // ~one session for the far high-demand region
+}
+
+}  // namespace
+}  // namespace fastcons

@@ -1,0 +1,221 @@
+// Real-socket integration tests. Environments without loopback networking
+// skip gracefully (GTEST_SKIP on bind failure).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "net/cluster.hpp"
+#include "net/server.hpp"
+#include "net/socket.hpp"
+#include "topology/generators.hpp"
+
+namespace fastcons {
+namespace {
+
+bool loopback_available() {
+  try {
+    const TcpListener listener = TcpListener::bind_loopback(0);
+    return listener.valid();
+  } catch (const TransportError&) {
+    return false;
+  }
+}
+
+#define REQUIRE_LOOPBACK()                                     \
+  do {                                                          \
+    if (!loopback_available()) {                                \
+      GTEST_SKIP() << "loopback networking unavailable";        \
+    }                                                           \
+  } while (0)
+
+TEST(SocketTest, ListenerGetsEphemeralPort) {
+  REQUIRE_LOOPBACK();
+  const TcpListener a = TcpListener::bind_loopback(0);
+  const TcpListener b = TcpListener::bind_loopback(0);
+  EXPECT_GT(a.port(), 0);
+  EXPECT_GT(b.port(), 0);
+  EXPECT_NE(a.port(), b.port());
+}
+
+TEST(SocketTest, ConnectSendReceive) {
+  REQUIRE_LOOPBACK();
+  TcpListener listener = TcpListener::bind_loopback(0);
+  TcpConnection client = TcpConnection::connect("127.0.0.1", listener.port());
+  // Accept may need a moment for the non-blocking handshake.
+  std::optional<TcpConnection> serverside;
+  for (int i = 0; i < 100 && !serverside; ++i) {
+    serverside = listener.accept();
+    if (!serverside) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(serverside.has_value());
+  const std::vector<std::uint8_t> payload{1, 2, 3, 4, 5};
+  // Flush until the kernel accepts everything.
+  for (int i = 0; i < 100 && client.send(payload) == IoStatus::would_block;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  std::vector<std::uint8_t> received;
+  for (int i = 0; i < 200 && received.size() < payload.size(); ++i) {
+    serverside->read_available(received);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(received, payload);
+}
+
+TEST(SocketTest, InvalidAddressThrows) {
+  REQUIRE_LOOPBACK();
+  EXPECT_THROW(TcpConnection::connect("not-an-ip", 1234), TransportError);
+}
+
+TEST(SocketTest, WakePipeWakesAndDrains) {
+  WakePipe pipe;
+  pipe.wake();
+  pipe.wake();
+  std::uint8_t buf[8];
+  // After draining, the read end is empty (non-blocking read returns <= 0).
+  pipe.drain();
+  EXPECT_LE(::read(pipe.read_fd(), buf, sizeof(buf)), 0);
+}
+
+TEST(ServerTest, LocalWriteIsReadable) {
+  REQUIRE_LOOPBACK();
+  ServerConfig cfg;
+  cfg.self = 0;
+  cfg.protocol = ProtocolConfig::fast();
+  cfg.seconds_per_unit = 0.02;
+  ReplicaServer server(std::move(cfg));
+  server.start();
+  server.write("city", "tokyo");
+  std::optional<std::string> value;
+  for (int i = 0; i < 200 && !value; ++i) {
+    value = server.read("city");
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  server.stop();
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(*value, "tokyo");
+}
+
+TEST(ServerTest, TwoServersSyncViaSessions) {
+  REQUIRE_LOOPBACK();
+  Rng rng(1);
+  const Graph g = make_line(2, {0.0, 0.0}, rng);
+  ClusterConfig cfg;
+  cfg.protocol = ProtocolConfig::fast();
+  cfg.seconds_per_unit = 0.02;
+  cfg.demands = {1.0, 5.0};
+  LocalCluster cluster(g, cfg);
+  cluster.start();
+  cluster.server(0).write("k", "v");
+  const bool converged = cluster.wait_for_convergence(10.0);
+  const auto value = cluster.server(1).read("k");
+  cluster.stop();
+  ASSERT_TRUE(converged);
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(*value, "v");
+}
+
+TEST(ServerTest, FiveNodeClusterConvergesWithMultipleWriters) {
+  REQUIRE_LOOPBACK();
+  Rng rng(2);
+  const Graph g = make_ring(5, {0.0, 0.0}, rng);
+  ClusterConfig cfg;
+  cfg.protocol = ProtocolConfig::fast();
+  cfg.seconds_per_unit = 0.02;
+  cfg.demands = {4.0, 6.0, 3.0, 8.0, 7.0};
+  cfg.seed = 3;
+  LocalCluster cluster(g, cfg);
+  cluster.start();
+  cluster.server(0).write("a", "1");
+  cluster.server(2).write("b", "2");
+  cluster.server(4).write("c", "3");
+  const bool converged = cluster.wait_for_convergence(15.0, 3);
+  std::vector<std::optional<std::string>> values;
+  for (NodeId n = 0; n < 5; ++n) values.push_back(cluster.server(n).read("a"));
+  cluster.stop();
+  ASSERT_TRUE(converged);
+  for (NodeId n = 0; n < 5; ++n) {
+    ASSERT_TRUE(values[n].has_value()) << "node " << n;
+    EXPECT_EQ(*values[n], "1");
+  }
+}
+
+TEST(ServerTest, FastPushBeatsSessionsToHighDemandPeer) {
+  REQUIRE_LOOPBACK();
+  // Writer with one very-high-demand neighbour: the fast push should land
+  // well before the first session period elapses.
+  Rng rng(3);
+  const Graph g = make_line(2, {0.0, 0.0}, rng);
+  ClusterConfig cfg;
+  cfg.protocol = ProtocolConfig::fast();
+  cfg.protocol.session_period = 1.0;
+  cfg.seconds_per_unit = 0.5;  // one session = 500ms of wall clock
+  cfg.demands = {1.0, 100.0};
+  LocalCluster cluster(g, cfg);
+  cluster.start();
+  // Give adverts a moment to prime the demand tables.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  const auto started = std::chrono::steady_clock::now();
+  cluster.server(0).write("hot", "content");
+  std::optional<std::string> value;
+  while (!value &&
+         std::chrono::steady_clock::now() - started < std::chrono::seconds(5)) {
+    value = cluster.server(1).read("hot");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - started;
+  const auto stats = cluster.server(0).stats();
+  cluster.stop();
+  ASSERT_TRUE(value.has_value());
+  EXPECT_GE(stats.offers_sent, 1u);
+  // Arrived via push (milliseconds), not via a session (>= ~250ms).
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(),
+            250);
+}
+
+TEST(ServerTest, SurvivesPeerRestart) {
+  REQUIRE_LOOPBACK();
+  // Peer goes away mid-run; the survivor keeps running and re-syncs when a
+  // new peer appears at the same port... (we approximate by stopping and
+  // asserting the survivor stays healthy and writable).
+  ServerConfig a_cfg;
+  a_cfg.self = 0;
+  a_cfg.protocol = ProtocolConfig::fast();
+  a_cfg.seconds_per_unit = 0.02;
+  ReplicaServer a(std::move(a_cfg));
+
+  ServerConfig b_cfg;
+  b_cfg.self = 1;
+  b_cfg.protocol = ProtocolConfig::fast();
+  b_cfg.seconds_per_unit = 0.02;
+  auto b = std::make_unique<ReplicaServer>(std::move(b_cfg));
+
+  a.set_peers({PeerAddress{1, "127.0.0.1", b->port()}});
+  b->set_peers({PeerAddress{0, "127.0.0.1", a.port()}});
+  a.start();
+  b->start();
+  a.write("k1", "v1");
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  b->stop();
+  b.reset();  // peer gone: sends now fail, server must tolerate it
+  a.write("k2", "v2");
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  EXPECT_EQ(a.read("k2"), "v2");
+  EXPECT_TRUE(a.running());
+  a.stop();
+}
+
+TEST(ClusterTest, DemandVectorSizeValidated) {
+  REQUIRE_LOOPBACK();
+  Rng rng(4);
+  const Graph g = make_line(3, {0.0, 0.0}, rng);
+  ClusterConfig cfg;
+  cfg.demands = {1.0};  // wrong size
+  EXPECT_THROW(LocalCluster(g, cfg), ConfigError);
+}
+
+}  // namespace
+}  // namespace fastcons

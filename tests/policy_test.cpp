@@ -1,0 +1,178 @@
+#include "core/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace fastcons {
+namespace {
+
+DemandTable table_with(const std::map<NodeId, double>& demands,
+                       SimTime liveness = 0.0) {
+  std::vector<NodeId> peers;
+  for (const auto& [peer, d] : demands) {
+    (void)d;
+    peers.push_back(peer);
+  }
+  DemandTable table(peers, liveness);
+  for (const auto& [peer, d] : demands) table.update(peer, d, 0.0);
+  return table;
+}
+
+TEST(RandomPolicyTest, ReturnsOnlyNeighbours) {
+  RandomPolicy policy;
+  Rng rng(1);
+  const DemandTable table = table_with({{3, 1.0}, {7, 2.0}, {9, 0.0}});
+  for (int i = 0; i < 200; ++i) {
+    const NodeId pick = policy.choose(table, 0.0, rng);
+    EXPECT_TRUE(pick == 3 || pick == 7 || pick == 9);
+  }
+}
+
+TEST(RandomPolicyTest, CoversAllNeighbours) {
+  RandomPolicy policy;
+  Rng rng(2);
+  const DemandTable table = table_with({{1, 1.0}, {2, 2.0}, {3, 3.0}});
+  std::set<NodeId> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(policy.choose(table, 0.0, rng));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(RandomPolicyTest, IgnoresDemand) {
+  // Golding's baseline: high demand must NOT bias selection.
+  RandomPolicy policy;
+  Rng rng(3);
+  const DemandTable table = table_with({{1, 1000.0}, {2, 0.0}});
+  int picked_low = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (policy.choose(table, 0.0, rng) == 2) ++picked_low;
+  }
+  EXPECT_NEAR(picked_low, 1000, 150);
+}
+
+TEST(RandomPolicyTest, EmptyTableReturnsInvalid) {
+  RandomPolicy policy;
+  Rng rng(4);
+  const DemandTable table({});
+  EXPECT_EQ(policy.choose(table, 0.0, rng), kInvalidNode);
+}
+
+TEST(RandomPolicyTest, SkipsDeadNeighbours) {
+  RandomPolicy policy;
+  Rng rng(5);
+  DemandTable table({1, 2}, /*liveness=*/1.0);
+  table.update(1, 1.0, 0.0);  // 2 never heard from
+  table.touch(1, 5.0);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(policy.choose(table, 5.0, rng), 1u);
+  }
+}
+
+TEST(DemandCyclePolicyTest, DynamicPicksInDemandOrder) {
+  DemandCyclePolicy policy(/*resort_each_pick=*/true);
+  Rng rng(6);
+  // Paper §2: B's neighbours D(8), E(7), A(4), C(3).
+  const DemandTable table = table_with({{0, 4.0}, {2, 3.0}, {3, 8.0}, {4, 7.0}});
+  EXPECT_EQ(policy.choose(table, 0.0, rng), 3u);  // D
+  EXPECT_EQ(policy.choose(table, 0.0, rng), 4u);  // E
+  EXPECT_EQ(policy.choose(table, 0.0, rng), 0u);  // A
+  EXPECT_EQ(policy.choose(table, 0.0, rng), 2u);  // C
+  // Cycle restarts.
+  EXPECT_EQ(policy.choose(table, 0.0, rng), 3u);
+}
+
+TEST(DemandCyclePolicyTest, DynamicResortsMidCycle) {
+  // Fig. 4: after B-D, demands change (A: 2->0, C: 0->9); the dynamic
+  // algorithm must pick C' next, then A'.
+  DemandCyclePolicy policy(/*resort_each_pick=*/true);
+  Rng rng(7);
+  DemandTable table = table_with({{0 /*A*/, 2.0}, {2 /*C*/, 0.0}, {3 /*D*/, 13.0}});
+  EXPECT_EQ(policy.choose(table, 0.0, rng), 3u);  // B-D
+  table.update(0, 0.0, 1.0);                      // A'
+  table.update(2, 9.0, 1.0);                      // C'
+  EXPECT_EQ(policy.choose(table, 1.0, rng), 2u);  // B-C'
+  EXPECT_EQ(policy.choose(table, 2.0, rng), 0u);  // B-A'
+}
+
+TEST(DemandCyclePolicyTest, StaticIgnoresMidCycleChanges) {
+  // The same scenario under the frozen-order policy: it keeps following the
+  // stale table (the §3 failure the dynamic algorithm fixes).
+  DemandCyclePolicy policy(/*resort_each_pick=*/false);
+  Rng rng(8);
+  DemandTable table = table_with({{0 /*A*/, 2.0}, {2 /*C*/, 0.0}, {3 /*D*/, 13.0}});
+  EXPECT_EQ(policy.choose(table, 0.0, rng), 3u);  // B-D
+  table.update(0, 0.0, 1.0);
+  table.update(2, 9.0, 1.0);
+  EXPECT_EQ(policy.choose(table, 1.0, rng), 0u);  // still A (stale order)
+  EXPECT_EQ(policy.choose(table, 2.0, rng), 2u);  // then C
+}
+
+TEST(DemandCyclePolicyTest, StaticRefreezesAfterFullCycle) {
+  DemandCyclePolicy policy(/*resort_each_pick=*/false);
+  Rng rng(9);
+  DemandTable table = table_with({{1, 5.0}, {2, 1.0}});
+  EXPECT_EQ(policy.choose(table, 0.0, rng), 1u);
+  EXPECT_EQ(policy.choose(table, 0.0, rng), 2u);
+  // Demand flips; the next cycle must see the new order.
+  table.update(1, 0.0, 1.0);
+  table.update(2, 9.0, 1.0);
+  EXPECT_EQ(policy.choose(table, 1.0, rng), 2u);
+}
+
+TEST(DemandCyclePolicyTest, TieBreaksByNodeId) {
+  DemandCyclePolicy policy(true);
+  Rng rng(10);
+  const DemandTable table = table_with({{5, 4.0}, {2, 4.0}, {9, 4.0}});
+  EXPECT_EQ(policy.choose(table, 0.0, rng), 2u);
+  EXPECT_EQ(policy.choose(table, 0.0, rng), 5u);
+  EXPECT_EQ(policy.choose(table, 0.0, rng), 9u);
+}
+
+TEST(DemandCyclePolicyTest, EmptyTableReturnsInvalid) {
+  DemandCyclePolicy policy(true);
+  Rng rng(11);
+  const DemandTable table({});
+  EXPECT_EQ(policy.choose(table, 0.0, rng), kInvalidNode);
+}
+
+TEST(DemandCyclePolicyTest, AllDeadReturnsInvalid) {
+  DemandCyclePolicy policy(true);
+  Rng rng(12);
+  DemandTable table({1, 2}, /*liveness=*/0.5);
+  table.update(1, 5.0, 0.0);
+  table.update(2, 3.0, 0.0);
+  EXPECT_EQ(policy.choose(table, 10.0, rng), kInvalidNode);
+}
+
+TEST(DemandCyclePolicyTest, DeadNeighbourSkippedMidCycle) {
+  DemandCyclePolicy policy(true);
+  Rng rng(13);
+  DemandTable table({1, 2}, /*liveness=*/1.0);
+  table.update(1, 5.0, 0.0);
+  table.update(2, 3.0, 0.0);
+  EXPECT_EQ(policy.choose(table, 0.0, rng), 1u);
+  // Peer 2 goes silent past the window; the cycle must not stall on it.
+  table.touch(1, 2.0);
+  EXPECT_EQ(policy.choose(table, 2.0, rng), 1u);
+}
+
+TEST(DemandCyclePolicyTest, ResetForgetsCycleState) {
+  DemandCyclePolicy policy(true);
+  Rng rng(14);
+  const DemandTable table = table_with({{1, 5.0}, {2, 3.0}});
+  EXPECT_EQ(policy.choose(table, 0.0, rng), 1u);
+  policy.reset();
+  EXPECT_EQ(policy.choose(table, 0.0, rng), 1u);  // cycle restarted
+}
+
+TEST(MakePolicyTest, FactoryProducesAllKinds) {
+  EXPECT_NE(make_policy(PartnerSelection::uniform_random), nullptr);
+  EXPECT_NE(make_policy(PartnerSelection::demand_static), nullptr);
+  EXPECT_NE(make_policy(PartnerSelection::demand_dynamic), nullptr);
+}
+
+}  // namespace
+}  // namespace fastcons

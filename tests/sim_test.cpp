@@ -1,0 +1,194 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace fastcons {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 3.0);
+}
+
+TEST(SimulatorTest, TiesBreakByInsertionOrder) {
+  Simulator sim;
+  std::string log;
+  sim.schedule_at(1.0, [&] { log += 'a'; });
+  sim.schedule_at(1.0, [&] { log += 'b'; });
+  sim.schedule_at(1.0, [&] { log += 'c'; });
+  sim.run();
+  EXPECT_EQ(log, "abc");
+}
+
+TEST(SimulatorTest, ScheduleInIsRelative) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.schedule_at(2.0, [&] {
+    sim.schedule_in(0.5, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 2.5);
+}
+
+TEST(SimulatorTest, NestedSchedulingDuringEvent) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(1.0, [&] {
+    order.push_back(1);
+    sim.schedule_in(0.0, [&] { order.push_back(2); });  // same time, later seq
+  });
+  sim.schedule_at(1.0, [&] { order.push_back(3); });
+  sim.run();
+  // The nested zero-delay event was inserted after event 3.
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const TimerHandle h = sim.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(h));
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, CancelTwiceReturnsFalse) {
+  Simulator sim;
+  const TimerHandle h = sim.schedule_at(1.0, [] {});
+  EXPECT_TRUE(sim.cancel(h));
+  EXPECT_FALSE(sim.cancel(h));
+}
+
+TEST(SimulatorTest, CancelDefaultHandleIsSafe) {
+  Simulator sim;
+  EXPECT_FALSE(sim.cancel(TimerHandle{}));
+}
+
+TEST(SimulatorTest, CancelAfterFireReturnsFalse) {
+  Simulator sim;
+  const TimerHandle h = sim.schedule_at(1.0, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(h));
+}
+
+TEST(SimulatorTest, RunUntilExecutesOnlyDueEvents) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(1.0, [&] { ++count; });
+  sim.schedule_at(2.0, [&] { ++count; });
+  sim.schedule_at(5.0, [&] { ++count; });
+  EXPECT_EQ(sim.run_until(3.0), 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.now(), 3.0);  // advances to the deadline
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesTimeOnEmptyQueue) {
+  Simulator sim;
+  sim.run_until(7.5);
+  EXPECT_EQ(sim.now(), 7.5);
+}
+
+TEST(SimulatorTest, RunUntilBoundaryIsInclusive) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_at(2.0, [&] { fired = true; });
+  sim.run_until(2.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, StopInterruptsRun) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule_at(static_cast<double>(i), [&] {
+      ++count;
+      if (count == 3) sim.stop();
+    });
+  }
+  sim.run();
+  EXPECT_EQ(count, 3);
+  // A fresh run resumes the remaining events.
+  sim.run();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(SimulatorTest, StepExecutesSingleEvent) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(1.0, [&] { ++count; });
+  sim.schedule_at(2.0, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SimulatorTest, CancelledEventsDoNotCountAsSteps) {
+  Simulator sim;
+  const TimerHandle h = sim.schedule_at(1.0, [] {});
+  bool fired = false;
+  sim.schedule_at(2.0, [&] { fired = true; });
+  sim.cancel(h);
+  EXPECT_TRUE(sim.step());  // skips the cancelled entry, runs the live one
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, ManyEventsKeepRelativeOrderStable) {
+  Simulator sim;
+  std::vector<int> order;
+  // Same timestamp, 100 events: insertion order must be preserved exactly.
+  for (int i = 0; i < 100; ++i) {
+    sim.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, TimeNeverGoesBackwards) {
+  Simulator sim;
+  double last = -1.0;
+  bool monotone = true;
+  for (int i = 0; i < 50; ++i) {
+    sim.schedule_at(static_cast<double>(50 - i), [&] {
+      if (sim.now() < last) monotone = false;
+      last = sim.now();
+    });
+  }
+  sim.run();
+  EXPECT_TRUE(monotone);
+}
+
+TEST(SimulatorTest, SelfReschedulingTimerPattern) {
+  // The pattern SimNetwork uses for session timers.
+  Simulator sim;
+  int fires = 0;
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [&sim, &fires, tick] {
+    ++fires;
+    if (fires < 5) sim.schedule_in(1.0, [tick] { (*tick)(); });
+  };
+  sim.schedule_at(0.5, [tick] { (*tick)(); });
+  sim.run();
+  EXPECT_EQ(fires, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 4.5);
+}
+
+}  // namespace
+}  // namespace fastcons

@@ -1,0 +1,317 @@
+#include "net/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace fastcons {
+namespace {
+
+WireFrame roundtrip(NodeId sender, const Message& msg) {
+  const std::vector<std::uint8_t> frame = encode_frame(sender, msg);
+  // Strip the 4-byte length prefix for decode_body.
+  return decode_body(std::span(frame).subspan(4));
+}
+
+SummaryVector sample_summary() {
+  SummaryVector sv;
+  sv.add(UpdateId{0, 1});
+  sv.add(UpdateId{0, 2});
+  sv.add(UpdateId{3, 7});  // out-of-order extra
+  return sv;
+}
+
+Update sample_update(SeqNo seq = 1) {
+  return Update{UpdateId{2, seq}, 1.25, "key-" + std::to_string(seq),
+                "value-" + std::to_string(seq)};
+}
+
+TEST(WireTest, SessionRequestRoundtrip) {
+  const WireFrame frame = roundtrip(5, Message{SessionRequest{42}});
+  EXPECT_EQ(frame.sender, 5u);
+  EXPECT_EQ(std::get<SessionRequest>(frame.msg).session_id, 42u);
+}
+
+TEST(WireTest, SessionSummaryRoundtrip) {
+  const SessionSummary msg{7, sample_summary()};
+  const WireFrame frame = roundtrip(1, Message{msg});
+  const auto& decoded = std::get<SessionSummary>(frame.msg);
+  EXPECT_EQ(decoded.session_id, 7u);
+  EXPECT_EQ(decoded.summary, msg.summary);
+}
+
+TEST(WireTest, SessionPushRoundtrip) {
+  SessionPush msg;
+  msg.session_id = 9;
+  msg.summary = sample_summary();
+  msg.updates = {sample_update(1), sample_update(2)};
+  const WireFrame frame = roundtrip(3, Message{msg});
+  const auto& decoded = std::get<SessionPush>(frame.msg);
+  EXPECT_EQ(decoded.summary, msg.summary);
+  EXPECT_EQ(decoded.updates, msg.updates);
+}
+
+TEST(WireTest, SessionReplyRoundtrip) {
+  SessionReply msg{11, {sample_update(3)}};
+  const WireFrame frame = roundtrip(3, Message{msg});
+  EXPECT_EQ(std::get<SessionReply>(frame.msg).updates, msg.updates);
+}
+
+TEST(WireTest, FastOfferRoundtrip) {
+  FastOffer msg{13, {OfferedId{UpdateId{1, 5}, 2.5},
+                     OfferedId{UpdateId{2, 9}, 3.5}}};
+  const WireFrame frame = roundtrip(4, Message{msg});
+  const auto& decoded = std::get<FastOffer>(frame.msg);
+  EXPECT_EQ(decoded.offer_id, 13u);
+  EXPECT_EQ(decoded.offered, msg.offered);
+}
+
+TEST(WireTest, FastAckRoundtripBothModes) {
+  {
+    const WireFrame yes = roundtrip(1, Message{FastAck{1, true, {}}});
+    EXPECT_TRUE(std::get<FastAck>(yes.msg).yes);
+    EXPECT_TRUE(std::get<FastAck>(yes.msg).wanted.empty());
+  }
+  {
+    FastAck subset{2, true, {UpdateId{0, 1}, UpdateId{3, 4}}};
+    const WireFrame frame = roundtrip(1, Message{subset});
+    EXPECT_EQ(std::get<FastAck>(frame.msg).wanted, subset.wanted);
+  }
+}
+
+TEST(WireTest, FastDataRoundtrip) {
+  FastData msg{17, {sample_update(4)}};
+  const WireFrame frame = roundtrip(6, Message{msg});
+  EXPECT_EQ(std::get<FastData>(frame.msg).updates, msg.updates);
+}
+
+TEST(WireTest, DemandAdvertRoundtrip) {
+  const WireFrame frame = roundtrip(8, Message{DemandAdvert{123.456}});
+  EXPECT_DOUBLE_EQ(std::get<DemandAdvert>(frame.msg).demand, 123.456);
+}
+
+TEST(WireTest, EmptyStringsAndValuesSurvive) {
+  FastData msg{1, {Update{UpdateId{0, 1}, 0.0, "", ""}}};
+  const WireFrame frame = roundtrip(0, Message{msg});
+  const auto& u = std::get<FastData>(frame.msg).updates[0];
+  EXPECT_EQ(u.key, "");
+  EXPECT_EQ(u.value, "");
+}
+
+TEST(WireTest, BinaryPayloadSurvives) {
+  std::string value;
+  for (int i = 0; i < 256; ++i) value.push_back(static_cast<char>(i));
+  FastData msg{1, {Update{UpdateId{0, 1}, 0.0, std::string("\0k\0", 3), value}}};
+  const WireFrame frame = roundtrip(0, Message{msg});
+  EXPECT_EQ(std::get<FastData>(frame.msg).updates[0].value, value);
+  EXPECT_EQ(std::get<FastData>(frame.msg).updates[0].key.size(), 3u);
+}
+
+TEST(WireTest, UnknownTagThrows) {
+  std::vector<std::uint8_t> body{99, 0, 0, 0, 0};
+  EXPECT_THROW(decode_body(body), CodecError);
+}
+
+TEST(WireTest, TruncatedBodyThrows) {
+  const std::vector<std::uint8_t> frame =
+      encode_frame(1, Message{SessionRequest{7}});
+  const std::span<const std::uint8_t> body = std::span(frame).subspan(4);
+  EXPECT_THROW(decode_body(body.subspan(0, body.size() - 1)), CodecError);
+}
+
+TEST(WireTest, TrailingBytesThrow) {
+  std::vector<std::uint8_t> frame = encode_frame(1, Message{SessionRequest{7}});
+  frame.push_back(0);
+  EXPECT_THROW(decode_body(std::span(frame).subspan(4)), CodecError);
+}
+
+TEST(WireTest, EstimatedSizeMatchesEncodedSizeExactly) {
+  // estimated_wire_size (core) mirrors the codec (net); randomised check
+  // that they can never drift apart.
+  Rng rng(77);
+  for (int round = 0; round < 300; ++round) {
+    Message msg;
+    switch (rng.index(8)) {
+      case 0: msg = SessionRequest{rng.next_u64()}; break;
+      case 1: msg = SessionSummary{rng.next_u64(), sample_summary()}; break;
+      case 2: {
+        SessionPush m;
+        m.session_id = rng.next_u64();
+        m.summary = sample_summary();
+        const std::size_t n = rng.index(4);
+        for (std::size_t i = 0; i < n; ++i) m.updates.push_back(sample_update(i + 1));
+        msg = std::move(m);
+        break;
+      }
+      case 3: {
+        SessionReply m;
+        m.session_id = rng.next_u64();
+        const std::size_t n = rng.index(4);
+        for (std::size_t i = 0; i < n; ++i) m.updates.push_back(sample_update(i + 1));
+        msg = std::move(m);
+        break;
+      }
+      case 4: {
+        FastOffer m;
+        m.offer_id = rng.next_u64();
+        const std::size_t n = rng.index(5);
+        for (std::size_t i = 0; i < n; ++i) {
+          m.offered.push_back(OfferedId{UpdateId{static_cast<NodeId>(i), i + 1},
+                                        rng.next_double()});
+        }
+        msg = std::move(m);
+        break;
+      }
+      case 5: {
+        FastAck m;
+        m.offer_id = rng.next_u64();
+        m.yes = rng.bernoulli(0.5);
+        const std::size_t n = rng.index(5);
+        for (std::size_t i = 0; i < n; ++i) {
+          m.wanted.push_back(UpdateId{static_cast<NodeId>(i), i + 1});
+        }
+        msg = std::move(m);
+        break;
+      }
+      case 6: {
+        FastData m;
+        m.offer_id = rng.next_u64();
+        const std::size_t n = rng.index(4);
+        for (std::size_t i = 0; i < n; ++i) m.updates.push_back(sample_update(i + 1));
+        msg = std::move(m);
+        break;
+      }
+      default: msg = DemandAdvert{rng.next_double()}; break;
+    }
+    EXPECT_EQ(encode_frame(1, msg).size(), estimated_wire_size(msg))
+        << "type " << message_name(msg);
+  }
+}
+
+TEST(FrameReaderTest, SingleFrame) {
+  FrameReader reader;
+  reader.feed(encode_frame(4, Message{SessionRequest{1}}));
+  const auto frame = reader.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->sender, 4u);
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(FrameReaderTest, ByteAtATimeDelivery) {
+  FrameReader reader;
+  const auto frame = encode_frame(2, Message{DemandAdvert{7.5}});
+  for (std::size_t i = 0; i + 1 < frame.size(); ++i) {
+    reader.feed(std::span(&frame[i], 1));
+    EXPECT_FALSE(reader.next().has_value()) << "at byte " << i;
+  }
+  reader.feed(std::span(&frame.back(), 1));
+  const auto decoded = reader.next();
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_DOUBLE_EQ(std::get<DemandAdvert>(decoded->msg).demand, 7.5);
+}
+
+TEST(FrameReaderTest, MultipleFramesInOneChunk) {
+  FrameReader reader;
+  std::vector<std::uint8_t> bytes;
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    const auto f = encode_frame(1, Message{SessionRequest{i}});
+    bytes.insert(bytes.end(), f.begin(), f.end());
+  }
+  reader.feed(bytes);
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    const auto frame = reader.next();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(std::get<SessionRequest>(frame->msg).session_id, i);
+  }
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(FrameReaderTest, OversizedAnnouncedLengthThrows) {
+  FrameReader reader;
+  std::vector<std::uint8_t> evil{0xff, 0xff, 0xff, 0xff};
+  reader.feed(evil);
+  EXPECT_THROW(reader.next(), CodecError);
+}
+
+TEST(FrameReaderTest, ZeroLengthFrameThrows) {
+  FrameReader reader;
+  std::vector<std::uint8_t> evil{0, 0, 0, 0};
+  reader.feed(evil);
+  EXPECT_THROW(reader.next(), CodecError);
+}
+
+// ---------------------------------------------------------------------------
+// Fuzzing: arbitrary bytes must never crash the decoder — only CodecError.
+
+class WireFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WireFuzz, RandomBodiesNeverCrash) {
+  Rng rng(GetParam() * 2654435761u + 1);
+  for (int round = 0; round < 2000; ++round) {
+    std::vector<std::uint8_t> body(rng.index(200) + 1);
+    for (auto& byte : body) byte = static_cast<std::uint8_t>(rng.index(256));
+    try {
+      const WireFrame frame = decode_body(body);
+      // Decoding random bytes can legitimately succeed; the result must at
+      // least re-encode without crashing.
+      (void)encode_frame(frame.sender, frame.msg);
+    } catch (const CodecError&) {
+      // expected for most inputs
+    }
+  }
+}
+
+TEST_P(WireFuzz, MutatedValidFramesNeverCrash) {
+  Rng rng(GetParam() * 40503u + 7);
+  SessionPush push;
+  push.session_id = 5;
+  push.summary = sample_summary();
+  push.updates = {sample_update(1), sample_update(2)};
+  const std::vector<std::uint8_t> frame = encode_frame(2, Message{push});
+  for (int round = 0; round < 2000; ++round) {
+    std::vector<std::uint8_t> mutated(frame.begin() + 4, frame.end());
+    const std::size_t flips = rng.index(4) + 1;
+    for (std::size_t f = 0; f < flips; ++f) {
+      mutated[rng.index(mutated.size())] ^=
+          static_cast<std::uint8_t>(1u << rng.index(8));
+    }
+    try {
+      (void)decode_body(mutated);
+    } catch (const CodecError&) {
+    }
+  }
+}
+
+TEST_P(WireFuzz, TruncationsAtEveryLengthNeverCrash) {
+  Rng rng(GetParam());
+  SessionSummary msg{9, sample_summary()};
+  const std::vector<std::uint8_t> frame = encode_frame(1, Message{msg});
+  for (std::size_t len = 0; len + 4 < frame.size(); ++len) {
+    const std::span<const std::uint8_t> body(frame.data() + 4, len);
+    if (len + 4 == frame.size()) continue;  // full frame decodes fine
+    try {
+      (void)decode_body(body);
+    } catch (const CodecError&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzz, ::testing::Range<std::uint64_t>(1, 6));
+
+TEST(FrameReaderTest, ManyFramesCompactBuffer) {
+  FrameReader reader;
+  // Stream enough frames to trigger internal compaction repeatedly.
+  for (int i = 0; i < 2000; ++i) {
+    reader.feed(encode_frame(1, Message{SessionRequest{static_cast<std::uint64_t>(i)}}));
+    const auto frame = reader.next();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(std::get<SessionRequest>(frame->msg).session_id,
+              static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+}  // namespace
+}  // namespace fastcons

@@ -1,0 +1,178 @@
+// fastcons-sim — run a propagation experiment from the command line, no C++
+// required. Prints the same summary block the figure benches produce.
+//
+// Usage:
+//   fastcons-sim [--topology ba|er|waxman|line|ring|grid|star|tree|complete]
+//                [--nodes N] [--algorithm fast|demand-order|weak]
+//                [--reps R] [--seed S] [--demand uniform|zipf]
+//                [--fanout K] [--loss P] [--high-fraction F] [--cdf]
+//
+// Examples:
+//   fastcons-sim --topology ba --nodes 50 --algorithm fast --reps 10000
+//   fastcons-sim --topology grid --nodes 49 --algorithm weak --cdf
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/error.hpp"
+#include "experiment/propagation.hpp"
+#include "stats/table.hpp"
+#include "topology/generators.hpp"
+#include "topology/metrics.hpp"
+
+namespace {
+
+using namespace fastcons;
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--topology ba|er|waxman|line|ring|grid|star|tree|"
+               "complete] [--nodes N] [--algorithm fast|demand-order|weak] "
+               "[--reps R] [--seed S] [--demand uniform|zipf] [--fanout K] "
+               "[--loss P] [--high-fraction F] [--cdf]\n",
+               argv0);
+  std::exit(2);
+}
+
+TopologyFactory topology_factory(const std::string& kind, std::size_t n) {
+  const LatencyRange lat{0.01, 0.05};
+  if (kind == "ba") {
+    return [n, lat](Rng& rng) { return make_barabasi_albert(n, 2, lat, rng); };
+  }
+  if (kind == "er") {
+    const double p = std::min(1.0, 8.0 / static_cast<double>(n));
+    return [n, p, lat](Rng& rng) { return make_erdos_renyi(n, p, lat, rng); };
+  }
+  if (kind == "waxman") {
+    return [n, lat](Rng& rng) { return make_waxman(n, 0.6, 0.3, lat, rng); };
+  }
+  if (kind == "line") {
+    return [n, lat](Rng& rng) { return make_line(n, lat, rng); };
+  }
+  if (kind == "ring") {
+    return [n, lat](Rng& rng) { return make_ring(n, lat, rng); };
+  }
+  if (kind == "grid") {
+    const auto side = static_cast<std::size_t>(std::sqrt(static_cast<double>(n)));
+    return [side, lat](Rng& rng) { return make_grid(side, side, lat, rng); };
+  }
+  if (kind == "star") {
+    return [n, lat](Rng& rng) { return make_star(n, lat, rng); };
+  }
+  if (kind == "tree") {
+    return [n, lat](Rng& rng) { return make_binary_tree(n, lat, rng); };
+  }
+  if (kind == "complete") {
+    return [n, lat](Rng& rng) { return make_complete(n, lat, rng); };
+  }
+  throw ConfigError("unknown topology kind: " + kind);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string topology = "ba";
+  std::string algorithm = "fast";
+  std::string demand_kind = "uniform";
+  std::size_t nodes = 50;
+  std::size_t reps = 1000;
+  std::uint64_t seed = 42;
+  std::size_t fanout = 1;
+  double loss = 0.0;
+  double high_fraction = 0.10;
+  bool print_cdf = false;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto value = [&]() -> std::string {
+        if (i + 1 >= argc) usage(argv[0]);
+        return argv[++i];
+      };
+      if (arg == "--topology") topology = value();
+      else if (arg == "--nodes") nodes = std::stoul(value());
+      else if (arg == "--algorithm") algorithm = value();
+      else if (arg == "--reps") reps = std::stoul(value());
+      else if (arg == "--seed") seed = std::stoull(value());
+      else if (arg == "--demand") demand_kind = value();
+      else if (arg == "--fanout") fanout = std::stoul(value());
+      else if (arg == "--loss") loss = std::stod(value());
+      else if (arg == "--high-fraction") high_fraction = std::stod(value());
+      else if (arg == "--cdf") print_cdf = true;
+      else usage(argv[0]);
+    }
+
+    PropagationExperiment exp;
+    exp.topology = topology_factory(topology, nodes);
+    if (demand_kind == "uniform") {
+      exp.demand = [](const Graph& g, Rng& rng) {
+        return std::make_shared<StaticDemand>(
+            make_uniform_random_demand(g.size(), 0.0, 100.0, rng));
+      };
+    } else if (demand_kind == "zipf") {
+      exp.demand = [](const Graph& g, Rng& rng) {
+        return std::make_shared<StaticDemand>(
+            make_zipf_demand(g.size(), 1.0, 100.0, rng));
+      };
+    } else {
+      throw ConfigError("unknown demand kind: " + demand_kind);
+    }
+    if (algorithm == "fast") exp.sim.protocol = ProtocolConfig::fast();
+    else if (algorithm == "demand-order") exp.sim.protocol = ProtocolConfig::demand_order_only();
+    else if (algorithm == "weak") exp.sim.protocol = ProtocolConfig::weak();
+    else throw ConfigError("unknown algorithm: " + algorithm);
+    exp.sim.protocol.advert_period = 0.0;
+    exp.sim.protocol.fast_fanout = fanout;
+    exp.sim.loss_rate = loss;
+    exp.repetitions = reps;
+    exp.seed = seed;
+    exp.high_demand_fraction = high_fraction;
+
+    // Structural context from one sample topology.
+    Rng probe(seed);
+    const Graph sample = exp.topology(probe);
+    std::printf("fastcons-sim: %s, %zu nodes (diameter %zu), %s demand, "
+                "algorithm %s, %zu reps, loss %.2f\n",
+                topology.c_str(), sample.size(), diameter(sample),
+                demand_kind.c_str(), algorithm.c_str(), reps, loss);
+
+    const PropagationResult result = run_propagation(exp);
+    Table summary({"metric", "value"});
+    summary.add_row({"mean sessions (per replica)",
+                     Table::num(result.all.mean())});
+    summary.add_row({"mean sessions (high-demand subset)",
+                     Table::num(result.high_demand.mean())});
+    summary.add_row({"mean sessions to ALL replicas",
+                     Table::num(result.time_to_full.mean())});
+    summary.add_row({"median / p90 / p99",
+                     Table::num(result.all.quantile(0.5), 2) + " / " +
+                         Table::num(result.all.quantile(0.9), 2) + " / " +
+                         Table::num(result.all.quantile(0.99), 2)});
+    summary.add_row({"repetitions converged",
+                     Table::num(result.reps_converged) + "/" +
+                         Table::num(result.reps_total)});
+    summary.add_row({"messages / repetition",
+                     Table::num(result.traffic.total_messages() /
+                                result.reps_total)});
+    summary.add_row({"wire bytes / repetition",
+                     Table::num(result.traffic.total_bytes() /
+                                result.reps_total)});
+    summary.print(std::cout);
+
+    if (print_cdf) {
+      Table cdf({"sessions", "P(delivered)"});
+      for (double x = 0.0; x <= 12.0 + 1e-9; x += 0.5) {
+        cdf.add_row({Table::num(x, 1), Table::num(result.all.at(x))});
+      }
+      std::cout << '\n';
+      cdf.print(std::cout);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fastcons-sim: error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

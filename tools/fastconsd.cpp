@@ -1,0 +1,163 @@
+// fastconsd — run one fast-consistency replica as a standalone process.
+//
+// Several instances on one or more hosts form a replication mesh; each is
+// told its own id/port and its neighbours' addresses. Useful for manual
+// experiments beyond the in-process LocalCluster.
+//
+// Usage:
+//   fastconsd --id 0 --port 7000 --peer 1:127.0.0.1:7001 <more peers...>
+//             --demand 8 [options]
+//
+// Options:
+//   --id N                 replica id (required)
+//   --port P               listen port (required; must match what peers use)
+//   --peer ID:HOST:PORT    repeatable; one per neighbour
+//   --demand D             advertised demand (default 0)
+//   --algorithm A          fast | demand-order | weak  (default fast)
+//   --period-ms M          session period in wall-clock ms (default 1000)
+//   --write KEY=VALUE      repeatable; client writes issued after startup
+//   --run-seconds S        exit after S seconds (default: run forever)
+//   --verbose              info-level logging to stderr
+//
+// The process prints a one-line status (summary size, sessions, offers)
+// every session period.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "net/server.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --id N --port P [--peer ID:HOST:PORT]... "
+               "[--demand D] [--algorithm fast|demand-order|weak] "
+               "[--period-ms M] [--write K=V]... [--run-seconds S] "
+               "[--verbose]\n",
+               argv0);
+  std::exit(2);
+}
+
+fastcons::PeerAddress parse_peer(const std::string& spec) {
+  const auto first = spec.find(':');
+  const auto second = spec.rfind(':');
+  if (first == std::string::npos || second == first) {
+    throw fastcons::ConfigError("bad --peer spec (want ID:HOST:PORT): " + spec);
+  }
+  fastcons::PeerAddress peer;
+  peer.id = static_cast<fastcons::NodeId>(
+      std::strtoul(spec.substr(0, first).c_str(), nullptr, 10));
+  peer.host = spec.substr(first + 1, second - first - 1);
+  peer.port = static_cast<std::uint16_t>(
+      std::strtoul(spec.substr(second + 1).c_str(), nullptr, 10));
+  return peer;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fastcons;
+  init_log_from_env();
+
+  ServerConfig config;
+  config.protocol = ProtocolConfig::fast();
+  std::vector<std::pair<std::string, std::string>> writes;
+  double run_seconds = -1.0;
+  double period_ms = 1000.0;
+  long port = -1;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto value = [&]() -> std::string {
+        if (i + 1 >= argc) usage(argv[0]);
+        return argv[++i];
+      };
+      if (arg == "--id") {
+        config.self = static_cast<NodeId>(std::stoul(value()));
+      } else if (arg == "--port") {
+        port = std::stol(value());
+      } else if (arg == "--peer") {
+        config.peers.push_back(parse_peer(value()));
+      } else if (arg == "--demand") {
+        config.demand = std::stod(value());
+      } else if (arg == "--algorithm") {
+        const std::string algo = value();
+        if (algo == "fast") config.protocol = ProtocolConfig::fast();
+        else if (algo == "demand-order") config.protocol = ProtocolConfig::demand_order_only();
+        else if (algo == "weak") config.protocol = ProtocolConfig::weak();
+        else usage(argv[0]);
+      } else if (arg == "--period-ms") {
+        period_ms = std::stod(value());
+      } else if (arg == "--write") {
+        const std::string kv = value();
+        const auto eq = kv.find('=');
+        if (eq == std::string::npos) usage(argv[0]);
+        writes.emplace_back(kv.substr(0, eq), kv.substr(eq + 1));
+      } else if (arg == "--run-seconds") {
+        run_seconds = std::stod(value());
+      } else if (arg == "--verbose") {
+        set_log_threshold(LogLevel::info);
+      } else {
+        usage(argv[0]);
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "argument error: %s\n", e.what());
+    usage(argv[0]);
+  }
+  if (config.self == kInvalidNode || port < 0) usage(argv[0]);
+  config.seconds_per_unit = period_ms / 1000.0;
+  config.seed = 0x5eed0000u + config.self;
+
+  try {
+    config.listen_port = static_cast<std::uint16_t>(port);
+    const std::size_t peer_count = config.peers.size();
+    const double demand = config.demand;
+    ReplicaServer server(std::move(config));
+    std::fprintf(stderr, "fastconsd: replica %u on 127.0.0.1:%u (%zu peers, "
+                 "demand %.1f)\n", server.self(), server.port(), peer_count,
+                 demand);
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    server.start();
+    for (auto& [key, val] : writes) server.write(key, val);
+
+    const auto started = std::chrono::steady_clock::now();
+    while (g_stop == 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(static_cast<long>(period_ms)));
+      const EngineStats stats = server.stats();
+      std::fprintf(stderr,
+                   "replica %u: updates=%llu sessions(i/r)=%llu/%llu "
+                   "offers=%llu dups=%llu\n",
+                   server.self(),
+                   static_cast<unsigned long long>(stats.updates_applied),
+                   static_cast<unsigned long long>(stats.sessions_completed),
+                   static_cast<unsigned long long>(stats.sessions_responded),
+                   static_cast<unsigned long long>(stats.offers_sent),
+                   static_cast<unsigned long long>(stats.duplicate_updates));
+      if (run_seconds >= 0.0 &&
+          std::chrono::steady_clock::now() - started >
+              std::chrono::duration<double>(run_seconds)) {
+        break;
+      }
+    }
+    server.stop();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "fastconsd: fatal: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
