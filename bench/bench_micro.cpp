@@ -6,6 +6,7 @@
 
 #include "common/rng.hpp"
 #include "core/engine.hpp"
+#include "demand/demand_table.hpp"
 #include "net/wire.hpp"
 #include "replication/summary_vector.hpp"
 #include "replication/write_log.hpp"
@@ -66,6 +67,30 @@ void BM_WriteLogUpdatesFor(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WriteLogUpdatesFor)->Arg(128)->Arg(2048);
+
+void BM_DemandTableTouch(benchmark::State& state) {
+  // ReplicaEngine::handle touches the table on every message, so this
+  // lookup is the hottest demand-layer path. Must stay O(1) in the
+  // neighbour count (it was a linear scan once; the Args show the scaling).
+  Rng rng(7);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<NodeId> neighbours(n);
+  for (std::size_t i = 0; i < n; ++i) neighbours[i] = static_cast<NodeId>(i);
+  DemandTable table(neighbours);
+  std::vector<NodeId> probe(1024);
+  for (auto& p : probe) p = static_cast<NodeId>(rng.index(n));
+  double now = 0.0;
+  for (auto _ : state) {
+    for (const NodeId peer : probe) {
+      now += 1e-6;
+      table.touch(peer, now);
+    }
+    benchmark::DoNotOptimize(table.entries().data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(probe.size()));
+}
+BENCHMARK(BM_DemandTableTouch)->Arg(8)->Arg(256)->Arg(4096);
 
 void BM_SimulatorEventChurn(benchmark::State& state) {
   for (auto _ : state) {

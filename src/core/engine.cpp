@@ -311,8 +311,19 @@ std::vector<Outbound> ReplicaEngine::on_fast_data(NodeId from,
 
 std::vector<Outbound> ReplicaEngine::on_advert_timer(SimTime now) {
   std::vector<Outbound> out;
-  (void)now;
+  // Dead neighbours are skipped — except one revival probe per tick,
+  // rotating through them. Every other send path (sessions, fast push)
+  // already filters to alive peers, so without the probe two peers that
+  // expire each other's windows would never exchange traffic again.
+  const NodeId probe = table_.next_dead_probe(now);
   for (const DemandEntry& entry : table_.entries()) {
+    if (!table_.is_alive(entry, now)) {
+      if (entry.peer != probe) {
+        ++stats_.adverts_skipped_dead;
+        continue;
+      }
+      ++stats_.adverts_probed_dead;
+    }
     send(out, entry.peer, DemandAdvert{own_demand_});
   }
   return out;

@@ -60,7 +60,10 @@ double StepDemand::demand_at(NodeId n, SimTime t) const {
   FASTCONS_EXPECTS(n < schedules_.size());
   const auto& schedule = schedules_[n];
   auto it = schedule.upper_bound(t);
-  FASTCONS_ASSERT(it != schedule.begin());
+  // Schedules start at t=0, so this only happens when t < 0 — callers with
+  // skewed clocks can ask fractionally before the epoch. Clamp to the first
+  // slot rather than aborting.
+  if (it == schedule.begin()) return it->second;
   --it;
   return it->second;
 }

@@ -10,35 +10,35 @@ DemandTable::DemandTable(std::vector<NodeId> neighbours,
                          SimTime liveness_window)
     : liveness_window_(liveness_window) {
   entries_.reserve(neighbours.size());
+  index_.reserve(neighbours.size());
   for (const NodeId peer : neighbours) {
+    if (index_.contains(peer)) continue;
+    index_.emplace(peer, entries_.size());
     entries_.push_back(DemandEntry{peer, 0.0, 0.0});
   }
 }
 
 const DemandEntry* DemandTable::find(NodeId peer) const {
-  for (const auto& entry : entries_) {
-    if (entry.peer == peer) return &entry;
-  }
-  return nullptr;
+  const auto it = index_.find(peer);
+  if (it == index_.end()) return nullptr;
+  return &entries_[it->second];
+}
+
+DemandEntry* DemandTable::find(NodeId peer) {
+  const auto it = index_.find(peer);
+  if (it == index_.end()) return nullptr;
+  return &entries_[it->second];
 }
 
 void DemandTable::update(NodeId peer, double demand, SimTime now) {
-  for (auto& entry : entries_) {
-    if (entry.peer == peer) {
-      entry.demand = demand;
-      entry.last_heard = now;
-      return;
-    }
+  if (DemandEntry* entry = find(peer)) {
+    entry->demand = demand;
+    entry->last_heard = now;
   }
 }
 
 void DemandTable::touch(NodeId peer, SimTime now) {
-  for (auto& entry : entries_) {
-    if (entry.peer == peer) {
-      entry.last_heard = now;
-      return;
-    }
-  }
+  if (DemandEntry* entry = find(peer)) entry->last_heard = now;
 }
 
 std::optional<double> DemandTable::demand_of(NodeId peer) const {
@@ -50,15 +50,35 @@ std::optional<double> DemandTable::demand_of(NodeId peer) const {
 bool DemandTable::is_alive(NodeId peer, SimTime now) const {
   const DemandEntry* entry = find(peer);
   if (entry == nullptr) return false;
+  return is_alive(*entry, now);
+}
+
+bool DemandTable::is_alive(const DemandEntry& entry,
+                           SimTime now) const noexcept {
   if (liveness_window_ <= 0.0) return true;
-  return now - entry->last_heard <= liveness_window_;
+  return now - entry.last_heard <= liveness_window_;
+}
+
+NodeId DemandTable::next_dead_probe(SimTime now) {
+  DemandEntry* oldest = nullptr;
+  for (auto& entry : entries_) {
+    if (is_alive(entry, now)) continue;
+    if (oldest == nullptr || entry.last_probed < oldest->last_probed ||
+        (entry.last_probed == oldest->last_probed &&
+         entry.peer < oldest->peer)) {
+      oldest = &entry;
+    }
+  }
+  if (oldest == nullptr) return kInvalidNode;
+  oldest->last_probed = now;
+  return oldest->peer;
 }
 
 std::vector<NodeId> DemandTable::by_demand_desc(SimTime now) const {
   std::vector<const DemandEntry*> live;
   live.reserve(entries_.size());
   for (const auto& entry : entries_) {
-    if (is_alive(entry.peer, now)) live.push_back(&entry);
+    if (is_alive(entry, now)) live.push_back(&entry);
   }
   std::sort(live.begin(), live.end(),
             [](const DemandEntry* a, const DemandEntry* b) {
@@ -75,13 +95,14 @@ std::vector<NodeId> DemandTable::alive(SimTime now) const {
   std::vector<NodeId> result;
   result.reserve(entries_.size());
   for (const auto& entry : entries_) {
-    if (is_alive(entry.peer, now)) result.push_back(entry.peer);
+    if (is_alive(entry, now)) result.push_back(entry.peer);
   }
   return result;
 }
 
 void DemandTable::add_neighbour(NodeId peer, SimTime now) {
-  if (find(peer) != nullptr) return;
+  if (index_.contains(peer)) return;
+  index_.emplace(peer, entries_.size());
   entries_.push_back(DemandEntry{peer, 0.0, now});
 }
 

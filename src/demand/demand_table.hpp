@@ -11,6 +11,7 @@
 #define FASTCONS_DEMAND_DEMAND_TABLE_HPP
 
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.hpp"
@@ -22,6 +23,7 @@ struct DemandEntry {
   NodeId peer = kInvalidNode;
   double demand = 0.0;
   SimTime last_heard = 0.0;
+  SimTime last_probed = 0.0;  // last revival probe sent while presumed dead
 };
 
 /// Neighbour demand table with staleness-based liveness.
@@ -47,6 +49,16 @@ class DemandTable {
 
   bool is_alive(NodeId peer, SimTime now) const;
 
+  /// Same check without the index lookup, for callers already holding the
+  /// entry (the advert broadcast iterates entries() directly).
+  bool is_alive(const DemandEntry& entry, SimTime now) const noexcept;
+
+  /// Picks the dead neighbour least recently probed, stamps it probed at
+  /// `now`, and returns it; kInvalidNode when every neighbour is alive.
+  /// Liveness is only ever refreshed by *receiving* traffic, so without a
+  /// periodic probe two mutually-expired peers would stay dark forever.
+  NodeId next_dead_probe(SimTime now);
+
   /// Neighbours sorted by decreasing demand (ties broken by ascending id so
   /// the order is total and deterministic), dead neighbours excluded.
   std::vector<NodeId> by_demand_desc(SimTime now) const;
@@ -62,8 +74,12 @@ class DemandTable {
 
  private:
   const DemandEntry* find(NodeId peer) const;
+  DemandEntry* find(NodeId peer);
 
   std::vector<DemandEntry> entries_;
+  // peer -> index into entries_. find/update/touch run on every message the
+  // engine handles, so lookups must not scan the whole neighbour list.
+  std::unordered_map<NodeId, std::size_t> index_;
   SimTime liveness_window_;
 };
 

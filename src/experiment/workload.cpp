@@ -5,6 +5,7 @@
 
 #include "common/assert.hpp"
 #include "common/error.hpp"
+#include "sim/timer_pool.hpp"
 
 namespace fastcons {
 
@@ -60,19 +61,22 @@ WorkloadResult run_workload(Graph topology,
   read_rngs.reserve(net.size());
   for (NodeId n = 0; n < net.size(); ++n) read_rngs.push_back(rng.split());
 
+  // Owns the read-process closures for the whole run; see
+  // sim/timer_pool.hpp for the ownership rules.
+  TimerPool timers;
   for (NodeId n = 0; n < net.size(); ++n) {
-    auto tick = std::make_shared<std::function<void()>>();
-    const auto reschedule = [&sim, tick, &read_rngs, &net, n,
+    std::function<void()>* tick_ptr = timers.add();
+    const auto reschedule = [&sim, tick_ptr, &read_rngs, &net, n,
                              &workload](SimTime now) {
       const double rate = net.demand_now()[n];
       // Idle replicas poll their demand again after one time unit.
       const SimTime gap =
           rate <= 0.0 ? 1.0 : read_rngs[n].exponential(1.0 / rate);
       if (now + gap < workload.duration) {
-        sim.schedule_in(gap, [tick] { (*tick)(); });
+        sim.schedule_in(gap, [tick_ptr] { (*tick_ptr)(); });
       }
     };
-    *tick = [&, n] {
+    *tick_ptr = [&, reschedule, n] {
       const SimTime now = sim.now();
       const double rate = net.demand_now()[n];
       if (rate > 0.0 && now >= workload.warmup) {
@@ -88,7 +92,7 @@ WorkloadResult run_workload(Graph topology,
       reschedule(now);
     };
     const SimTime first = read_rngs[n].uniform(0.0, 1.0);
-    sim.schedule_at(first, [tick] { (*tick)(); });
+    sim.schedule_at(first, [tick_ptr] { (*tick_ptr)(); });
   }
 
   net.run_until(workload.duration);

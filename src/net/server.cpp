@@ -174,9 +174,11 @@ void ReplicaServer::poll_once(int timeout_ms) {
     }
   }
 
-  // Inbound traffic -> engine.
+  // Inbound traffic -> engine. Only walk the connections that were polled:
+  // the accept loop above can grow inbound_ beyond the fds we registered.
+  const std::size_t polled_inbound = peer_base - inbound_base;
   std::vector<std::uint8_t> bytes;
-  for (std::size_t i = 0; i < inbound_.size(); ++i) {
+  for (std::size_t i = 0; i < polled_inbound; ++i) {
     const short revents = fds[inbound_base + i].revents;
     if ((revents & (POLLIN | POLLERR | POLLHUP)) == 0) continue;
     Inbound& in = inbound_[i];

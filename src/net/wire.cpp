@@ -66,6 +66,16 @@ class Reader {
 
   bool exhausted() const noexcept { return pos_ == data_.size(); }
 
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+
+  // Rejects element counts that could not possibly fit in the remaining
+  // bytes, so untrusted counts never reach an allocator.
+  std::uint32_t count(std::size_t min_element_bytes) {
+    const std::uint32_t n = u32();
+    if (n > remaining() / min_element_bytes) throw CodecError("implausible element count");
+    return n;
+  }
+
  private:
   void need(std::size_t n) const {
     if (pos_ + n > data_.size()) throw CodecError("truncated frame body");
@@ -133,7 +143,9 @@ void put_updates(std::vector<std::uint8_t>& out, const std::vector<Update>& v) {
 }
 
 std::vector<Update> read_updates(Reader& r) {
-  const std::uint32_t count = r.u32();
+  // Minimum wire size of an Update: origin + seq + created_at + two
+  // empty length-prefixed strings.
+  const std::uint32_t count = r.count(4 + 8 + 8 + 4 + 4);
   std::vector<Update> v;
   v.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) v.push_back(read_update(r));
@@ -253,7 +265,7 @@ WireFrame decode_body(std::span<const std::uint8_t> body) {
     case kTagFastOffer: {
       FastOffer m;
       m.offer_id = r.u64();
-      const std::uint32_t count = r.u32();
+      const std::uint32_t count = r.count(4 + 8 + 8);
       m.offered.reserve(count);
       for (std::uint32_t i = 0; i < count; ++i) {
         OfferedId o;
@@ -269,7 +281,7 @@ WireFrame decode_body(std::span<const std::uint8_t> body) {
       FastAck m;
       m.offer_id = r.u64();
       m.yes = r.u8() != 0;
-      const std::uint32_t count = r.u32();
+      const std::uint32_t count = r.count(4 + 8);
       m.wanted.reserve(count);
       for (std::uint32_t i = 0; i < count; ++i) {
         UpdateId id;

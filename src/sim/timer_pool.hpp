@@ -1,0 +1,42 @@
+// Ownership helper for self-rescheduling simulator timers.
+//
+// A tick closure that reschedules itself must not own itself: capturing a
+// shared_ptr to its own std::function forms a reference cycle that never
+// frees (and capturing a per-iteration local by reference dangles). The
+// leak-free idiom is: an owner object holds the closures, scheduled events
+// capture plain pointers, and the owner outlives the simulator run. This
+// class makes that idiom the only thing to write.
+//
+//   TimerPool timers;
+//   auto* tick = timers.add();
+//   *tick = [&sim, tick] { ...; sim.schedule_in(gap, [tick] { (*tick)(); }); };
+//   sim.schedule_at(first, [tick] { (*tick)(); });
+#ifndef FASTCONS_SIM_TIMER_POOL_HPP
+#define FASTCONS_SIM_TIMER_POOL_HPP
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace fastcons {
+
+/// Owns timer closures and hands out pointers that stay valid for the
+/// pool's lifetime (growth never moves the heap-allocated functions).
+class TimerPool {
+ public:
+  /// Returns a stable pointer to a fresh, empty closure; assign the tick
+  /// body through it.
+  std::function<void()>* add() {
+    return ticks_.emplace_back(std::make_unique<std::function<void()>>())
+        .get();
+  }
+
+  std::size_t size() const noexcept { return ticks_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<std::function<void()>>> ticks_;
+};
+
+}  // namespace fastcons
+
+#endif  // FASTCONS_SIM_TIMER_POOL_HPP

@@ -80,15 +80,15 @@ void SimNetwork::start_timers() {
   const ProtocolConfig& proto = config_.protocol;
   for (NodeId node = 0; node < engines_.size(); ++node) {
     // Session timer: self-rescheduling closure.
-    auto session_tick = std::make_shared<std::function<void()>>();
-    auto schedule_next_session = [this, node, session_tick] {
+    std::function<void()>* session_ptr = timers_.add();
+    auto schedule_next_session = [this, node, session_ptr] {
       const SimTime gap =
           config_.timing == SimConfig::Timing::exponential
               ? node_rngs_[node].exponential(config_.protocol.session_period)
               : config_.protocol.session_period;
-      sim_.schedule_in(gap, [session_tick] { (*session_tick)(); });
+      sim_.schedule_in(gap, [session_ptr] { (*session_ptr)(); });
     };
-    *session_tick = [this, node, schedule_next_session] {
+    *session_ptr = [this, node, schedule_next_session] {
       refresh_own_demand(node);
       dispatch(node, engines_[node]->on_session_timer(sim_.now()));
       schedule_next_session();
@@ -99,18 +99,18 @@ void SimNetwork::start_timers() {
         config_.timing == SimConfig::Timing::exponential
             ? node_rngs_[node].exponential(proto.session_period)
             : node_rngs_[node].uniform(0.0, proto.session_period);
-    sim_.schedule_at(first, [session_tick] { (*session_tick)(); });
+    sim_.schedule_at(first, [session_ptr] { (*session_ptr)(); });
 
     if (proto.advert_period > 0.0) {
-      auto advert_tick = std::make_shared<std::function<void()>>();
-      *advert_tick = [this, node, advert_tick] {
+      std::function<void()>* advert_ptr = timers_.add();
+      *advert_ptr = [this, node, advert_ptr] {
         refresh_own_demand(node);
         dispatch(node, engines_[node]->on_advert_timer(sim_.now()));
         sim_.schedule_in(config_.protocol.advert_period,
-                         [advert_tick] { (*advert_tick)(); });
+                         [advert_ptr] { (*advert_ptr)(); });
       };
       sim_.schedule_at(node_rngs_[node].uniform(0.0, proto.advert_period),
-                       [advert_tick] { (*advert_tick)(); });
+                       [advert_ptr] { (*advert_ptr)(); });
     }
   }
 }

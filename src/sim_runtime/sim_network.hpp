@@ -16,6 +16,7 @@
 #include "core/engine.hpp"
 #include "demand/demand_model.hpp"
 #include "sim/simulator.hpp"
+#include "sim/timer_pool.hpp"
 #include "topology/graph.hpp"
 
 namespace fastcons {
@@ -131,6 +132,10 @@ class SimNetwork {
   std::unordered_map<UpdateId, std::size_t, UpdateIdHash> holding_count_;
   std::vector<SeqNo> planned_writes_;
   std::uint64_t dropped_ = 0;
+
+  // Owns the self-rescheduling timer closures; see sim/timer_pool.hpp for
+  // why scheduled events must hold plain pointers, never a shared_ptr.
+  TimerPool timers_;
 };
 
 }  // namespace fastcons

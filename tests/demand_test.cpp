@@ -65,6 +65,15 @@ TEST(StepDemandTest, Figure4Schedule) {
   EXPECT_DOUBLE_EQ(d.demand_at(3, 50.0), 13.0);
 }
 
+TEST(StepDemandTest, NegativeTimeClampsToFirstSlot) {
+  // Callers with skewed clocks can ask fractionally before the epoch; that
+  // must read the t=0 slot, not abort.
+  const StepDemand d(
+      std::vector<std::map<SimTime, double>>{{{0.0, 2.0}, {2.0, 7.0}}});
+  EXPECT_DOUBLE_EQ(d.demand_at(0, -1e-9), 2.0);
+  EXPECT_DOUBLE_EQ(d.demand_at(0, -5.0), 2.0);
+}
+
 TEST(StepDemandTest, RequiresTimeZeroEntry) {
   std::vector<std::map<SimTime, double>> missing_zero{{{1.0, 2.0}}};
   EXPECT_THROW(StepDemand(std::move(missing_zero)), ConfigError);

@@ -56,6 +56,42 @@ TEST(EngineAdversarialTest, DuplicateFastAckSendsDataOnlyOnce) {
   EXPECT_TRUE(second.empty());  // offer already consumed
 }
 
+TEST(EngineAdversarialTest, ReplayedAckAfterDeclineStaysConsumed) {
+  // A NO consumes the offer state. Retransmits of the NO — or a late flip
+  // to YES fishing for data — must hit the already-consumed offer and be
+  // dropped instead of resurrecting it.
+  ReplicaEngine b(1, {2}, cfg(), 1);
+  b.set_own_demand(1.0);
+  b.prime_neighbour_demand(2, 9.0, 0.0);
+  const auto offers = b.local_write("k", "v", 0.0);
+  ASSERT_EQ(offers.size(), 1u);
+  const auto offer_id = std::get<FastOffer>(offers[0].msg).offer_id;
+  EXPECT_TRUE(b.handle(2, Message{FastAck{offer_id, false, {}}}, 0.0).empty());
+  EXPECT_EQ(b.inflight_offers(), 0u);
+  EXPECT_TRUE(b.handle(2, Message{FastAck{offer_id, false, {}}}, 0.1).empty());
+  EXPECT_TRUE(b.handle(2, Message{FastAck{offer_id, true, {}}}, 0.2).empty());
+}
+
+TEST(EngineAdversarialTest, DuplicateOfferReplayAnsweredNoSecondTime) {
+  // The same FastOffer delivered twice (sender retry): the first ack says
+  // YES, the replay must be declined because the payload is now expected /
+  // applied, and stats must count both offers.
+  ReplicaEngine e(0, {1}, cfg(), 1);
+  FastOffer offer;
+  offer.offer_id = 77;
+  offer.offered = {OfferedId{UpdateId{1, 1}, 0.0}};
+  const auto first = e.handle(1, Message{offer}, 0.0);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_TRUE(std::get<FastAck>(first[0].msg).yes);
+  // Deliver the payload, then replay the identical offer.
+  e.handle(1, Message{FastData{77, {Update{UpdateId{1, 1}, 0.0, "k", "v"}}}},
+           0.1);
+  const auto replay = e.handle(1, Message{offer}, 0.2);
+  ASSERT_EQ(replay.size(), 1u);
+  EXPECT_FALSE(std::get<FastAck>(replay[0].msg).yes);
+  EXPECT_EQ(e.stats().offers_received, 2u);
+}
+
 TEST(EngineAdversarialTest, SubsetAckRequestingUnofferedIdsIgnored) {
   ProtocolConfig c = cfg();
   c.ack_mode = FastAckMode::subset;

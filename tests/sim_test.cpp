@@ -1,4 +1,5 @@
 #include "sim/simulator.hpp"
+#include "sim/timer_pool.hpp"
 
 #include <gtest/gtest.h>
 
@@ -176,10 +177,13 @@ TEST(SimulatorTest, TimeNeverGoesBackwards) {
 }
 
 TEST(SimulatorTest, SelfReschedulingTimerPattern) {
-  // The pattern SimNetwork uses for session timers.
+  // The pattern SimNetwork uses for session timers: a TimerPool owns the
+  // closure, scheduled events hold non-owning pointers (a shared_ptr
+  // self-capture would be a leaky reference cycle).
   Simulator sim;
+  TimerPool timers;
   int fires = 0;
-  auto tick = std::make_shared<std::function<void()>>();
+  std::function<void()>* tick = timers.add();
   *tick = [&sim, &fires, tick] {
     ++fires;
     if (fires < 5) sim.schedule_in(1.0, [tick] { (*tick)(); });

@@ -33,6 +33,37 @@ TEST(TruncationTest, NoTruncationBeforeEveryNeighbourKnown) {
   EXPECT_EQ(b.log().size(), 1u);
 }
 
+TEST(TruncationTest, TruncationUnblocksOnceLastNeighbourReportsIn) {
+  // Companion to the test above: the early-return holds exactly until the
+  // last silent neighbour exchanges a summary, then the same timer call
+  // truncates.
+  ReplicaEngine b(1, {0, 2}, truncating_config(), 1);
+  b.prime_neighbour_demand(0, 1.0, 0.0);
+  b.prime_neighbour_demand(2, 1.0, 0.0);
+  b.local_write("k", "v", 0.0);
+  b.handle(0, Message{SessionPush{(0ull << 32) | 9, b.summary(), {}}}, 0.1);
+  b.on_session_timer(0.2);
+  ASSERT_EQ(b.log().size(), 1u);  // still blocked: node 2 never reported
+  b.handle(2, Message{SessionPush{(2ull << 32) | 9, b.summary(), {}}}, 0.3);
+  b.on_session_timer(0.4);
+  EXPECT_EQ(b.log().size(), 0u);
+  EXPECT_EQ(b.stats().payloads_truncated, 1u);
+}
+
+TEST(TruncationTest, LateOverlayNeighbourReblocksTruncation) {
+  // A bridge neighbour added after sessions began contributes bottom to the
+  // frontier until it exchanges summaries, so truncation must stall again
+  // even though every original neighbour is fully known.
+  ReplicaEngine b(1, {0}, truncating_config(), 1);
+  b.prime_neighbour_demand(0, 1.0, 0.0);
+  b.local_write("k", "v", 0.0);
+  b.handle(0, Message{SessionPush{(0ull << 32) | 9, b.summary(), {}}}, 0.1);
+  b.add_overlay_neighbour(7, 0.15);
+  b.on_session_timer(0.2);
+  EXPECT_EQ(b.stats().payloads_truncated, 0u);
+  EXPECT_EQ(b.log().size(), 1u);
+}
+
 TEST(TruncationTest, PairTruncatesAfterMutualSessions) {
   // Two nodes in a line; after a completed session each knows the other's
   // summary, so both can discard the payload while keeping the summary.
