@@ -1,127 +1,7 @@
-// Experiment E10 — ablations over the design choices DESIGN.md §5 calls out:
-//   1. push fanout k (paper: 1)
-//   2. FastAck semantics: strict YES/NO (paper) vs wanted-subset
-//   3. push trigger: any novel update (paper) vs local writes only
-//   4. push rule: demand gradient (paper) vs unconstrained flooding
-// Each variant runs the Fig. 5 workload (BA-50, uniform demand).
-#include "bench_common.hpp"
+// Compatibility stub: this experiment now lives in the harness registry as
+// the scenario(s) listed below. Prefer the unified CLI:
+//   fastcons_bench --scenario ablation --scenario ablation-staleness
+// Env knobs kept: FASTCONS_REPS, FASTCONS_JOBS, FASTCONS_CSV_DIR.
+#include "harness/report.hpp"
 
-int main() {
-  using namespace fastcons;
-  using namespace fastcons::bench;
-
-  const std::size_t n = 50;
-  const std::size_t reps = repetitions(1200);
-  std::printf("Ablations on the Fig. 5 workload (BA-%zu), %zu repetitions\n",
-              n, reps);
-  const TopologyFactory topo = [n](Rng& rng) {
-    return make_barabasi_albert(n, 2, {0.01, 0.05}, rng);
-  };
-
-  std::vector<std::pair<std::string, ProtocolConfig>> variants;
-  {
-    ProtocolConfig base = ProtocolConfig::fast();
-    base.advert_period = 0.0;
-    variants.emplace_back("fast (paper: k=1, yes/no, gradient)", base);
-
-    ProtocolConfig k2 = base;
-    k2.fast_fanout = 2;
-    variants.emplace_back("fanout k=2", k2);
-
-    ProtocolConfig k3 = base;
-    k3.fast_fanout = 3;
-    variants.emplace_back("fanout k=3", k3);
-
-    ProtocolConfig subset = base;
-    subset.ack_mode = FastAckMode::subset;
-    variants.emplace_back("subset acks", subset);
-
-    ProtocolConfig write_only = base;
-    write_only.push_on_any_gain = false;
-    variants.emplace_back("push on local writes only", write_only);
-
-    ProtocolConfig flood = base;
-    flood.push_rule = FastPushRule::unconstrained;
-    variants.emplace_back("unconstrained push (floods)", flood);
-
-    ProtocolConfig weak = ProtocolConfig::weak();
-    weak.advert_period = 0.0;
-    variants.emplace_back("weak baseline", weak);
-  }
-
-  Table table({"variant", "mean", "high-demand", "full", "fast-ctl msgs/rep",
-               "fast-payload B/rep", "dup payloads/rep"});
-  for (const auto& [name, protocol] : variants) {
-    PropagationExperiment exp;
-    exp.topology = topo;
-    exp.demand = uniform_demand_factory();
-    exp.sim.protocol = protocol;
-    exp.repetitions = reps;
-    exp.seed = 31337;
-    const PropagationResult result = run_propagation(exp);
-    // Duplicate payloads are visible as fast-payload bytes beyond one copy
-    // per receiver; report the raw counters and let the table speak.
-    table.add_row(
-        {name, Table::num(result.all.mean(), 3),
-         Table::num(result.high_demand.mean(), 3),
-         Table::num(result.time_to_full.mean(), 3),
-         Table::num(result.traffic.messages(TrafficClass::fast_control) /
-                    result.reps_total),
-         Table::num(result.traffic.bytes(TrafficClass::fast_payload) /
-                    result.reps_total),
-         Table::num(result.traffic.messages(TrafficClass::fast_payload) /
-                    result.reps_total)});
-  }
-  std::cout << "\n== ablation results ==\n";
-  table.print(std::cout);
-  emit_csv(table, "ablation");
-
-  // --- Ablation 4: advert period vs table staleness (the §3 failure) -----
-  // Every node's demand is re-drawn at t=0.45, just before the write lands:
-  // tables primed at t=0 now rank yesterday's hotspots. Without adverts the
-  // fast pushes chase the OLD demand surface and the high-demand advantage
-  // evaporates; periodic adverts (§4, "similar to IP routing algorithms")
-  // restore it, the faster the refresh the fuller the recovery.
-  const std::size_t staleness_reps = std::max<std::size_t>(reps / 4, 100);
-  Table staleness({"advert period", "mean", "high-demand", "full",
-                   "advert msgs/rep"});
-  for (const double advert : {-1.0, 1.0, 0.25, 0.05}) {
-    PropagationExperiment exp;
-    exp.topology = topo;
-    exp.demand = [](const Graph& g,
-                    Rng& rng) -> std::shared_ptr<const DemandModel> {
-      std::vector<std::map<SimTime, double>> schedules(g.size());
-      for (auto& schedule : schedules) {
-        schedule[0.0] = rng.uniform(0.0, 100.0);   // what tables get primed with
-        schedule[0.45] = rng.uniform(0.0, 100.0);  // the surface that matters
-      }
-      return std::make_shared<StepDemand>(std::move(schedules));
-    };
-    exp.sim.protocol = ProtocolConfig::fast();
-    exp.sim.protocol.advert_period = advert < 0.0 ? 0.0 : advert;
-    exp.repetitions = staleness_reps;
-    exp.seed = 777;
-    const PropagationResult result = run_propagation(exp);
-    staleness.add_row(
-        {advert < 0.0 ? "never (primed at t=0)" : Table::num(advert, 2),
-         Table::num(result.all.mean(), 3),
-         Table::num(result.high_demand.mean(), 3),
-         Table::num(result.time_to_full.mean(), 3),
-         Table::num(result.traffic.messages(TrafficClass::demand_advert) /
-                    result.reps_total)});
-  }
-  std::cout << "\n== ablation: advert period after an abrupt demand shift ("
-            << staleness_reps << " reps; §3's stale-table failure) ==\n";
-  staleness.print(std::cout);
-  emit_csv(staleness, "ablation_advert_staleness");
-  std::cout << "\nreading guide (staleness): with no adverts the high-demand"
-               " column degrades toward the population mean — the fast path"
-               " is aiming at the pre-shift hotspots; faster adverts restore"
-               " the ~1-session advantage at the cost of advert traffic\n";
-  std::cout << "\nreading guide: larger fanout buys latency with more "
-               "fast-control traffic; unconstrained push floods (large "
-               "fast-payload) for a modest latency gain over gradient; "
-               "write-only pushes lose most of the benefit on multi-hop "
-               "paths; subset acks only matter when offers overlap\n";
-  return 0;
-}
+int main() { return fastcons::harness::legacy_bench_main({"ablation", "ablation-staleness"}); }

@@ -1,82 +1,7 @@
-// Experiment E7 — §5's scaling claim: "as the number of nodes doubles, the
-// number of sessions required to propagate a change to all replicas does
-// not grow as fast. It seems that the number of sessions required to reach
-// a global consistent state is related to the diameter of the network."
-//
-// Two sweeps demonstrate the two halves of the claim:
-//   (a) BA graphs n = 25..400: node count grows 16x, diameter barely moves,
-//       and sessions-to-consistency stays nearly flat.
-//   (b) grids k x k: diameter grows linearly with k and sessions track it.
-#include "bench_common.hpp"
-#include "topology/metrics.hpp"
+// Compatibility stub: this experiment now lives in the harness registry as
+// the scenario(s) listed below. Prefer the unified CLI:
+//   fastcons_bench --scenario diameter-ba --scenario diameter-grid
+// Env knobs kept: FASTCONS_REPS, FASTCONS_JOBS, FASTCONS_CSV_DIR.
+#include "harness/report.hpp"
 
-namespace {
-
-using namespace fastcons;
-using namespace fastcons::bench;
-
-struct ScalePoint {
-  std::string name;
-  TopologyFactory topo;
-  std::size_t reps_scale;  // divide base reps for the big instances
-};
-
-void sweep(const std::string& title, const std::vector<ScalePoint>& points,
-           std::size_t base_reps, const std::string& csv) {
-  Table table({"topology", "nodes", "diameter", "mean path", "weak full",
-               "fast full", "fast/diameter"});
-  for (const ScalePoint& point : points) {
-    // Representative structural metrics from one sample topology.
-    Rng probe_rng(123);
-    const Graph sample = point.topo(probe_rng);
-    const std::size_t diam = diameter(sample);
-    const double mpl = mean_path_length(sample);
-
-    const std::size_t reps =
-        std::max<std::size_t>(50, base_reps / point.reps_scale);
-    const auto results = run_algorithms(point.topo, uniform_demand_factory(),
-                                        reps, 99, three_algorithms());
-    const double weak_full = results.at("weak").time_to_full.mean();
-    const double fast_full = results.at("fast").time_to_full.mean();
-    table.add_row({point.name, Table::num(static_cast<std::uint64_t>(sample.size())),
-                   Table::num(static_cast<std::uint64_t>(diam)),
-                   Table::num(mpl, 2), Table::num(weak_full, 3),
-                   Table::num(fast_full, 3),
-                   Table::num(fast_full / static_cast<double>(diam), 3)});
-  }
-  std::cout << "\n== " << title << " ==\n";
-  table.print(std::cout);
-  emit_csv(table, csv);
-}
-
-}  // namespace
-
-int main() {
-  const std::size_t base = repetitions(1000);
-  std::printf("Diameter scaling (paper §5 claim), base repetitions %zu\n",
-              base);
-  const LatencyRange lat{0.01, 0.05};
-
-  sweep("(a) BA graphs: node count up 16x, sessions nearly flat",
-        {
-            {"ba-25", [lat](Rng& r) { return make_barabasi_albert(25, 2, lat, r); }, 1},
-            {"ba-50", [lat](Rng& r) { return make_barabasi_albert(50, 2, lat, r); }, 1},
-            {"ba-100", [lat](Rng& r) { return make_barabasi_albert(100, 2, lat, r); }, 2},
-            {"ba-200", [lat](Rng& r) { return make_barabasi_albert(200, 2, lat, r); }, 4},
-            {"ba-400", [lat](Rng& r) { return make_barabasi_albert(400, 2, lat, r); }, 10},
-        },
-        base, "diameter_scaling_ba");
-
-  sweep("(b) grids: diameter grows linearly and sessions track it",
-        {
-            {"grid-3x3", [lat](Rng& r) { return make_grid(3, 3, lat, r); }, 1},
-            {"grid-5x5", [lat](Rng& r) { return make_grid(5, 5, lat, r); }, 1},
-            {"grid-7x7", [lat](Rng& r) { return make_grid(7, 7, lat, r); }, 2},
-            {"grid-9x9", [lat](Rng& r) { return make_grid(9, 9, lat, r); }, 4},
-        },
-        base, "diameter_scaling_grid");
-
-  std::cout << "\nexpected shape: (a) 'fast full' roughly constant while n"
-               " grows 16x; (b) 'fast full' grows with grid diameter\n";
-  return 0;
-}
+int main() { return fastcons::harness::legacy_bench_main({"diameter-ba", "diameter-grid"}); }

@@ -1,80 +1,7 @@
-// Experiment E2 — paper Figure 3: requests per unit time satisfied with
-// consistent content after each session, on the five-replica example of §2
-// (demands A=4, B=6, C=3, D=8, E=7; B holds the change and is connected to
-// the other four).
-//
-// The worst and optimal curves are the paper's two session orders evaluated
-// exactly; the fast-consistency curve is measured by simulation, averaged
-// over repetitions. The paper claims fast consistency "works even better
-// than the optimal case" because the fast-update push serves D without
-// consuming a session.
-#include <array>
+// Compatibility stub: this experiment now lives in the harness registry as
+// the scenario(s) listed below. Prefer the unified CLI:
+//   fastcons_bench --scenario fig3
+// Env knobs kept: FASTCONS_REPS, FASTCONS_JOBS, FASTCONS_CSV_DIR.
+#include "harness/report.hpp"
 
-#include "bench_common.hpp"
-#include "experiment/metrics.hpp"
-#include "sim_runtime/sim_network.hpp"
-
-int main() {
-  using namespace fastcons;
-  using namespace fastcons::bench;
-
-  // Node ids: A=0, B=1, C=2, D=3, E=4. B is the hub.
-  const std::vector<double> demands{4, 6, 3, 8, 7};
-  const auto star = []() {
-    Graph g(5);
-    g.add_edge(1, 0, 0.02);
-    g.add_edge(1, 2, 0.02);
-    g.add_edge(1, 3, 0.02);
-    g.add_edge(1, 4, 0.02);
-    return g;
-  };
-
-  const auto series_for_order = [&](const std::vector<NodeId>& order) {
-    std::vector<std::optional<SimTime>> delivery(5);
-    delivery[1] = 0.0;  // B starts with the change
-    for (std::size_t k = 0; k < order.size(); ++k) {
-      delivery[order[k]] = static_cast<double>(k + 1);
-    }
-    return consistent_rate_series(delivery, demands, 4, 1.0);
-  };
-  const auto worst = series_for_order({2, 0, 4, 3});    // B-C, B-A, B-E, B-D
-  const auto optimal = series_for_order({3, 4, 0, 2});  // B-D, B-E, B-A, B-C
-
-  // Measured fast consistency: B writes at t=0; average the consistent-
-  // service rate at session boundaries over many randomized runs.
-  const std::size_t reps = repetitions(2000);
-  std::array<OnlineStats, 4> fast_rate;
-  Rng master(7);
-  for (std::size_t rep = 0; rep < reps; ++rep) {
-    SimConfig cfg;
-    cfg.protocol = ProtocolConfig::fast();
-    cfg.protocol.advert_period = 0.0;
-    cfg.timing = SimConfig::Timing::periodic;
-    cfg.seed = master.next_u64();
-    SimNetwork net(star(), std::make_shared<StaticDemand>(demands), cfg);
-    const UpdateId id = net.schedule_write(1, "k", "v", 0.0);
-    net.run_until_update_everywhere(id, 10.0);
-    std::vector<std::optional<SimTime>> delivery(5);
-    for (NodeId n = 0; n < 5; ++n) delivery[n] = net.first_delivery(n, id);
-    const auto series = consistent_rate_series(delivery, demands, 4, 1.0);
-    for (std::size_t k = 0; k < 4; ++k) fast_rate[k].add(series[k]);
-  }
-
-  std::printf("Figure 3 reproduction: 5 replicas (A=4 B=6 C=3 D=8 E=7), "
-              "%zu repetitions for the measured curve\n", reps);
-  Table table({"session", "worst-case", "optimal-case", "fast-consistency"});
-  for (std::size_t k = 0; k < 4; ++k) {
-    table.add_row({Table::num(static_cast<std::uint64_t>(k + 1)),
-                   Table::num(worst[k], 0), Table::num(optimal[k], 0),
-                   Table::num(fast_rate[k].mean(), 2)});
-  }
-  std::cout << "\n== Fig. 3 — requests/unit-time served with consistent "
-               "content ==\n";
-  table.print(std::cout);
-  emit_csv(table, "fig3_requests");
-
-  std::cout << "\npaper worst case:   9 13 20 28\n"
-               "paper optimal case: 14 21 25 28\n"
-               "claim: fast consistency >= optimal at every session\n";
-  return 0;
-}
+int main() { return fastcons::harness::legacy_bench_main({"fig3"}); }

@@ -1,85 +1,7 @@
-// Experiment E5 — paper Figure 4 / §4's session table: when demand changes
-// while updates propagate (A: 2 -> 0, C: 0 -> 9 after time 1), the dynamic
-// algorithm's session order must become B-D, B-C', B-A', while the static
-// §2 algorithm mis-routes to the stale order B-D, B-A, B-C.
-//
-// The table is regenerated by driving a real ReplicaEngine for B: adverts
-// update its demand table between session timers, exactly as in the paper's
-// model ("every node is periodically informed of the demand of their
-// neighbours, in a way similar to IP routing algorithms").
-#include "bench_common.hpp"
-#include "core/engine.hpp"
+// Compatibility stub: this experiment now lives in the harness registry as
+// the scenario(s) listed below. Prefer the unified CLI:
+//   fastcons_bench --scenario fig4
+// Env knobs kept: FASTCONS_REPS, FASTCONS_JOBS, FASTCONS_CSV_DIR.
+#include "harness/report.hpp"
 
-namespace {
-
-using namespace fastcons;
-
-/// Runs B's engine through three session timers with a demand shift after
-/// the first; returns the chosen partner sequence.
-std::vector<NodeId> session_sequence(PartnerSelection selection) {
-  ProtocolConfig cfg = ProtocolConfig::fast();
-  cfg.selection = selection;
-  cfg.advert_period = 0.0;  // adverts injected manually below
-  ReplicaEngine b(1, {0 /*A*/, 2 /*C*/, 3 /*D*/}, cfg, 1);
-  b.set_own_demand(6.0);
-  // Initial adverts: A=2, C=0, D=13 (Fig. 4, t=1).
-  b.handle(0, Message{DemandAdvert{2.0}}, 0.5);
-  b.handle(2, Message{DemandAdvert{0.0}}, 0.5);
-  b.handle(3, Message{DemandAdvert{13.0}}, 0.5);
-
-  std::vector<NodeId> partners;
-  const auto record = [&](std::vector<Outbound> outs) {
-    for (const Outbound& out : outs) {
-      if (std::holds_alternative<SessionRequest>(out.msg)) {
-        partners.push_back(out.to);
-      }
-    }
-  };
-  record(b.on_session_timer(1.0));  // t=1
-  // The shift: A' = 0, C' = 9, advertised before the next session.
-  b.handle(0, Message{DemandAdvert{0.0}}, 1.5);
-  b.handle(2, Message{DemandAdvert{9.0}}, 1.5);
-  record(b.on_session_timer(2.0));  // t=2
-  record(b.on_session_timer(3.0));  // t=3
-  return partners;
-}
-
-}  // namespace
-
-int main() {
-  using namespace fastcons;
-  using namespace fastcons::bench;
-
-  const std::vector<std::string> names{"A", "B", "C", "D"};
-  const auto fmt = [&](const std::vector<NodeId>& seq) {
-    std::vector<std::string> cells;
-    for (const NodeId p : seq) cells.push_back("B-" + names[p]);
-    while (cells.size() < 3) cells.push_back("-");
-    return cells;
-  };
-
-  const auto dynamic_seq = session_sequence(PartnerSelection::demand_dynamic);
-  const auto static_seq = session_sequence(PartnerSelection::demand_static);
-
-  std::cout << "Figure 4 reproduction: demand shift A:2->0, C:0->9 after "
-               "the first session (D constant at 13)\n\n";
-  Table table({"algorithm", "time 1", "time 2", "time 3", "paper"});
-  {
-    auto cells = fmt(dynamic_seq);
-    table.add_row({"dynamic (§4)", cells[0], cells[1], cells[2],
-                   "B-D, B-C', B-A'"});
-  }
-  {
-    auto cells = fmt(static_seq);
-    table.add_row({"static (§2, mis-routes)", cells[0], cells[1], cells[2],
-                   "B-D, B-A, B-C"});
-  }
-  table.print(std::cout);
-  emit_csv(table, "fig4_dynamic_sessions");
-
-  const bool ok = dynamic_seq == std::vector<NodeId>{3, 2, 0} &&
-                  static_seq == std::vector<NodeId>{3, 0, 2};
-  std::cout << (ok ? "\nMATCH: dynamic order B-D, B-C', B-A' as in the paper\n"
-                   : "\nMISMATCH: see table above\n");
-  return ok ? 0 : 1;
-}
+int main() { return fastcons::harness::legacy_bench_main({"fig4"}); }

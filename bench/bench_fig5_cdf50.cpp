@@ -1,65 +1,7 @@
-// Experiment E3 — paper Figure 5: CDF of the number of sessions needed for
-// a change written at a random replica to reach the other replicas, on
-// BRITE-like (Barabási–Albert) topologies with 50 nodes and uniformly random
-// demands, repeated many times (paper: 10,000).
-//
-// Paper reference points (50 nodes):
-//   - fast consistency reaches ALL replicas in 3.9261 sessions on average
-//   - weak consistency needs 6.1499 sessions on average
-//   - the replicas with most demand reach consistency in ~1 session
-#include "bench_common.hpp"
+// Compatibility stub: this experiment now lives in the harness registry as
+// the scenario(s) listed below. Prefer the unified CLI:
+//   fastcons_bench --scenario fig5
+// Env knobs kept: FASTCONS_REPS, FASTCONS_JOBS, FASTCONS_CSV_DIR.
+#include "harness/report.hpp"
 
-int main() {
-  using namespace fastcons;
-  using namespace fastcons::bench;
-
-  const std::size_t n = 50;
-  const std::size_t reps = repetitions(10000);
-  const TopologyFactory topo = [n](Rng& rng) {
-    return make_barabasi_albert(n, 2, {0.01, 0.05}, rng);
-  };
-
-  std::printf("Figure 5 reproduction: %zu-node BA topologies, %zu repetitions\n",
-              n, reps);
-  const auto results =
-      run_algorithms(topo, uniform_demand_factory(), reps, 42,
-                     three_algorithms());
-
-  const auto& fast = results.at("fast");
-  const auto& mid = results.at("demand-order");
-  const auto& weak = results.at("weak");
-
-  print_cdf_table(
-      "Fig. 5 — CDF of number of sessions, 50 nodes",
-      {{"fast-consistency", &fast.all},
-       {"consistency-high-demand", &fast.high_demand},
-       {"weak-consistency", &weak.all},
-       {"demand-order-only", &mid.all}},
-      11.0, 0.5, "fig5_cdf_50");
-
-  Table summary({"metric", "fast", "demand-order", "weak", "paper-fast",
-                 "paper-weak"});
-  summary.add_row({"mean sessions (per replica)", Table::num(fast.all.mean()),
-                   Table::num(mid.all.mean()), Table::num(weak.all.mean()),
-                   "-", "-"});
-  summary.add_row({"mean sessions (high-demand replicas)",
-                   Table::num(fast.high_demand.mean()),
-                   Table::num(mid.high_demand.mean()),
-                   Table::num(weak.high_demand.mean()), "~1", "-"});
-  summary.add_row({"mean sessions to reach ALL replicas",
-                   Table::num(fast.time_to_full.mean()),
-                   Table::num(mid.time_to_full.mean()),
-                   Table::num(weak.time_to_full.mean()), "3.9261", "6.1499"});
-  summary.add_row({"p99 sessions (per replica)",
-                   Table::num(fast.all.quantile(0.99)),
-                   Table::num(mid.all.quantile(0.99)),
-                   Table::num(weak.all.quantile(0.99)), "-", "-"});
-  summary.add_row({"repetitions converged",
-                   Table::num(fast.reps_converged),
-                   Table::num(mid.reps_converged),
-                   Table::num(weak.reps_converged), "-", "-"});
-  std::cout << "\n== Fig. 5 summary (paper: means 3.93 vs 6.15; high-demand ~1) ==\n";
-  summary.print(std::cout);
-  emit_csv(summary, "fig5_summary_50");
-  return 0;
-}
+int main() { return fastcons::harness::legacy_bench_main({"fig5"}); }

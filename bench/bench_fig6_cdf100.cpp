@@ -1,64 +1,7 @@
-// Experiment E4 — paper Figure 6: the Figure 5 experiment at 100 nodes.
-//
-// Paper reference points (100 nodes):
-//   - fast consistency reaches ALL replicas in 4.78117 sessions on average
-//   - weak consistency needs 6.982 sessions on average
-//   - high-demand replicas reach consistency in ~1 session
-//   - doubling the node count grows the session count only mildly (the
-//     number of sessions tracks the network diameter, not the node count)
-#include "bench_common.hpp"
+// Compatibility stub: this experiment now lives in the harness registry as
+// the scenario(s) listed below. Prefer the unified CLI:
+//   fastcons_bench --scenario fig6
+// Env knobs kept: FASTCONS_REPS, FASTCONS_JOBS, FASTCONS_CSV_DIR.
+#include "harness/report.hpp"
 
-int main() {
-  using namespace fastcons;
-  using namespace fastcons::bench;
-
-  const std::size_t n = 100;
-  const std::size_t reps = repetitions(10000);
-  const TopologyFactory topo = [n](Rng& rng) {
-    return make_barabasi_albert(n, 2, {0.01, 0.05}, rng);
-  };
-
-  std::printf("Figure 6 reproduction: %zu-node BA topologies, %zu repetitions\n",
-              n, reps);
-  const auto results =
-      run_algorithms(topo, uniform_demand_factory(), reps, 43,
-                     three_algorithms());
-
-  const auto& fast = results.at("fast");
-  const auto& mid = results.at("demand-order");
-  const auto& weak = results.at("weak");
-
-  print_cdf_table(
-      "Fig. 6 — CDF of number of sessions, 100 nodes",
-      {{"fast-consistency", &fast.all},
-       {"consistency-high-demand", &fast.high_demand},
-       {"weak-consistency", &weak.all},
-       {"demand-order-only", &mid.all}},
-      11.0, 0.5, "fig6_cdf_100");
-
-  Table summary({"metric", "fast", "demand-order", "weak", "paper-fast",
-                 "paper-weak"});
-  summary.add_row({"mean sessions (per replica)", Table::num(fast.all.mean()),
-                   Table::num(mid.all.mean()), Table::num(weak.all.mean()),
-                   "-", "-"});
-  summary.add_row({"mean sessions (high-demand replicas)",
-                   Table::num(fast.high_demand.mean()),
-                   Table::num(mid.high_demand.mean()),
-                   Table::num(weak.high_demand.mean()), "~1", "-"});
-  summary.add_row({"mean sessions to reach ALL replicas",
-                   Table::num(fast.time_to_full.mean()),
-                   Table::num(mid.time_to_full.mean()),
-                   Table::num(weak.time_to_full.mean()), "4.78117", "6.982"});
-  summary.add_row({"p99 sessions (per replica)",
-                   Table::num(fast.all.quantile(0.99)),
-                   Table::num(mid.all.quantile(0.99)),
-                   Table::num(weak.all.quantile(0.99)), "-", "-"});
-  summary.add_row({"repetitions converged",
-                   Table::num(fast.reps_converged),
-                   Table::num(mid.reps_converged),
-                   Table::num(weak.reps_converged), "-", "-"});
-  std::cout << "\n== Fig. 6 summary (paper: means 4.78 vs 6.98; high-demand ~1) ==\n";
-  summary.print(std::cout);
-  emit_csv(summary, "fig6_summary_100");
-  return 0;
-}
+int main() { return fastcons::harness::legacy_bench_main({"fig6"}); }

@@ -1,65 +1,7 @@
-// Experiment E12 (extension) — the paper's abstract, measured literally:
-// "updating first replicas having most demand, a greater number of clients
-// would gain access to updated content in a shorter period of time."
-//
-// Clients issue Poisson reads at each replica at its demand rate while a
-// stream of writes flows through the system; a read is *fresh* when the
-// serving replica already holds the newest write of the requested key. We
-// sweep the write rate and report the fresh-read fraction and the mean age
-// of stale reads for all three algorithms.
-#include "bench_common.hpp"
-#include "experiment/workload.hpp"
+// Compatibility stub: this experiment now lives in the harness registry as
+// the scenario(s) listed below. Prefer the unified CLI:
+//   fastcons_bench --scenario freshness
+// Env knobs kept: FASTCONS_REPS, FASTCONS_JOBS, FASTCONS_CSV_DIR.
+#include "harness/report.hpp"
 
-int main() {
-  using namespace fastcons;
-  using namespace fastcons::bench;
-
-  const std::size_t n = 40;
-  const std::size_t runs = std::max<std::size_t>(repetitions(400) / 20, 5);
-  std::printf("Client freshness (extension E12): BA-%zu, Zipf demand, %zu "
-              "runs per cell\n", n, runs);
-
-  Table table({"write interval", "algorithm", "fresh reads", "stale age",
-               "reads/run", "writes/run"});
-  for (const double interval : {4.0, 2.0, 1.0}) {
-    for (const auto& [name, protocol] : three_algorithms()) {
-      double fresh_sum = 0.0;
-      OnlineStats stale_age;
-      std::uint64_t reads = 0, writes = 0;
-      Rng master(31415);
-      for (std::size_t run = 0; run < runs; ++run) {
-        Rng rep_rng = master.split();
-        Graph g = make_barabasi_albert(n, 2, {0.01, 0.05}, rep_rng);
-        auto demand = std::make_shared<StaticDemand>(
-            make_zipf_demand(n, 1.0, 60.0, rep_rng));
-        SimConfig sim;
-        sim.protocol = protocol;
-        sim.seed = rep_rng.next_u64();
-        WorkloadConfig workload;
-        workload.keys = 4;
-        workload.write_interval = interval;
-        workload.duration = 40.0;
-        workload.warmup = 5.0;
-        workload.seed = rep_rng.next_u64();
-        const WorkloadResult result =
-            run_workload(std::move(g), demand, sim, workload);
-        fresh_sum += result.fresh_fraction();
-        stale_age.merge(result.stale_age);
-        reads += result.reads;
-        writes += result.writes;
-      }
-      table.add_row({Table::num(interval, 1), name,
-                     Table::num(100.0 * fresh_sum / static_cast<double>(runs), 2) + "%",
-                     Table::num(stale_age.mean(), 3),
-                     Table::num(reads / runs), Table::num(writes / runs)});
-    }
-  }
-  std::cout << "\n== fresh reads by algorithm and write rate ==\n";
-  table.print(std::cout);
-  emit_csv(table, "freshness");
-  std::cout << "\nexpected shape: fast consistency keeps the fresh-read "
-               "fraction highest at every write rate, and the stale reads "
-               "that remain are younger; the gap widens as writes become "
-               "more frequent\n";
-  return 0;
-}
+int main() { return fastcons::harness::legacy_bench_main({"freshness"}); }

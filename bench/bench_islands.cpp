@@ -1,103 +1,7 @@
-// Experiment E9 — §6 "Complex demand distribution": two high-demand islands
-// separated by a low-demand bridge. Without help, updates crawl across the
-// cold region by ordinary sessions; with the island overlay (leader election
-// + leader bridges) the far island is served at fast-push speed.
-#include "bench_common.hpp"
-#include "islands/islands.hpp"
-#include "sim_runtime/sim_network.hpp"
-#include "stats/online_stats.hpp"
+// Compatibility stub: this experiment now lives in the harness registry as
+// the scenario(s) listed below. Prefer the unified CLI:
+//   fastcons_bench --scenario islands
+// Env knobs kept: FASTCONS_REPS, FASTCONS_JOBS, FASTCONS_CSV_DIR.
+#include "harness/report.hpp"
 
-int main() {
-  using namespace fastcons;
-  using namespace fastcons::bench;
-
-  const std::size_t clique = 6;
-  const std::size_t reps = repetitions(500);
-  std::printf("Islands experiment (§6): two %zu-cliques, varying cold-bridge"
-              " length, %zu repetitions\n", clique, reps);
-
-  Table table({"bridge len", "variant", "far-leader sessions",
-               "far-island mean", "full consistency", "island ctl links"});
-
-  for (const std::size_t bridge_len : {4u, 8u, 16u}) {
-    struct Variant {
-      std::string name;
-      bool overlay;
-      ProtocolConfig protocol;
-    };
-    ProtocolConfig weak = ProtocolConfig::weak();
-    weak.advert_period = 0.0;
-    ProtocolConfig fast = ProtocolConfig::fast();
-    fast.advert_period = 0.0;
-    const std::vector<Variant> variants{
-        {"weak", false, weak},
-        {"fast", false, fast},
-        {"fast+overlay", true, fast},
-    };
-    for (const Variant& variant : variants) {
-      OnlineStats far_leader, far_island, full;
-      std::size_t bridges_added = 0;
-      Rng master(4242);
-      for (std::size_t rep = 0; rep < reps; ++rep) {
-        Rng rep_rng = master.split();
-        Graph g = make_dumbbell(clique, bridge_len, {0.01, 0.03}, rep_rng);
-        // Demands: left island warm, right island hot, bridge cold.
-        std::vector<double> demand(g.size(), 1.0);
-        for (NodeId n2 = 0; n2 < clique; ++n2) {
-          demand[n2] = rep_rng.uniform(30.0, 50.0);
-        }
-        for (NodeId n2 = clique; n2 < 2 * clique; ++n2) {
-          demand[n2] = rep_rng.uniform(50.0, 80.0);
-        }
-        auto model = std::make_shared<StaticDemand>(demand);
-        SimConfig cfg;
-        cfg.protocol = variant.protocol;
-        cfg.seed = rep_rng.next_u64();
-        SimNetwork net(std::move(g), model, cfg);
-
-        const auto islands = detect_islands(net.graph(), demand, 20.0);
-        const auto leaders = elect_leaders(islands, demand);
-        if (variant.overlay) {
-          for (const Bridge& b : compute_bridges(net.graph(), leaders)) {
-            net.add_overlay_link(b.a, b.b, b.latency);
-            ++bridges_added;
-          }
-        }
-        // Write in the left island; measure arrival in the right island.
-        const auto writer = static_cast<NodeId>(rep_rng.index(clique));
-        const SimTime at = rep_rng.uniform(0.5, 1.5);
-        const UpdateId id = net.schedule_write(writer, "k", "v", at);
-        net.run_until_update_everywhere(id, at + 80.0);
-
-        const NodeId far_leader_node =
-            leaders.size() > 1 ? leaders[1] : static_cast<NodeId>(2 * clique - 1);
-        far_leader.add(net.first_delivery(far_leader_node, id)
-                           .value_or(at + 80.0) - at);
-        OnlineStats island_stat;
-        for (NodeId n2 = clique; n2 < 2 * clique; ++n2) {
-          island_stat.add(net.first_delivery(n2, id).value_or(at + 80.0) - at);
-        }
-        far_island.add(island_stat.mean());
-        double last = 0.0;
-        for (NodeId n2 = 0; n2 < net.size(); ++n2) {
-          last = std::max(last,
-                          net.first_delivery(n2, id).value_or(at + 80.0) - at);
-        }
-        full.add(last);
-      }
-      table.add_row({Table::num(static_cast<std::uint64_t>(bridge_len)),
-                     variant.name, Table::num(far_leader.mean(), 3),
-                     Table::num(far_island.mean(), 3),
-                     Table::num(full.mean(), 3),
-                     Table::num(static_cast<std::uint64_t>(
-                         variant.overlay ? bridges_added / reps : 0))});
-    }
-  }
-  std::cout << "\n== islands: arrival at the far high-demand region ==\n";
-  table.print(std::cout);
-  emit_csv(table, "islands");
-  std::cout << "\nexpected shape: 'fast+overlay' keeps the far island near "
-               "~1 session regardless of bridge length; plain fast degrades "
-               "as the cold bridge lengthens\n";
-  return 0;
-}
+int main() { return fastcons::harness::legacy_bench_main({"islands"}); }

@@ -1,65 +1,7 @@
-// Experiment E8 — §8's overhead claims: "it requires few additional bytes in
-// the exchange of messages between replicas ... The algorithm is scalable,
-// does not cause traffic overload". We measure wire bytes (via the codec's
-// exact sizes) per message class over a fixed horizon, comparing weak,
-// demand-order and fast on the same workload.
-#include "bench_common.hpp"
-#include "sim_runtime/sim_network.hpp"
+// Compatibility stub: this experiment now lives in the harness registry as
+// the scenario(s) listed below. Prefer the unified CLI:
+//   fastcons_bench --scenario overhead
+// Env knobs kept: FASTCONS_REPS, FASTCONS_JOBS, FASTCONS_CSV_DIR.
+#include "harness/report.hpp"
 
-int main() {
-  using namespace fastcons;
-  using namespace fastcons::bench;
-
-  const std::size_t n = 50;
-  const std::size_t reps = repetitions(300);
-  const SimTime horizon = 10.0;
-  std::printf("Overhead accounting: BA-%zu, one write, horizon %.0f session"
-              " periods, %zu repetitions\n", n, horizon, reps);
-
-  Table table({"algorithm", "msgs/node/unit", "bytes/node/unit",
-               "session-ctl B", "session-payload B", "fast-ctl B",
-               "fast-payload B", "extra vs weak"});
-  std::uint64_t weak_bytes = 0;
-  for (const auto& [name, protocol] : three_algorithms()) {
-    TrafficCounters total;
-    Rng master(2025);
-    for (std::size_t rep = 0; rep < reps; ++rep) {
-      Rng rep_rng = master.split();
-      Graph g = make_barabasi_albert(n, 2, {0.01, 0.05}, rep_rng);
-      auto demand = std::make_shared<StaticDemand>(
-          make_uniform_random_demand(n, 0.0, 100.0, rep_rng));
-      SimConfig cfg;
-      cfg.protocol = protocol;
-      cfg.seed = rep_rng.next_u64();
-      SimNetwork net(std::move(g), demand, cfg);
-      net.schedule_write(static_cast<NodeId>(rep_rng.index(n)), "k", "v", 0.5);
-      net.run_until(horizon);
-      total.merge(net.total_traffic());
-    }
-    const double node_units =
-        static_cast<double>(reps) * static_cast<double>(n) * horizon;
-    if (name == "weak") weak_bytes = total.total_bytes();
-    const double extra =
-        weak_bytes == 0
-            ? 0.0
-            : 100.0 * (static_cast<double>(total.total_bytes()) -
-                       static_cast<double>(weak_bytes)) /
-                  static_cast<double>(weak_bytes);
-    table.add_row(
-        {name,
-         Table::num(static_cast<double>(total.total_messages()) / node_units, 2),
-         Table::num(static_cast<double>(total.total_bytes()) / node_units, 1),
-         Table::num(total.bytes(TrafficClass::session_control) / reps),
-         Table::num(total.bytes(TrafficClass::session_payload) / reps),
-         Table::num(total.bytes(TrafficClass::fast_control) / reps),
-         Table::num(total.bytes(TrafficClass::fast_payload) / reps),
-         Table::num(extra, 1) + "%"});
-  }
-  std::cout << "\n== traffic per algorithm (same horizon, same workload) ==\n";
-  table.print(std::cout);
-  emit_csv(table, "overhead");
-  std::cout << "\nexpected shape: the fast rows add only small id-sized "
-               "offer/ack traffic (\"few additional bytes\"); per-byte "
-               "totals stay within a few percent of weak\n";
-  return 0;
-}
+int main() { return fastcons::harness::legacy_bench_main({"overhead"}); }

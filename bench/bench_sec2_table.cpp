@@ -1,95 +1,7 @@
-// Experiment E1 — the §2 running example: the replica/demand table, the
-// demand-ordered neighbour list it induces, and a message-level walkthrough
-// of the 18 protocol steps (weak-consistency session E<->B, then the fast
-// update B->D).
-#include <deque>
+// Compatibility stub: this experiment now lives in the harness registry as
+// the scenario(s) listed below. Prefer the unified CLI:
+//   fastcons_bench --scenario sec2
+// Env knobs kept: FASTCONS_REPS, FASTCONS_JOBS, FASTCONS_CSV_DIR.
+#include "harness/report.hpp"
 
-#include "bench_common.hpp"
-#include "core/engine.hpp"
-
-int main() {
-  using namespace fastcons;
-  using namespace fastcons::bench;
-
-  // Paper §2: Replica A B C D E / demand 4 6 3 8 7. Ids: A=0..E=4.
-  const std::vector<double> demands{4, 6, 3, 8, 7};
-  const std::vector<std::string> names{"A", "B", "C", "D", "E"};
-
-  Table table({"replica", "rate of demand (Z axis)"});
-  for (std::size_t i = 0; i < 5; ++i) {
-    table.add_row({names[i], Table::num(demands[i], 0)});
-  }
-  std::cout << "== §2 table — replicas and demands ==\n";
-  table.print(std::cout);
-  emit_csv(table, "sec2_demands");
-
-  // The neighbour order the demand-cycle policy produces for B.
-  DemandTable b_table({0, 2, 3, 4});
-  b_table.update(0, demands[0], 0.0);
-  b_table.update(2, demands[2], 0.0);
-  b_table.update(3, demands[3], 0.0);
-  b_table.update(4, demands[4], 0.0);
-  Table order_table({"pick", "replica", "demand"});
-  const auto order = b_table.by_demand_desc(0.0);
-  for (std::size_t i = 0; i < order.size(); ++i) {
-    order_table.add_row({Table::num(static_cast<std::uint64_t>(i + 1)),
-                         names[order[i]], Table::num(demands[order[i]], 0)});
-  }
-  std::cout << "\n== B's demand-ordered session cycle (paper best case "
-               "B-D, B-E, B-A, B-C) ==\n";
-  order_table.print(std::cout);
-  emit_csv(order_table, "sec2_order");
-
-  // Steps 1-18 walkthrough: engines for E, B, D with the fig. 2 demands;
-  // E writes, starts a session with B; B's gain fast-updates D.
-  ProtocolConfig cfg = ProtocolConfig::fast();
-  cfg.advert_period = 0.0;
-  ReplicaEngine e(4, {1}, cfg, 1);
-  ReplicaEngine b(1, {0, 2, 3, 4}, cfg, 2);
-  ReplicaEngine d(3, {1}, cfg, 3);
-  e.set_own_demand(demands[4]);
-  b.set_own_demand(demands[1]);
-  d.set_own_demand(demands[3]);
-  e.prime_neighbour_demand(1, demands[1], 0.0);
-  for (const NodeId peer : {0u, 2u, 3u, 4u}) {
-    b.prime_neighbour_demand(peer, demands[peer], 0.0);
-  }
-  d.prime_neighbour_demand(1, demands[1], 0.0);
-
-  std::map<NodeId, ReplicaEngine*> engines{{4, &e}, {1, &b}, {3, &d}};
-  std::deque<std::pair<NodeId, Outbound>> queue;
-  Table trace({"step", "from", "to", "message"});
-  std::uint64_t step = 0;
-  const auto enqueue = [&](NodeId from, std::vector<Outbound> outs) {
-    for (Outbound& out : outs) queue.push_back({from, std::move(out)});
-  };
-
-  enqueue(4, e.local_write("news", "update-from-E", 0.0));
-  trace.add_row({Table::num(++step), "client", "E", "write(news)"});
-  enqueue(4, e.on_session_timer(0.0));  // E selects B (most demand)
-  while (!queue.empty()) {
-    auto [from, out] = std::move(queue.front());
-    queue.pop_front();
-    const auto it = engines.find(out.to);
-    trace.add_row({Table::num(++step),
-                   names[from], names[out.to],
-                   std::string(message_name(out.msg))});
-    if (it == engines.end()) continue;  // A/C not instantiated in this demo
-    enqueue(out.to, it->second->handle(from, out.msg, 0.0));
-  }
-
-  std::cout << "\n== §2.1 protocol walkthrough (E writes; session E-B; "
-               "fast update B->D) ==\n";
-  trace.print(std::cout);
-  emit_csv(trace, "sec2_walkthrough");
-
-  Table state({"replica", "has update?", "read(news)"});
-  for (const auto& [id, engine] : engines) {
-    state.add_row({names[id],
-                   engine->summary().contains(UpdateId{4, 1}) ? "yes" : "no",
-                   engine->read("news").value_or("-")});
-  }
-  std::cout << "\n== resulting replica state ==\n";
-  state.print(std::cout);
-  return 0;
-}
+int main() { return fastcons::harness::legacy_bench_main({"sec2"}); }

@@ -1,52 +1,7 @@
-// Experiment E6 — §5's claim: "Similar results as shown in figures 5 and 6
-// have been obtained with simpler uniform topologies (linear, ring, grid),
-// with different number of nodes." One row per topology: fast vs weak mean
-// sessions, high-demand subset, and time to full consistency.
-#include "bench_common.hpp"
+// Compatibility stub: this experiment now lives in the harness registry as
+// the scenario(s) listed below. Prefer the unified CLI:
+//   fastcons_bench --scenario uniform-topologies
+// Env knobs kept: FASTCONS_REPS, FASTCONS_JOBS, FASTCONS_CSV_DIR.
+#include "harness/report.hpp"
 
-int main() {
-  using namespace fastcons;
-  using namespace fastcons::bench;
-
-  const std::size_t reps = repetitions(1500);
-  std::printf("Uniform topologies (paper §5 claim), %zu repetitions each\n",
-              reps);
-
-  struct Row {
-    std::string name;
-    TopologyFactory topo;
-  };
-  const LatencyRange lat{0.01, 0.05};
-  const std::vector<Row> rows{
-      {"line-16", [lat](Rng& rng) { return make_line(16, lat, rng); }},
-      {"line-32", [lat](Rng& rng) { return make_line(32, lat, rng); }},
-      {"ring-16", [lat](Rng& rng) { return make_ring(16, lat, rng); }},
-      {"ring-32", [lat](Rng& rng) { return make_ring(32, lat, rng); }},
-      {"grid-4x4", [lat](Rng& rng) { return make_grid(4, 4, lat, rng); }},
-      {"grid-6x6", [lat](Rng& rng) { return make_grid(6, 6, lat, rng); }},
-      {"tree-31", [lat](Rng& rng) { return make_binary_tree(31, lat, rng); }},
-  };
-
-  Table table({"topology", "weak mean", "fast mean", "speedup",
-               "weak high-demand", "fast high-demand", "weak full",
-               "fast full"});
-  for (const Row& row : rows) {
-    const auto results = run_algorithms(row.topo, uniform_demand_factory(),
-                                        reps, 77, three_algorithms());
-    const auto& weak = results.at("weak");
-    const auto& fast = results.at("fast");
-    table.add_row({row.name, Table::num(weak.all.mean(), 3),
-                   Table::num(fast.all.mean(), 3),
-                   Table::num(weak.all.mean() / fast.all.mean(), 2) + "x",
-                   Table::num(weak.high_demand.mean(), 3),
-                   Table::num(fast.high_demand.mean(), 3),
-                   Table::num(weak.time_to_full.mean(), 3),
-                   Table::num(fast.time_to_full.mean(), 3)});
-  }
-  std::cout << "\n== uniform topologies: fast vs weak ==\n";
-  table.print(std::cout);
-  emit_csv(table, "uniform_topologies");
-  std::cout << "\nexpected shape: fast < weak on every row; fast high-demand"
-               " well below fast mean\n";
-  return 0;
-}
+int main() { return fastcons::harness::legacy_bench_main({"uniform-topologies"}); }

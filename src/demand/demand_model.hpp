@@ -36,6 +36,7 @@ class DemandModel {
 /// Fixed per-node demands supplied explicitly (paper §2's A..E example).
 class StaticDemand final : public DemandModel {
  public:
+  /// Takes one fixed demand value per node.
   explicit StaticDemand(std::vector<double> demands);
 
   double demand_at(NodeId n, SimTime t) const override;
@@ -79,6 +80,8 @@ class StepDemand final : public DemandModel {
 /// stress the dynamic policy's table refresh.
 class RandomWalkDemand final : public DemandModel {
  public:
+  /// Pre-samples each node's walk on [0, horizon] at `step` granularity;
+  /// beyond the horizon demand stays at the final lattice value.
   RandomWalkDemand(std::size_t n, double initial, double factor, double floor,
                    double cap, SimTime step, SimTime horizon, Rng& rng);
 
@@ -96,6 +99,8 @@ class RandomWalkDemand final : public DemandModel {
 /// active centre. Models a flash crowd moving between regions.
 class MigratingHotspotDemand final : public DemandModel {
  public:
+  /// `hops_from_a`/`hops_from_b` give each node's hop distance from the
+  /// first and second hotspot centre; the hotspot moves at `switch_time`.
   MigratingHotspotDemand(std::vector<std::size_t> hops_from_a,
                          std::vector<std::size_t> hops_from_b,
                          SimTime switch_time, double peak, double base);

@@ -20,10 +20,10 @@ namespace fastcons {
 
 /// One neighbour's last-advertised state.
 struct DemandEntry {
-  NodeId peer = kInvalidNode;
-  double demand = 0.0;
-  SimTime last_heard = 0.0;
-  SimTime last_probed = 0.0;  // last revival probe sent while presumed dead
+  NodeId peer = kInvalidNode;  ///< neighbour id
+  double demand = 0.0;         ///< last advertised demand
+  SimTime last_heard = 0.0;    ///< when we last received anything from it
+  SimTime last_probed = 0.0;  ///< last revival probe sent while presumed dead
 };
 
 /// Neighbour demand table with staleness-based liveness.
@@ -66,6 +66,7 @@ class DemandTable {
   /// Alive neighbours in id order.
   std::vector<NodeId> alive(SimTime now) const;
 
+  /// All entries in neighbour registration order.
   const std::vector<DemandEntry>& entries() const noexcept { return entries_; }
 
   /// Adds a neighbour discovered after construction (island bridges).

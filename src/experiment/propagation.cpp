@@ -26,61 +26,81 @@ std::vector<bool> high_demand_mask(const std::vector<double>& demands,
   return mask;
 }
 
-}  // namespace
-
-PropagationResult run_propagation(const PropagationExperiment& config) {
+/// Shared precondition checks for the trial and batch entry points.
+void check_config(const PropagationExperiment& config) {
   if (!config.topology || !config.demand) {
     throw ConfigError("propagation experiment needs topology and demand factories");
   }
-  if (config.repetitions == 0) throw ConfigError("repetitions must be > 0");
   if (config.high_demand_fraction <= 0.0 || config.high_demand_fraction > 1.0) {
     throw ConfigError("high_demand_fraction must be in (0, 1]");
   }
+}
+
+}  // namespace
+
+PropagationTrial run_propagation_trial(const PropagationExperiment& config,
+                                       Rng& rng) {
+  check_config(config);
+
+  const SimTime period = config.sim.protocol.session_period;
+  PropagationTrial trial;
+
+  Graph graph = config.topology(rng);
+  auto demand = config.demand(graph, rng);
+  SimConfig sim_config = config.sim;
+  sim_config.seed = rng.next_u64();
+  SimNetwork net(std::move(graph), demand, sim_config);
+
+  const auto writer = static_cast<NodeId>(rng.index(net.size()));
+  // Random phase relative to the session timers, after a short settling
+  // interval so adverts have fired at least once.
+  const SimTime write_at = rng.uniform(0.5, 1.5);
+  const UpdateId id = net.schedule_write(writer, "key", "value", write_at);
+
+  trial.converged =
+      net.run_until_update_everywhere(id, write_at + config.deadline);
+
+  const std::vector<double> demands = demand_snapshot(*demand, write_at);
+  const std::vector<bool> high = high_demand_mask(demands,
+                                                  config.high_demand_fraction);
+
+  double last = 0.0;
+  for (NodeId node = 0; node < net.size(); ++node) {
+    if (node == writer) continue;
+    const auto at = net.first_delivery(node, id);
+    double sessions;
+    if (at.has_value()) {
+      sessions = (*at - write_at) / period;
+    } else {
+      sessions = config.deadline / period;
+      ++trial.censored_samples;
+    }
+    last = std::max(last, sessions);
+    trial.sessions_all.push_back(sessions);
+    if (high[node]) trial.sessions_high.push_back(sessions);
+  }
+  trial.time_to_full = last;
+  trial.traffic.merge(net.total_traffic());
+  return trial;
+}
+
+PropagationResult run_propagation(const PropagationExperiment& config) {
+  check_config(config);
+  if (config.repetitions == 0) throw ConfigError("repetitions must be > 0");
 
   Rng master(config.seed);
   PropagationResult result;
-  const SimTime period = config.sim.protocol.session_period;
 
   for (std::size_t rep = 0; rep < config.repetitions; ++rep) {
     Rng rep_rng = master.split();
-    Graph graph = config.topology(rep_rng);
-    auto demand = config.demand(graph, rep_rng);
-    SimConfig sim_config = config.sim;
-    sim_config.seed = rep_rng.next_u64();
-    SimNetwork net(std::move(graph), demand, sim_config);
-
-    const auto writer = static_cast<NodeId>(rep_rng.index(net.size()));
-    // Random phase relative to the session timers, after a short settling
-    // interval so adverts have fired at least once.
-    const SimTime write_at = rep_rng.uniform(0.5, 1.5);
-    const UpdateId id = net.schedule_write(writer, "key", "value", write_at);
-
-    const bool converged =
-        net.run_until_update_everywhere(id, write_at + config.deadline);
-    result.reps_converged += converged ? 1 : 0;
+    const PropagationTrial trial = run_propagation_trial(config, rep_rng);
+    result.reps_converged += trial.converged ? 1 : 0;
     ++result.reps_total;
-
-    const std::vector<double> demands = demand_snapshot(*demand, write_at);
-    const std::vector<bool> high = high_demand_mask(demands,
-                                                    config.high_demand_fraction);
-
-    double last = 0.0;
-    for (NodeId node = 0; node < net.size(); ++node) {
-      if (node == writer) continue;
-      const auto at = net.first_delivery(node, id);
-      double sessions;
-      if (at.has_value()) {
-        sessions = (*at - write_at) / period;
-      } else {
-        sessions = config.deadline / period;
-        ++result.censored_samples;
-      }
-      last = std::max(last, sessions);
-      result.all.add(sessions);
-      if (high[node]) result.high_demand.add(sessions);
-    }
-    result.time_to_full.add(last);
-    result.traffic.merge(net.total_traffic());
+    result.censored_samples += trial.censored_samples;
+    result.all.add_all(trial.sessions_all);
+    result.high_demand.add_all(trial.sessions_high);
+    result.time_to_full.add(trial.time_to_full);
+    result.traffic.merge(trial.traffic);
   }
   return result;
 }

@@ -63,7 +63,34 @@ struct PropagationResult {
   std::uint64_t censored_samples = 0;
 };
 
-/// Runs the experiment. Deterministic for a given config.
+/// One repetition's raw observations, before pooling. The harness runs
+/// trials on worker threads and aggregates in trial order, so the per-trial
+/// data must be returned instead of accumulated into shared state.
+struct PropagationTrial {
+  /// Sessions until delivery, one sample per non-writer replica (censored
+  /// samples clamped to deadline/period).
+  std::vector<double> sessions_all;
+
+  /// The subset of `sessions_all` belonging to high-demand replicas.
+  std::vector<double> sessions_high;
+
+  /// Sessions until the change reached the last replica.
+  double time_to_full = 0.0;
+
+  /// Wire traffic summed over nodes (full horizon).
+  TrafficCounters traffic;
+
+  bool converged = false;
+  std::uint64_t censored_samples = 0;
+};
+
+/// Runs a single repetition of `config` drawing all randomness from `rng`.
+/// Deterministic for a given rng state; ignores config.repetitions/seed.
+PropagationTrial run_propagation_trial(const PropagationExperiment& config,
+                                       Rng& rng);
+
+/// Runs the experiment (config.repetitions trials seeded from config.seed).
+/// Deterministic for a given config.
 PropagationResult run_propagation(const PropagationExperiment& config);
 
 }  // namespace fastcons

@@ -1,0 +1,59 @@
+#include "harness/registry.hpp"
+
+#include "common/error.hpp"
+#include "harness/scenarios.hpp"
+
+namespace fastcons::harness {
+
+void ScenarioRegistry::add(ScenarioSpec spec) {
+  if (spec.name.empty()) throw ConfigError("scenario name must not be empty");
+  if (!spec.run) {
+    throw ConfigError("scenario '" + spec.name + "' has no trial function");
+  }
+  if (spec.sweep.empty()) {
+    throw ConfigError("scenario '" + spec.name + "' has an empty sweep");
+  }
+  if (spec.trials == 0 || spec.smoke_trials == 0) {
+    throw ConfigError("scenario '" + spec.name + "' needs trials > 0");
+  }
+  if (find(spec.name) != nullptr) {
+    throw ConfigError("scenario '" + spec.name + "' registered twice");
+  }
+  specs_.push_back(std::move(spec));
+}
+
+const ScenarioSpec* ScenarioRegistry::find(
+    const std::string& name) const noexcept {
+  for (const ScenarioSpec& spec : specs_) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+const ScenarioSpec& ScenarioRegistry::get(const std::string& name) const {
+  const ScenarioSpec* spec = find(name);
+  if (spec != nullptr) return *spec;
+  std::string known;
+  for (const ScenarioSpec& s : specs_) {
+    if (!known.empty()) known += ", ";
+    known += s.name;
+  }
+  throw ConfigError("unknown scenario '" + name + "' (known: " + known + ")");
+}
+
+std::vector<std::string> ScenarioRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(specs_.size());
+  for (const ScenarioSpec& spec : specs_) out.push_back(spec.name);
+  return out;
+}
+
+ScenarioRegistry builtin_registry() {
+  ScenarioRegistry registry;
+  register_paper_scenarios(registry);
+  register_scaling_scenarios(registry);
+  register_extension_scenarios(registry);
+  return registry;
+}
+
+}  // namespace fastcons::harness

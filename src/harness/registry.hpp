@@ -1,0 +1,45 @@
+/// @file
+/// The scenario registry: every experiment this repository can run, by name.
+#ifndef FASTCONS_HARNESS_REGISTRY_HPP
+#define FASTCONS_HARNESS_REGISTRY_HPP
+
+#include <string>
+#include <vector>
+
+#include "harness/scenario.hpp"
+
+namespace fastcons::harness {
+
+/// Named collection of ScenarioSpecs with stable iteration order
+/// (registration order, which for the built-ins follows the paper).
+class ScenarioRegistry {
+ public:
+  /// Registers a scenario. Throws ConfigError on duplicate or empty names,
+  /// empty sweeps, or a missing trial function.
+  void add(ScenarioSpec spec);
+
+  /// Looks a scenario up by exact name; nullptr when absent.
+  const ScenarioSpec* find(const std::string& name) const noexcept;
+
+  /// Like find(), but throws ConfigError naming the known scenarios when
+  /// `name` is not registered — the CLI's error path.
+  const ScenarioSpec& get(const std::string& name) const;
+
+  /// All scenarios in registration order.
+  const std::vector<ScenarioSpec>& all() const noexcept { return specs_; }
+
+  /// Registered names in registration order.
+  std::vector<std::string> names() const;
+
+ private:
+  std::vector<ScenarioSpec> specs_;
+};
+
+/// The built-in registry: the 13 experiment scenarios ported from the
+/// historical bench_* binaries (see docs/paper-map.md for the mapping).
+/// Built fresh on each call; cheap enough for CLI startup.
+ScenarioRegistry builtin_registry();
+
+}  // namespace fastcons::harness
+
+#endif  // FASTCONS_HARNESS_REGISTRY_HPP

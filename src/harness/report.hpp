@@ -1,0 +1,54 @@
+/// @file
+/// Result serialisation: versioned JSON files, digests, and the
+/// human-readable summary tables the CLI prints.
+#ifndef FASTCONS_HARNESS_REPORT_HPP
+#define FASTCONS_HARNESS_REPORT_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hpp"
+#include "stats/json.hpp"
+
+namespace fastcons::harness {
+
+/// Version stamped into every results file; bump when the layout of the
+/// JSON changes incompatibly. docs/experiments.md documents the schema.
+inline constexpr int kResultsSchemaVersion = 1;
+
+/// Serialises one scenario result. Pure function of `result`: contains no
+/// timestamps, host names or thread counts, so equal runs serialise to
+/// equal documents (the property the determinism tests pin down).
+JsonValue scenario_to_json(const ScenarioResult& result);
+
+/// Serialises a whole run: {"schema_version", "mode",
+/// "scenarios": [scenario_to_json...]} — the BENCH_RESULTS.json roll-up.
+JsonValue rollup_to_json(const std::vector<ScenarioResult>& results);
+
+/// Writes `<dir>/<scenario>.json` (pretty); creates `dir` if needed.
+/// Returns the digest (digest_hex of the compact serialisation). Throws
+/// Error when the file cannot be written.
+std::string write_scenario_file(const ScenarioResult& result,
+                                const std::string& dir);
+
+/// Writes `<dir>/<scenario>.json` for each scenario plus the roll-up
+/// `<dir>/BENCH_RESULTS.json`; creates `dir` if needed. Returns the
+/// roll-up digest (digest_hex of the compact roll-up serialisation).
+/// Throws Error when a file cannot be written.
+std::string write_results(const std::vector<ScenarioResult>& results,
+                          const std::string& dir);
+
+/// Prints the per-point summary tables for one scenario.
+void print_scenario(const ScenarioResult& result, std::ostream& out);
+
+/// Entry point shared by the legacy bench_* compatibility stubs: runs the
+/// named scenarios at full scale (FASTCONS_REPS overrides the trial count,
+/// FASTCONS_JOBS the thread count, FASTCONS_CSV_DIR the output directory —
+/// kept for continuity with the retired per-binary benches), prints the
+/// summaries and writes the JSON files. Returns a process exit code.
+int legacy_bench_main(const std::vector<std::string>& scenario_names);
+
+}  // namespace fastcons::harness
+
+#endif  // FASTCONS_HARNESS_REPORT_HPP

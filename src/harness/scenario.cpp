@@ -1,0 +1,55 @@
+#include "harness/scenario.hpp"
+
+#include "stats/json.hpp"
+
+namespace fastcons::harness {
+namespace {
+
+/// splitmix64 finaliser: bijective, well-mixed; the standard way to spread
+/// structured integer inputs into independent seed material.
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+double param_or(const ParamMap& params, const std::string& key,
+                double fallback) {
+  for (const auto& [k, v] : params) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+std::string tag_or(const TagMap& tags, const std::string& key,
+                   const std::string& fallback) {
+  for (const auto& [k, v] : tags) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+void set_param(ParamMap& params, const std::string& key, double value) {
+  for (auto& [k, v] : params) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  params.emplace_back(key, value);
+}
+
+std::uint64_t derive_trial_seed(std::uint64_t base_seed,
+                                std::string_view scenario, std::size_t point,
+                                std::size_t trial) noexcept {
+  std::uint64_t h = fnv1a64(scenario);
+  h = mix(h ^ base_seed);
+  h = mix(h ^ static_cast<std::uint64_t>(point));
+  h = mix(h ^ static_cast<std::uint64_t>(trial));
+  return h;
+}
+
+}  // namespace fastcons::harness

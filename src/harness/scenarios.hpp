@@ -1,0 +1,64 @@
+/// @file
+/// Registration hooks for the built-in scenario groups, plus the few helpers
+/// the scenario definition files share. Internal to the harness; CLI and
+/// tests go through builtin_registry().
+#ifndef FASTCONS_HARNESS_SCENARIOS_HPP
+#define FASTCONS_HARNESS_SCENARIOS_HPP
+
+#include <memory>
+#include <string>
+
+#include "core/config.hpp"
+#include "demand/demand_model.hpp"
+#include "experiment/propagation.hpp"
+#include "harness/registry.hpp"
+#include "topology/generators.hpp"
+
+namespace fastcons::harness {
+
+/// §2 walkthrough and Figures 3-6: "sec2", "fig3", "fig4", "fig5", "fig6".
+void register_paper_scenarios(ScenarioRegistry& registry);
+
+/// §5/§8 scaling and overhead claims: "uniform-topologies", "diameter-ba",
+/// "diameter-grid", "overhead".
+void register_scaling_scenarios(ScenarioRegistry& registry);
+
+/// §6 islands and the repository's extensions: "islands", "ablation",
+/// "ablation-staleness", "freshness".
+void register_extension_scenarios(ScenarioRegistry& registry);
+
+/// Maps an "algo" tag ("weak", "demand-order", "fast") to the protocol
+/// preset with adverts disabled — the static-demand experiment setup every
+/// figure uses. Throws ConfigError on unknown names.
+ProtocolConfig algorithm_config(const std::string& algo);
+
+/// The three algorithm names in figure order: weak, demand-order, fast.
+const std::vector<std::string>& three_algorithm_names();
+
+/// Builds a topology factory from a point's tags/params. Understands
+/// tag "topo" in {line, ring, grid, tree, ba, dumbbell, star} with params
+/// "n" (or "w"/"h" for grids, "clique"/"bridge" for dumbbells).
+TopologyFactory topology_from_point(const SweepPoint& point);
+
+/// Uniform [lo, hi) per-node demand factory (the paper's §5 setup).
+DemandFactory uniform_demand(double lo = 0.0, double hi = 100.0);
+
+/// Runs one propagation repetition for `point` (reading "algo", topology
+/// tags and "deadline") and records the standard propagation metrics into a
+/// TrialResult: sessions_all/sessions_high samples, time_to_full value,
+/// convergence and traffic counters.
+TrialResult propagation_trial(const SweepPoint& point, std::uint64_t seed,
+                              const ProtocolConfig& protocol,
+                              const DemandFactory& demand);
+
+/// Appends `trial`'s observations to `out` under the standard metric names.
+void record_propagation(TrialResult& out, const PropagationTrial& trial);
+
+/// Appends `traffic` to `out` as messages_total/bytes_total plus one
+/// messages_<class>/bytes_<class> counter pair per TrafficClass — the one
+/// spelling of the traffic counter names every scenario shares.
+void record_traffic(TrialResult& out, const TrafficCounters& traffic);
+
+}  // namespace fastcons::harness
+
+#endif  // FASTCONS_HARNESS_SCENARIOS_HPP

@@ -1,0 +1,119 @@
+// Shared helpers for the built-in scenario definitions.
+#include <cmath>
+
+#include "common/error.hpp"
+#include "harness/scenarios.hpp"
+#include "stats/counters.hpp"
+
+namespace fastcons::harness {
+
+ProtocolConfig algorithm_config(const std::string& algo) {
+  // Static-demand experiments: tables are primed at t=0, so adverts are
+  // pure overhead; disabling them matches the paper's static model and
+  // keeps the byte counters focused on the replication traffic.
+  ProtocolConfig cfg;
+  if (algo == "weak") {
+    cfg = ProtocolConfig::weak();
+  } else if (algo == "demand-order") {
+    cfg = ProtocolConfig::demand_order_only();
+  } else if (algo == "fast") {
+    cfg = ProtocolConfig::fast();
+  } else {
+    throw ConfigError("unknown algorithm tag '" + algo + "'");
+  }
+  cfg.advert_period = 0.0;
+  return cfg;
+}
+
+const std::vector<std::string>& three_algorithm_names() {
+  static const std::vector<std::string> names{"weak", "demand-order", "fast"};
+  return names;
+}
+
+TopologyFactory topology_from_point(const SweepPoint& point) {
+  const std::string topo = tag_or(point.tags, "topo", "ba");
+  const auto n = static_cast<std::size_t>(param_or(point.params, "n", 50));
+  const LatencyRange lat{param_or(point.params, "lat_lo", 0.01),
+                         param_or(point.params, "lat_hi", 0.05)};
+  if (topo == "line") {
+    return [n, lat](Rng& rng) { return make_line(n, lat, rng); };
+  }
+  if (topo == "ring") {
+    return [n, lat](Rng& rng) { return make_ring(n, lat, rng); };
+  }
+  if (topo == "grid") {
+    const auto w = static_cast<std::size_t>(
+        param_or(point.params, "w", std::ceil(std::sqrt(static_cast<double>(n)))));
+    const auto h = static_cast<std::size_t>(param_or(point.params, "h",
+                                                     static_cast<double>(w)));
+    return [w, h, lat](Rng& rng) { return make_grid(w, h, lat, rng); };
+  }
+  if (topo == "tree") {
+    return [n, lat](Rng& rng) { return make_binary_tree(n, lat, rng); };
+  }
+  if (topo == "star") {
+    return [n, lat](Rng& rng) { return make_star(n, lat, rng); };
+  }
+  if (topo == "ba") {
+    const auto m = static_cast<std::size_t>(param_or(point.params, "ba_m", 2));
+    return [n, m, lat](Rng& rng) { return make_barabasi_albert(n, m, lat, rng); };
+  }
+  if (topo == "dumbbell") {
+    const auto clique =
+        static_cast<std::size_t>(param_or(point.params, "clique", 6));
+    const auto bridge =
+        static_cast<std::size_t>(param_or(point.params, "bridge", 4));
+    return [clique, bridge, lat](Rng& rng) {
+      return make_dumbbell(clique, bridge, lat, rng);
+    };
+  }
+  throw ConfigError("unknown topology tag '" + topo + "'");
+}
+
+DemandFactory uniform_demand(double lo, double hi) {
+  return [lo, hi](const Graph& g, Rng& rng) {
+    return std::make_shared<StaticDemand>(
+        make_uniform_random_demand(g.size(), lo, hi, rng));
+  };
+}
+
+void record_traffic(TrialResult& out, const TrafficCounters& traffic) {
+  out.counter("messages_total", traffic.total_messages());
+  out.counter("bytes_total", traffic.total_bytes());
+  for (std::size_t i = 0; i < static_cast<std::size_t>(TrafficClass::kCount);
+       ++i) {
+    const auto cls = static_cast<TrafficClass>(i);
+    const std::string name(traffic_class_name(cls));
+    out.counter("messages_" + name, traffic.messages(cls));
+    out.counter("bytes_" + name, traffic.bytes(cls));
+  }
+}
+
+void record_propagation(TrialResult& out, const PropagationTrial& trial) {
+  out.value("time_to_full", trial.time_to_full);
+  out.sample("sessions_all", trial.sessions_all);
+  out.sample("sessions_high_demand", trial.sessions_high);
+  out.counter("trials_converged", trial.converged ? 1 : 0);
+  out.counter("censored_samples", trial.censored_samples);
+  record_traffic(out, trial.traffic);
+}
+
+TrialResult propagation_trial(const SweepPoint& point, std::uint64_t seed,
+                              const ProtocolConfig& protocol,
+                              const DemandFactory& demand) {
+  PropagationExperiment exp;
+  exp.topology = topology_from_point(point);
+  exp.demand = demand;
+  exp.sim.protocol = protocol;
+  exp.deadline = param_or(point.params, "deadline", exp.deadline);
+  exp.high_demand_fraction =
+      param_or(point.params, "high_demand_fraction", exp.high_demand_fraction);
+
+  Rng rng(seed);
+  const PropagationTrial trial = run_propagation_trial(exp, rng);
+  TrialResult out;
+  record_propagation(out, trial);
+  return out;
+}
+
+}  // namespace fastcons::harness

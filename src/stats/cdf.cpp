@@ -45,6 +45,11 @@ double EmpiricalCdf::quantile(double q) const {
 
 double EmpiricalCdf::mean() const {
   if (samples_.empty()) return 0.0;
+  // Summing in sorted order makes the result a function of the sample
+  // multiset alone — insertion order and whether a sorting accessor ran
+  // first must not perturb the last ulp, or the harness's bit-identical
+  // results guarantee breaks.
+  ensure_sorted();
   double sum = 0.0;
   for (const double s : samples_) sum += s;
   return sum / static_cast<double>(samples_.size());

@@ -1,0 +1,174 @@
+#include "stats/json.hpp"
+
+#include <charconv>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace fastcons {
+namespace {
+
+void append_number(std::string& out, auto value) {
+  char buf[40];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), value);
+  FASTCONS_EXPECTS(result.ec == std::errc{});
+  out.append(buf, result.ptr);
+}
+
+void append_newline_indent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out.push_back('\n');
+  out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth),
+             ' ');
+}
+
+}  // namespace
+
+JsonValue JsonValue::array() {
+  JsonValue v;
+  v.kind_ = Kind::array;
+  return v;
+}
+
+JsonValue JsonValue::object() {
+  JsonValue v;
+  v.kind_ = Kind::object;
+  return v;
+}
+
+void JsonValue::push_back(JsonValue v) {
+  FASTCONS_EXPECTS(kind_ == Kind::array);
+  items_.push_back(std::move(v));
+}
+
+void JsonValue::add(std::string key, JsonValue v) {
+  FASTCONS_EXPECTS(kind_ == Kind::object);
+  members_.emplace_back(std::move(key), std::move(v));
+}
+
+void JsonValue::write(std::string& out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::null:
+      out += "null";
+      return;
+    case Kind::boolean:
+      out += bool_ ? "true" : "false";
+      return;
+    case Kind::integer:
+      append_number(out, int_);
+      return;
+    case Kind::unsigned_integer:
+      append_number(out, uint_);
+      return;
+    case Kind::number:
+      if (!std::isfinite(double_)) {
+        out += "null";
+      } else {
+        append_number(out, double_);
+      }
+      return;
+    case Kind::string:
+      json_escape(string_, out);
+      return;
+    case Kind::array: {
+      if (items_.empty()) {
+        out += "[]";
+        return;
+      }
+      out.push_back('[');
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        append_newline_indent(out, indent, depth + 1);
+        items_[i].write(out, indent, depth + 1);
+      }
+      append_newline_indent(out, indent, depth);
+      out.push_back(']');
+      return;
+    }
+    case Kind::object: {
+      if (members_.empty()) {
+        out += "{}";
+        return;
+      }
+      out.push_back('{');
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        append_newline_indent(out, indent, depth + 1);
+        json_escape(members_[i].first, out);
+        out.push_back(':');
+        if (indent > 0) out.push_back(' ');
+        members_[i].second.write(out, indent, depth + 1);
+      }
+      append_newline_indent(out, indent, depth);
+      out.push_back('}');
+      return;
+    }
+  }
+}
+
+std::string JsonValue::dump() const {
+  std::string out;
+  write(out, 0, 0);
+  return out;
+}
+
+std::string JsonValue::dump_pretty() const {
+  std::string out;
+  write(out, 2, 0);
+  out.push_back('\n');
+  return out;
+}
+
+void json_escape(std::string_view s, std::string& out) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char hex[] = "0123456789abcdef";
+          out += "\\u00";
+          out.push_back(hex[(static_cast<unsigned char>(c) >> 4) & 0xf]);
+          out.push_back(hex[static_cast<unsigned char>(c) & 0xf]);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string digest_hex(std::string_view bytes) {
+  const std::uint64_t h = fnv1a64(bytes);
+  constexpr char hex[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[static_cast<std::size_t>(15 - i)] = hex[(h >> (4 * i)) & 0xf];
+  }
+  return out;
+}
+
+}  // namespace fastcons

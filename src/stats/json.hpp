@@ -1,0 +1,95 @@
+// Minimal JSON document builder for the benchmark result files.
+//
+// Written here instead of pulling a dependency because the harness needs
+// byte-deterministic output: the same run configuration must serialise to
+// the identical string regardless of thread count or platform, so result
+// files can be diffed and digested. Object keys keep insertion order,
+// doubles render via std::to_chars (shortest round-trip form), and no
+// locale-dependent formatting is involved anywhere.
+#ifndef FASTCONS_STATS_JSON_HPP
+#define FASTCONS_STATS_JSON_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace fastcons {
+
+/// One JSON value: null, bool, number, string, array or object.
+/// Objects preserve insertion order so serialisation is deterministic.
+class JsonValue {
+ public:
+  /// Constructs null.
+  JsonValue() noexcept : kind_(Kind::null) {}
+  JsonValue(bool b) noexcept : kind_(Kind::boolean), bool_(b) {}
+  JsonValue(std::int64_t v) noexcept : kind_(Kind::integer), int_(v) {}
+  JsonValue(std::uint64_t v) noexcept : kind_(Kind::unsigned_integer), uint_(v) {}
+  JsonValue(int v) noexcept : JsonValue(static_cast<std::int64_t>(v)) {}
+  /// Non-finite doubles (NaN, +-inf) serialise as null, as JSON has no
+  /// representation for them.
+  JsonValue(double v) noexcept : kind_(Kind::number), double_(v) {}
+  JsonValue(std::string s) : kind_(Kind::string), string_(std::move(s)) {}
+  JsonValue(std::string_view s) : JsonValue(std::string(s)) {}
+  JsonValue(const char* s) : JsonValue(std::string(s)) {}
+
+  /// Creates an empty array.
+  static JsonValue array();
+  /// Creates an empty object.
+  static JsonValue object();
+
+  bool is_array() const noexcept { return kind_ == Kind::array; }
+  bool is_object() const noexcept { return kind_ == Kind::object; }
+
+  /// Appends to an array. Requires is_array().
+  void push_back(JsonValue v);
+
+  /// Appends a key/value pair to an object (no de-duplication; callers use
+  /// unique keys). Requires is_object().
+  void add(std::string key, JsonValue v);
+
+  /// Serialises compactly (no whitespace) — the canonical digestable form.
+  std::string dump() const;
+
+  /// Serialises with 2-space indentation for human-readable files.
+  std::string dump_pretty() const;
+
+ private:
+  enum class Kind : std::uint8_t {
+    null,
+    boolean,
+    integer,
+    unsigned_integer,
+    number,
+    string,
+    array,
+    object,
+  };
+
+  void write(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Escapes `s` per RFC 8259 (quotes, backslash, control characters) and
+/// appends the quoted result to `out`.
+void json_escape(std::string_view s, std::string& out);
+
+/// FNV-1a 64-bit hash of `bytes`; the digest printed for every result file
+/// so two runs can be compared by eye.
+std::uint64_t fnv1a64(std::string_view bytes) noexcept;
+
+/// fnv1a64 rendered as 16 lowercase hex digits.
+std::string digest_hex(std::string_view bytes);
+
+}  // namespace fastcons
+
+#endif  // FASTCONS_STATS_JSON_HPP

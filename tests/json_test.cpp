@@ -1,0 +1,97 @@
+// Golden tests for the deterministic JSON writer (src/stats/json.hpp): the
+// harness determinism guarantee is byte-level, so serialisation itself must
+// be pinned down to exact strings.
+#include "stats/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace fastcons {
+namespace {
+
+TEST(Json, ScalarsSerialiseCompactly) {
+  EXPECT_EQ(JsonValue().dump(), "null");
+  EXPECT_EQ(JsonValue(true).dump(), "true");
+  EXPECT_EQ(JsonValue(false).dump(), "false");
+  EXPECT_EQ(JsonValue(0).dump(), "0");
+  EXPECT_EQ(JsonValue(-17).dump(), "-17");
+  EXPECT_EQ(JsonValue(std::uint64_t{18446744073709551615ull}).dump(),
+            "18446744073709551615");
+  EXPECT_EQ(JsonValue("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, DoublesUseShortestRoundTrip) {
+  EXPECT_EQ(JsonValue(0.1).dump(), "0.1");
+  EXPECT_EQ(JsonValue(1.0).dump(), "1");
+  EXPECT_EQ(JsonValue(-2.5).dump(), "-2.5");
+  EXPECT_EQ(JsonValue(3.9261).dump(), "3.9261");
+  // Non-finite values have no JSON representation and become null.
+  EXPECT_EQ(JsonValue(std::nan("")).dump(), "null");
+  EXPECT_EQ(JsonValue(std::numeric_limits<double>::infinity()).dump(), "null");
+}
+
+TEST(Json, StringsAreEscaped) {
+  EXPECT_EQ(JsonValue("a\"b\\c").dump(), "\"a\\\"b\\\\c\"");
+  EXPECT_EQ(JsonValue("line\nbreak\ttab").dump(), "\"line\\nbreak\\ttab\"");
+  EXPECT_EQ(JsonValue(std::string("nul\x01")).dump(), "\"nul\\u0001\"");
+  EXPECT_EQ(JsonValue("§5 — unicode passes through").dump(),
+            "\"§5 — unicode passes through\"");
+}
+
+TEST(Json, GoldenDocumentCompact) {
+  JsonValue doc = JsonValue::object();
+  doc.add("schema_version", 1);
+  doc.add("scenario", "fig5");
+  JsonValue points = JsonValue::array();
+  JsonValue point = JsonValue::object();
+  point.add("label", "fast");
+  point.add("mean", 3.9261);
+  point.add("count", std::uint64_t{10000});
+  points.push_back(std::move(point));
+  points.push_back(JsonValue());
+  doc.add("points", std::move(points));
+  doc.add("empty_object", JsonValue::object());
+  doc.add("empty_array", JsonValue::array());
+
+  EXPECT_EQ(doc.dump(),
+            "{\"schema_version\":1,\"scenario\":\"fig5\",\"points\":"
+            "[{\"label\":\"fast\",\"mean\":3.9261,\"count\":10000},null],"
+            "\"empty_object\":{},\"empty_array\":[]}");
+}
+
+TEST(Json, GoldenDocumentPretty) {
+  JsonValue doc = JsonValue::object();
+  doc.add("a", 1);
+  JsonValue arr = JsonValue::array();
+  arr.push_back("x");
+  doc.add("b", std::move(arr));
+
+  EXPECT_EQ(doc.dump_pretty(),
+            "{\n"
+            "  \"a\": 1,\n"
+            "  \"b\": [\n"
+            "    \"x\"\n"
+            "  ]\n"
+            "}\n");
+}
+
+TEST(Json, ObjectsPreserveInsertionOrder) {
+  JsonValue doc = JsonValue::object();
+  doc.add("z", 1);
+  doc.add("a", 2);
+  doc.add("m", 3);
+  EXPECT_EQ(doc.dump(), "{\"z\":1,\"a\":2,\"m\":3}");
+}
+
+TEST(Json, DigestIsFnv1a64) {
+  // FNV-1a offset basis: the digest of the empty string.
+  EXPECT_EQ(fnv1a64(""), 14695981039346656037ull);
+  EXPECT_EQ(digest_hex(""), "cbf29ce484222325");
+  // Any change to the input changes the digest.
+  EXPECT_NE(digest_hex("{\"a\":1}"), digest_hex("{\"a\":2}"));
+}
+
+}  // namespace
+}  // namespace fastcons

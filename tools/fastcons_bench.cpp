@@ -1,0 +1,158 @@
+// fastcons_bench — the unified experiment harness CLI.
+//
+// Replaces the 13 per-experiment bench_* binaries: every scenario lives in
+// the harness registry (src/harness), trials fan out across a thread pool
+// with per-trial derived seeds, and results land in versioned JSON files
+// whose bytes are identical for any --jobs value.
+//
+//   fastcons_bench --list
+//   fastcons_bench --scenario fig5 --jobs 8
+//   fastcons_bench --all --smoke --out bench_results
+//   fastcons_bench --scenario diameter-ba --sweep ba-100 --trials 50
+//
+// See docs/experiments.md for the methodology and the JSON schema.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "harness/registry.hpp"
+#include "harness/report.hpp"
+#include "harness/runner.hpp"
+
+namespace {
+
+using namespace fastcons;
+using namespace fastcons::harness;
+
+int usage(std::FILE* out) {
+  std::fputs(
+      "usage: fastcons_bench [options]\n"
+      "\n"
+      "  --list            list registered scenarios and exit\n"
+      "  --scenario NAME   run one scenario (repeatable)\n"
+      "  --all             run every registered scenario\n"
+      "  --sweep SUBSTR    only sweep points whose label contains SUBSTR\n"
+      "  --trials N        override trials per sweep point\n"
+      "  --jobs N          worker threads (default 1; 0 = all cores);\n"
+      "                    results are bit-identical for any value\n"
+      "  --seed N          base seed (default 42)\n"
+      "  --smoke           tiny-scale run of the same sweep (CI / quick checks)\n"
+      "  --out DIR         results directory (default bench_results;\n"
+      "                    empty string disables writing)\n"
+      "  --quiet           no summary tables, just the digest line\n"
+      "  --help            this text\n",
+      out);
+  return out == stdout ? 0 : 2;
+}
+
+void list_scenarios(const ScenarioRegistry& registry) {
+  std::size_t width = 0;
+  for (const ScenarioSpec& spec : registry.all()) {
+    width = std::max(width, spec.name.size());
+  }
+  for (const ScenarioSpec& spec : registry.all()) {
+    std::printf("%-*s  %3zu points x %5zu trials  [%s] %s\n",
+                static_cast<int>(width), spec.name.c_str(), spec.sweep.size(),
+                spec.trials, spec.paper_ref.c_str(), spec.title.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> names;
+  bool all = false;
+  bool list = false;
+  bool quiet = false;
+  std::string out_dir = "bench_results";
+  RunOptions options;
+
+  const auto next_value = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "error: %s needs a value\n", flag);
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      return usage(stdout);
+    } else if (std::strcmp(arg, "--list") == 0) {
+      list = true;
+    } else if (std::strcmp(arg, "--all") == 0) {
+      all = true;
+    } else if (std::strcmp(arg, "--scenario") == 0) {
+      names.emplace_back(next_value(i, arg));
+    } else if (std::strcmp(arg, "--sweep") == 0) {
+      options.sweep_filter = next_value(i, arg);
+    } else if (std::strcmp(arg, "--trials") == 0) {
+      options.trials = static_cast<std::size_t>(
+          std::strtoull(next_value(i, arg), nullptr, 10));
+    } else if (std::strcmp(arg, "--jobs") == 0) {
+      options.jobs = static_cast<std::size_t>(
+          std::strtoull(next_value(i, arg), nullptr, 10));
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      options.base_seed = std::strtoull(next_value(i, arg), nullptr, 10);
+    } else if (std::strcmp(arg, "--smoke") == 0) {
+      options.smoke = true;
+    } else if (std::strcmp(arg, "--out") == 0) {
+      out_dir = next_value(i, arg);
+    } else if (std::strcmp(arg, "--quiet") == 0) {
+      quiet = true;
+    } else {
+      std::fprintf(stderr, "error: unknown argument '%s'\n\n", arg);
+      return usage(stderr);
+    }
+  }
+
+  try {
+    const ScenarioRegistry registry = builtin_registry();
+    if (list) {
+      list_scenarios(registry);
+      return 0;
+    }
+    if (all) {
+      names = registry.names();
+    }
+    if (names.empty()) {
+      std::fprintf(stderr, "error: nothing to run; pass --scenario NAME, "
+                           "--all or --list\n\n");
+      return usage(stderr);
+    }
+
+    std::vector<ScenarioResult> results;
+    for (const std::string& name : names) {
+      const ScenarioSpec& spec = registry.get(name);
+      if (!quiet) {
+        std::printf("running %s (%zu sweep points)...\n", spec.name.c_str(),
+                    spec.sweep.size());
+        std::fflush(stdout);
+      }
+      results.push_back(run_scenario(spec, options));
+      if (!quiet) {
+        print_scenario(results.back(), std::cout);
+        std::cout << "\n";
+      }
+    }
+
+    if (!out_dir.empty()) {
+      const std::string digest = write_results(results, out_dir);
+      std::printf("wrote %zu scenario file(s) + BENCH_RESULTS.json to %s/ "
+                  "(digest %s)\n",
+                  results.size(), out_dir.c_str(), digest.c_str());
+    } else {
+      std::printf("digest %s\n", digest_hex(rollup_to_json(results).dump()).c_str());
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
