@@ -6,11 +6,13 @@
 
 #include "common/rng.hpp"
 #include "core/engine.hpp"
+#include "demand/demand_model.hpp"
 #include "demand/demand_table.hpp"
 #include "net/wire.hpp"
 #include "replication/summary_vector.hpp"
 #include "replication/write_log.hpp"
 #include "sim/simulator.hpp"
+#include "sim_runtime/sim_network.hpp"
 #include "topology/generators.hpp"
 #include "topology/metrics.hpp"
 
@@ -52,6 +54,58 @@ void BM_SummaryVectorMerge(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SummaryVectorMerge)->Arg(16)->Arg(256)->Arg(4096);
+
+/// A summary with one contiguous prefix per origin — the shape summaries
+/// converge to, and the shape every anti-entropy message carries.
+SummaryVector make_watermark_summary(std::size_t origins, SeqNo depth) {
+  SummaryVector sv;
+  for (NodeId origin = 0; origin < origins; ++origin) {
+    for (SeqNo s = 1; s <= depth; ++s) sv.add(UpdateId{origin, s});
+  }
+  return sv;
+}
+
+void BM_SummaryVectorMergeWide(benchmark::State& state) {
+  // merge() across many origins (64/512/4096): the session hot path on a
+  // converged network, where both sides are pure watermark vectors.
+  const auto origins = static_cast<std::size_t>(state.range(0));
+  const SummaryVector mine = make_watermark_summary(origins, 4);
+  const SummaryVector theirs = make_watermark_summary(origins, 5);
+  for (auto _ : state) {
+    SummaryVector merged = mine;
+    merged.merge(theirs);
+    benchmark::DoNotOptimize(merged);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(origins));
+}
+BENCHMARK(BM_SummaryVectorMergeWide)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_SummaryVectorMissingFrom(benchmark::State& state) {
+  // Step 7/10 of every session: diff two summaries that differ in one seq
+  // per origin, at 64/512/4096 origins.
+  const auto origins = static_cast<std::size_t>(state.range(0));
+  const SummaryVector mine = make_watermark_summary(origins, 5);
+  const SummaryVector theirs = make_watermark_summary(origins, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mine.missing_from(theirs));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(origins));
+}
+BENCHMARK(BM_SummaryVectorMissingFrom)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_SummaryVectorCovers(benchmark::State& state) {
+  const auto origins = static_cast<std::size_t>(state.range(0));
+  const SummaryVector big = make_watermark_summary(origins, 5);
+  const SummaryVector small = make_watermark_summary(origins, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(big.covers(small));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(origins));
+}
+BENCHMARK(BM_SummaryVectorCovers)->Arg(64)->Arg(512)->Arg(4096);
 
 void BM_WriteLogUpdatesFor(benchmark::State& state) {
   Rng rng(3);
@@ -103,6 +157,52 @@ void BM_SimulatorEventChurn(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_SimulatorEventChurn)->Arg(1000)->Arg(10000);
+
+void BM_SimulatorScheduleFireCancel(benchmark::State& state) {
+  // The per-event path the simulations actually take: a mix of schedules,
+  // firings and cancellations (half the handles are cancelled before their
+  // time), exercising the slab free list and lazy heap discards.
+  for (auto _ : state) {
+    Simulator sim;
+    std::vector<TimerHandle> handles;
+    handles.reserve(static_cast<std::size_t>(state.range(0)));
+    for (std::int64_t i = 0; i < state.range(0); ++i) {
+      handles.push_back(
+          sim.schedule_at(static_cast<double>(i % 101) + 1.0, [] {}));
+    }
+    for (std::size_t i = 0; i < handles.size(); i += 2) sim.cancel(handles[i]);
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorScheduleFireCancel)->Arg(1000)->Arg(10000);
+
+void BM_SimulatorDeliveryPayload(benchmark::State& state) {
+  // Events that carry a protocol message in their closure, like
+  // SimNetwork::dispatch schedules: the capture must stay within EventFn's
+  // inline buffer or every simulated message costs an allocation.
+  Rng rng(8);
+  SessionPush payload;
+  payload.session_id = 9;
+  payload.summary = make_summary(32, rng);
+  payload.updates.push_back(
+      Update{UpdateId{1, 1}, 0.25, "key", std::string(32, 'v')});
+  for (auto _ : state) {
+    Simulator sim;
+    std::uint64_t seen = 0;
+    for (std::int64_t i = 0; i < state.range(0); ++i) {
+      sim.schedule_at(static_cast<double>(i % 97),
+                      [msg = Message{payload}, &seen]() mutable {
+                        seen += std::get<SessionPush>(msg).updates.size();
+                      });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(seen);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorDeliveryPayload)->Arg(1000);
 
 void BM_BarabasiAlbertGeneration(benchmark::State& state) {
   Rng rng(4);
@@ -204,6 +304,32 @@ void BM_FastPushChain(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FastPushChain)->Arg(8)->Arg(64);
+
+void BM_SimNetworkEventsPerSec(benchmark::State& state) {
+  // End-to-end simulated events/sec: a 100-node BA network running the fast
+  // protocol for 10 session periods after one write. items_per_second is
+  // the headline number docs/performance.md tracks.
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Rng rng(11);
+    Graph graph = make_barabasi_albert(100, 2, {0.01, 0.05}, rng);
+    auto demand = std::make_shared<StaticDemand>(
+        make_uniform_random_demand(graph.size(), 1.0, 9.0, rng));
+    SimConfig cfg;
+    cfg.protocol = ProtocolConfig::fast();
+    cfg.protocol.advert_period = 0.0;
+    cfg.seed = rng.next_u64();
+    SimNetwork net(std::move(graph), std::move(demand), cfg);
+    net.schedule_write(0, "key", "value", 0.5);
+    state.ResumeTiming();
+    net.run_until(10.0);
+    events += net.events_executed();
+    benchmark::DoNotOptimize(net.total_stats().updates_applied);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_SimNetworkEventsPerSec);
 
 }  // namespace
 

@@ -5,6 +5,19 @@
 #include "common/assert.hpp"
 
 namespace fastcons {
+namespace {
+
+/// Binary search in a sorted (id, state) vector; returns end() when absent.
+template <typename Vec>
+auto find_by_id(Vec& entries, std::uint64_t id) {
+  const auto it = std::lower_bound(
+      entries.begin(), entries.end(), id,
+      [](const auto& entry, std::uint64_t key) { return entry.first < key; });
+  if (it != entries.end() && it->first == id) return it;
+  return entries.end();
+}
+
+}  // namespace
 
 std::string_view delivery_path_name(DeliveryPath p) noexcept {
   switch (p) {
@@ -44,14 +57,15 @@ void ReplicaEngine::send(std::vector<Outbound>& out, NodeId to, Message msg) {
 // --------------------------------------------------------------------------
 // Applying updates
 
-std::vector<Update> ReplicaEngine::apply_all(const std::vector<Update>& updates,
-                                             DeliveryPath path, SimTime now) {
-  std::vector<Update> gained;
-  for (const Update& update : updates) {
-    if (log_.apply(update)) {
+std::vector<OfferedId> ReplicaEngine::apply_all(std::vector<Update>&& updates,
+                                                DeliveryPath path,
+                                                SimTime now) {
+  std::vector<OfferedId> gained;
+  for (Update& update : updates) {
+    if (const Update* stored = log_.apply_moved(std::move(update))) {
       ++stats_.updates_applied;
-      gained.push_back(update);
-      if (hooks_.on_delivery) hooks_.on_delivery(update, path, now);
+      gained.push_back(OfferedId{stored->id, stored->created_at});
+      if (hooks_.on_delivery) hooks_.on_delivery(*stored, path, now);
     } else {
       ++stats_.duplicate_updates;
     }
@@ -65,12 +79,20 @@ std::vector<Update> ReplicaEngine::apply_all(const std::vector<Update>& updates,
 std::vector<Outbound> ReplicaEngine::local_write(std::string key,
                                                  std::string value,
                                                  SimTime now) {
-  const Update update{UpdateId{self_, ++next_seq_}, now, std::move(key),
-                      std::move(value)};
-  const std::vector<Update> gained =
-      apply_all({update}, DeliveryPath::local_write, now);
+  std::vector<Outbound> out;
+  local_write(std::move(key), std::move(value), now, out);
+  return out;
+}
+
+void ReplicaEngine::local_write(std::string key, std::string value, SimTime now,
+                                std::vector<Outbound>& out) {
+  std::vector<Update> one;
+  one.push_back(Update{UpdateId{self_, ++next_seq_}, now, std::move(key),
+                       std::move(value)});
+  const std::vector<OfferedId> gained =
+      apply_all(std::move(one), DeliveryPath::local_write, now);
   FASTCONS_ASSERT(gained.size() == 1);
-  return after_gain(gained, kInvalidNode, DeliveryPath::local_write, now);
+  after_gain(gained, kInvalidNode, DeliveryPath::local_write, now, out);
 }
 
 // --------------------------------------------------------------------------
@@ -82,47 +104,50 @@ void ReplicaEngine::maybe_auto_truncate() {
   // exchanged summaries with contributes bottom, making the meet empty.
   SummaryVector stable = log_.summary();
   for (const DemandEntry& entry : table_.entries()) {
-    const auto it = peer_knowledge_.find(entry.peer);
-    if (it == peer_knowledge_.end()) return;
-    stable = SummaryVector::meet(stable, it->second);
+    const SummaryVector* known = find_knowledge(entry.peer);
+    if (known == nullptr) return;
+    stable = SummaryVector::meet(stable, *known);
   }
   stats_.payloads_truncated += log_.truncate_below(stable);
 }
 
 std::vector<Outbound> ReplicaEngine::on_session_timer(SimTime now) {
   std::vector<Outbound> out;
+  on_session_timer(now, out);
+  return out;
+}
+
+void ReplicaEngine::on_session_timer(SimTime now, std::vector<Outbound>& out) {
   expire_inflight(now);
   maybe_auto_truncate();
   const NodeId peer = policy_->choose(table_, now, rng_);
-  if (peer == kInvalidNode) return out;
+  if (peer == kInvalidNode) return;
   const std::uint64_t session_id =
       (static_cast<std::uint64_t>(self_) << 32) | ++next_session_;
-  sessions_[session_id] = SessionState{peer, now, /*awaiting_reply=*/false};
+  sessions_.emplace_back(session_id,
+                         SessionState{peer, now, /*awaiting_reply=*/false});
   ++stats_.sessions_initiated;
   send(out, peer, SessionRequest{session_id});
-  return out;
 }
 
-std::vector<Outbound> ReplicaEngine::on_session_request(
-    NodeId from, const SessionRequest& m, SimTime /*now*/) {
+void ReplicaEngine::on_session_request(NodeId from, const SessionRequest& m,
+                                       SimTime /*now*/,
+                                       std::vector<Outbound>& out) {
   // Step 4: "B sends to E its summary vector." The responder keeps no state;
   // everything it needs later arrives inside SessionPush.
-  std::vector<Outbound> out;
   send(out, from, SessionSummary{m.session_id, log_.summary()});
-  return out;
 }
 
-std::vector<Outbound> ReplicaEngine::on_session_summary(
-    NodeId from, const SessionSummary& m, SimTime now) {
-  std::vector<Outbound> out;
-  const auto it = sessions_.find(m.session_id);
+void ReplicaEngine::on_session_summary(NodeId from, const SessionSummary& m,
+                                       SimTime now,
+                                       std::vector<Outbound>& out) {
+  const auto it = find_by_id(sessions_, m.session_id);
   if (it == sessions_.end() || it->second.peer != from ||
       it->second.awaiting_reply) {
-    return out;  // stale or spoofed; the session already timed out
+    return;  // stale or spoofed; the session already timed out
   }
   it->second.awaiting_reply = true;
   it->second.started_at = now;
-  note_peer_summary(from, m.summary);
   // Steps 7-8: send the messages the partner has not seen. Ids truncated
   // out of the log fall back to a full transfer of what we retain.
   std::vector<UpdateId> truncated;
@@ -130,84 +155,78 @@ std::vector<Outbound> ReplicaEngine::on_session_summary(
   if (!truncated.empty()) {
     missing = log_.all_retained();
   }
-  for (const Update& u : missing) note_peer_has(from, u.id);
+  SummaryVector& known = knowledge_for(from);
+  known.merge(m.summary);
+  for (const Update& u : missing) known.add(u.id);
   send(out, from, SessionPush{m.session_id, log_.summary(), std::move(missing)});
-  return out;
 }
 
-std::vector<Outbound> ReplicaEngine::on_session_push(NodeId from,
-                                                     const SessionPush& m,
-                                                     SimTime now) {
-  std::vector<Outbound> out;
+void ReplicaEngine::on_session_push(NodeId from, SessionPush m, SimTime now,
+                                    std::vector<Outbound>& out) {
   // The initiator's summary plus the updates it just sent describe
   // everything it will hold once this exchange completes.
-  note_peer_summary(from, m.summary);
-  for (const Update& u : m.updates) note_peer_has(from, u.id);
-  const std::vector<Update> gained =
-      apply_all(m.updates, DeliveryPath::session, now);
-  // Steps 10-11: reply with what the initiator lacks.
-  SummaryVector their_view = m.summary;
+  {
+    SummaryVector& known = knowledge_for(from);
+    known.merge(m.summary);
+    for (const Update& u : m.updates) known.add(u.id);
+  }
+  SummaryVector their_view = std::move(m.summary);
   for (const Update& u : m.updates) their_view.add(u.id);
+  const std::vector<OfferedId> gained =
+      apply_all(std::move(m.updates), DeliveryPath::session, now);
+  // Steps 10-11: reply with what the initiator lacks.
   std::vector<UpdateId> truncated;
   std::vector<Update> reply = log_.updates_for(their_view, &truncated);
   if (!truncated.empty()) {
     reply = log_.all_retained();
   }
-  for (const Update& u : reply) note_peer_has(from, u.id);
+  {
+    SummaryVector& known = knowledge_for(from);
+    for (const Update& u : reply) known.add(u.id);
+  }
   send(out, from, SessionReply{m.session_id, std::move(reply)});
   ++stats_.sessions_responded;
   if (hooks_.on_session_complete) hooks_.on_session_complete(from, now);
   // Steps 12-13: novel content arrived -> fast update part takes over.
-  auto pushes = after_gain(gained, from, DeliveryPath::session, now);
-  out.insert(out.end(), std::make_move_iterator(pushes.begin()),
-             std::make_move_iterator(pushes.end()));
-  return out;
+  after_gain(gained, from, DeliveryPath::session, now, out);
 }
 
-std::vector<Outbound> ReplicaEngine::on_session_reply(NodeId from,
-                                                      const SessionReply& m,
-                                                      SimTime now) {
-  std::vector<Outbound> out;
-  const auto it = sessions_.find(m.session_id);
-  if (it == sessions_.end() || it->second.peer != from) return out;
+void ReplicaEngine::on_session_reply(NodeId from, SessionReply m, SimTime now,
+                                     std::vector<Outbound>& out) {
+  const auto it = find_by_id(sessions_, m.session_id);
+  if (it == sessions_.end() || it->second.peer != from) return;
   sessions_.erase(it);
-  for (const Update& u : m.updates) note_peer_has(from, u.id);
-  const std::vector<Update> gained =
-      apply_all(m.updates, DeliveryPath::session, now);
+  {
+    SummaryVector& known = knowledge_for(from);
+    for (const Update& u : m.updates) known.add(u.id);
+  }
+  const std::vector<OfferedId> gained =
+      apply_all(std::move(m.updates), DeliveryPath::session, now);
   ++stats_.sessions_completed;
   if (hooks_.on_session_complete) hooks_.on_session_complete(from, now);
-  return after_gain(gained, from, DeliveryPath::session, now);
+  after_gain(gained, from, DeliveryPath::session, now, out);
 }
 
 void ReplicaEngine::expire_inflight(SimTime now) {
   if (config_.session_timeout <= 0.0) return;
-  for (auto it = sessions_.begin(); it != sessions_.end();) {
-    if (now - it->second.started_at > config_.session_timeout) {
-      it = sessions_.erase(it);
-      ++stats_.sessions_expired;
-    } else {
-      ++it;
-    }
-  }
-  for (auto it = offers_.begin(); it != offers_.end();) {
-    if (now - it->second.started_at > config_.session_timeout) {
-      it = offers_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  std::erase_if(sessions_, [&](const auto& entry) {
+    if (now - entry.second.started_at <= config_.session_timeout) return false;
+    ++stats_.sessions_expired;
+    return true;
+  });
+  std::erase_if(offers_, [&](const auto& entry) {
+    return now - entry.second.started_at > config_.session_timeout;
+  });
 }
 
 // --------------------------------------------------------------------------
 // Fast updates (paper §2.1 steps 13-18)
 
-std::vector<Outbound> ReplicaEngine::after_gain(const std::vector<Update>& gained,
-                                                NodeId source,
-                                                DeliveryPath path,
-                                                SimTime now) {
-  std::vector<Outbound> out;
-  if (!config_.fast_push || gained.empty()) return out;
-  if (!config_.push_on_any_gain && path != DeliveryPath::local_write) return out;
+void ReplicaEngine::after_gain(const std::vector<OfferedId>& gained,
+                               NodeId source, DeliveryPath path, SimTime now,
+                               std::vector<Outbound>& out) {
+  if (!config_.fast_push || gained.empty()) return;
+  if (!config_.push_on_any_gain && path != DeliveryPath::local_write) return;
 
   std::size_t sent = 0;
   for (const NodeId peer : table_.by_demand_desc(now)) {
@@ -223,32 +242,30 @@ std::vector<Outbound> ReplicaEngine::after_gain(const std::vector<Update>& gaine
     FastOffer offer;
     offer.offer_id = (static_cast<std::uint64_t>(self_) << 32) | ++next_offer_;
     OfferState state{peer, now, {}};
-    for (const Update& u : gained) {
-      const auto& knowledge = peer_knowledge_[peer];
+    const SummaryVector& knowledge = knowledge_for(peer);
+    for (const OfferedId& u : gained) {
       if (knowledge.contains(u.id)) continue;
-      offer.offered.push_back(OfferedId{u.id, u.created_at});
+      offer.offered.push_back(u);
       state.offered.push_back(u.id);
     }
     if (offer.offered.empty()) continue;
-    offers_[offer.offer_id] = std::move(state);
+    offers_.emplace_back(offer.offer_id, std::move(state));
     ++stats_.offers_sent;
     send(out, peer, std::move(offer));
     ++sent;
   }
-  return out;
 }
 
-std::vector<Outbound> ReplicaEngine::on_fast_offer(NodeId from,
-                                                   const FastOffer& m,
-                                                   SimTime now) {
-  std::vector<Outbound> out;
+void ReplicaEngine::on_fast_offer(NodeId from, const FastOffer& m,
+                                  SimTime now, std::vector<Outbound>& out) {
   ++stats_.offers_received;
   (void)now;
   FastAck ack;
   ack.offer_id = m.offer_id;
   std::vector<UpdateId> missing;
+  SummaryVector& known = knowledge_for(from);
   for (const OfferedId& offered : m.offered) {
-    note_peer_has(from, offered.id);  // the offerer evidently has it
+    known.add(offered.id);  // the offerer evidently has it
     if (!log_.contains(offered.id)) missing.push_back(offered.id);
   }
   ack.yes = !missing.empty();
@@ -259,20 +276,19 @@ std::vector<Outbound> ReplicaEngine::on_fast_offer(NodeId from,
     ++stats_.offers_declined;
   }
   send(out, from, std::move(ack));
-  return out;
 }
 
-std::vector<Outbound> ReplicaEngine::on_fast_ack(NodeId from, const FastAck& m,
-                                                 SimTime /*now*/) {
-  std::vector<Outbound> out;
-  const auto it = offers_.find(m.offer_id);
-  if (it == offers_.end() || it->second.peer != from) return out;
+void ReplicaEngine::on_fast_ack(NodeId from, const FastAck& m, SimTime /*now*/,
+                                std::vector<Outbound>& out) {
+  const auto it = find_by_id(offers_, m.offer_id);
+  if (it == offers_.end() || it->second.peer != from) return;
   const OfferState state = std::move(it->second);
   offers_.erase(it);
+  SummaryVector& known = knowledge_for(from);
   if (!m.yes) {
     // Step 18: "B sends nothing" — but we learned the peer has everything.
-    for (const UpdateId id : state.offered) note_peer_has(from, id);
-    return out;
+    for (const UpdateId id : state.offered) known.add(id);
+    return;
   }
   // Step 17: send the payloads. Strict YES/NO mode resends the whole offer;
   // subset mode sends exactly what was asked for.
@@ -287,23 +303,24 @@ std::vector<Outbound> ReplicaEngine::on_fast_ack(NodeId from, const FastAck& m,
         state.offered.end()) {
       continue;
     }
-    if (const auto update = log_.get(id); update.has_value()) {
+    if (const Update* update = log_.find(id)) {
       data.updates.push_back(*update);
-      note_peer_has(from, id);
+      known.add(id);
     }
   }
   if (!data.updates.empty()) send(out, from, std::move(data));
-  return out;
 }
 
-std::vector<Outbound> ReplicaEngine::on_fast_data(NodeId from,
-                                                  const FastData& m,
-                                                  SimTime now) {
-  for (const Update& u : m.updates) note_peer_has(from, u.id);
-  const std::vector<Update> gained =
-      apply_all(m.updates, DeliveryPath::fast_push, now);
+void ReplicaEngine::on_fast_data(NodeId from, FastData m, SimTime now,
+                                 std::vector<Outbound>& out) {
+  {
+    SummaryVector& known = knowledge_for(from);
+    for (const Update& u : m.updates) known.add(u.id);
+  }
+  const std::vector<OfferedId> gained =
+      apply_all(std::move(m.updates), DeliveryPath::fast_push, now);
   // Step 13 applies recursively: novel content chains to the next valley.
-  return after_gain(gained, from, DeliveryPath::fast_push, now);
+  after_gain(gained, from, DeliveryPath::fast_push, now, out);
 }
 
 // --------------------------------------------------------------------------
@@ -311,6 +328,11 @@ std::vector<Outbound> ReplicaEngine::on_fast_data(NodeId from,
 
 std::vector<Outbound> ReplicaEngine::on_advert_timer(SimTime now) {
   std::vector<Outbound> out;
+  on_advert_timer(now, out);
+  return out;
+}
+
+void ReplicaEngine::on_advert_timer(SimTime now, std::vector<Outbound>& out) {
   // Dead neighbours are skipped — except one revival probe per tick,
   // rotating through them. Every other send path (sessions, fast push)
   // already filters to alive peers, so without the probe two peers that
@@ -326,14 +348,11 @@ std::vector<Outbound> ReplicaEngine::on_advert_timer(SimTime now) {
     }
     send(out, entry.peer, DemandAdvert{own_demand_});
   }
-  return out;
 }
 
-std::vector<Outbound> ReplicaEngine::on_demand_advert(NodeId from,
-                                                      const DemandAdvert& m,
-                                                      SimTime now) {
+void ReplicaEngine::on_demand_advert(NodeId from, const DemandAdvert& m,
+                                     SimTime now, std::vector<Outbound>&) {
   table_.update(from, m.demand, now);
-  return {};
 }
 
 // --------------------------------------------------------------------------
@@ -341,49 +360,74 @@ std::vector<Outbound> ReplicaEngine::on_demand_advert(NodeId from,
 
 std::vector<Outbound> ReplicaEngine::handle(NodeId from, const Message& msg,
                                             SimTime now) {
+  // Runtimes that retain the message (the TCP server, tests) pay one copy;
+  // the simulation path calls the appending move overload directly.
+  std::vector<Outbound> out;
+  handle(from, Message(msg), now, out);
+  return out;
+}
+
+std::vector<Outbound> ReplicaEngine::handle(NodeId from, Message&& msg,
+                                            SimTime now) {
+  std::vector<Outbound> out;
+  handle(from, std::move(msg), now, out);
+  return out;
+}
+
+void ReplicaEngine::handle(NodeId from, Message&& msg, SimTime now,
+                           std::vector<Outbound>& out) {
   // Any message proves the sender and the link are alive (§4: the table
   // "tells us if this replica is available").
   table_.touch(from, now);
-  return std::visit(
-      [&](const auto& m) -> std::vector<Outbound> {
+  std::visit(
+      [&](auto&& m) {
         using T = std::decay_t<decltype(m)>;
         if constexpr (std::is_same_v<T, SessionRequest>) {
-          return on_session_request(from, m, now);
+          on_session_request(from, m, now, out);
         } else if constexpr (std::is_same_v<T, SessionSummary>) {
-          return on_session_summary(from, m, now);
+          on_session_summary(from, m, now, out);
         } else if constexpr (std::is_same_v<T, SessionPush>) {
-          return on_session_push(from, m, now);
+          on_session_push(from, std::move(m), now, out);
         } else if constexpr (std::is_same_v<T, SessionReply>) {
-          return on_session_reply(from, m, now);
+          on_session_reply(from, std::move(m), now, out);
         } else if constexpr (std::is_same_v<T, FastOffer>) {
-          return on_fast_offer(from, m, now);
+          on_fast_offer(from, m, now, out);
         } else if constexpr (std::is_same_v<T, FastAck>) {
-          return on_fast_ack(from, m, now);
+          on_fast_ack(from, m, now, out);
         } else if constexpr (std::is_same_v<T, FastData>) {
-          return on_fast_data(from, m, now);
+          on_fast_data(from, std::move(m), now, out);
         } else {
-          return on_demand_advert(from, m, now);
+          on_demand_advert(from, m, now, out);
         }
       },
-      msg);
-}
-
-void ReplicaEngine::note_peer_has(NodeId peer, UpdateId id) {
-  peer_knowledge_[peer].add(id);
-}
-
-void ReplicaEngine::note_peer_summary(NodeId peer,
-                                      const SummaryVector& summary) {
-  peer_knowledge_[peer].merge(summary);
+      std::move(msg));
 }
 
 bool ReplicaEngine::peer_known_to_have_all(
-    NodeId peer, const std::vector<Update>& updates) const {
-  const auto it = peer_knowledge_.find(peer);
-  if (it == peer_knowledge_.end()) return false;
-  return std::all_of(updates.begin(), updates.end(), [&](const Update& u) {
-    return it->second.contains(u.id);
+    NodeId peer, const std::vector<OfferedId>& gained) const {
+  const SummaryVector* known = find_knowledge(peer);
+  if (known == nullptr) return false;
+  return std::all_of(gained.begin(), gained.end(), [&](const OfferedId& u) {
+    return known->contains(u.id);
   });
+}
+
+SummaryVector& ReplicaEngine::knowledge_for(NodeId peer) {
+  auto it = std::lower_bound(
+      peer_knowledge_.begin(), peer_knowledge_.end(), peer,
+      [](const auto& entry, NodeId key) { return entry.first < key; });
+  if (it == peer_knowledge_.end() || it->first != peer) {
+    it = peer_knowledge_.emplace(it, peer, SummaryVector{});
+  }
+  return it->second;
+}
+
+const SummaryVector* ReplicaEngine::find_knowledge(NodeId peer) const {
+  const auto it = std::lower_bound(
+      peer_knowledge_.begin(), peer_knowledge_.end(), peer,
+      [](const auto& entry, NodeId key) { return entry.first < key; });
+  if (it == peer_knowledge_.end() || it->first != peer) return nullptr;
+  return &it->second;
 }
 
 }  // namespace fastcons

@@ -12,11 +12,10 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -71,23 +70,43 @@ class ReplicaEngine {
 
   ReplicaEngine(const ReplicaEngine&) = delete;
   ReplicaEngine& operator=(const ReplicaEngine&) = delete;
+  // Movable so runtimes can keep engines in one contiguous vector.
+  ReplicaEngine(ReplicaEngine&&) = default;
+  ReplicaEngine& operator=(ReplicaEngine&&) = default;
 
   // --- runtime entry points -------------------------------------------
+  //
+  // Every entry point exists in two shapes: the vector-returning form for
+  // callers that want a fresh container, and an appending form taking the
+  // output vector by reference so a runtime can reuse one scratch buffer
+  // across millions of deliveries (the simulation hot path does; see
+  // SimNetwork::deliver).
 
   /// A client performed a write here. Applies it locally and returns the
   /// resulting fast-push traffic (paper: a client write triggers the fast
   /// update part immediately).
   std::vector<Outbound> local_write(std::string key, std::string value,
                                     SimTime now);
+  void local_write(std::string key, std::string value, SimTime now,
+                   std::vector<Outbound>& out);
 
   /// The per-replica anti-entropy timer fired: start one session.
   std::vector<Outbound> on_session_timer(SimTime now);
+  void on_session_timer(SimTime now, std::vector<Outbound>& out);
 
   /// The advert timer fired: broadcast DemandAdvert to all neighbours.
   std::vector<Outbound> on_advert_timer(SimTime now);
+  void on_advert_timer(SimTime now, std::vector<Outbound>& out);
 
   /// A message arrived from `from`.
   std::vector<Outbound> handle(NodeId from, const Message& msg, SimTime now);
+
+  /// Move-in variant for the simulation hot path: payloads (update vectors,
+  /// summary) are moved into the engine instead of copied. The const&
+  /// overload copies once and delegates here.
+  std::vector<Outbound> handle(NodeId from, Message&& msg, SimTime now);
+  void handle(NodeId from, Message&& msg, SimTime now,
+              std::vector<Outbound>& out);
 
   /// Housekeeping: abandon sessions/offers idle past the timeout.
   void expire_inflight(SimTime now);
@@ -156,44 +175,48 @@ class ReplicaEngine {
     std::vector<UpdateId> offered;
   };
 
-  /// Applies updates; returns the ones that were novel, firing hooks.
-  std::vector<Update> apply_all(const std::vector<Update>& updates,
-                                DeliveryPath path, SimTime now);
+  /// Applies updates (moving payloads into the log); returns (id, timestamp)
+  /// of the novel ones — all the fast-update path needs — firing hooks.
+  std::vector<OfferedId> apply_all(std::vector<Update>&& updates,
+                                   DeliveryPath path, SimTime now);
 
   /// Fast-update trigger (steps 13-18): offer the novel `gained` updates to
   /// eligible neighbours. `source` is excluded (it obviously has them).
-  std::vector<Outbound> after_gain(const std::vector<Update>& gained,
-                                   NodeId source, DeliveryPath path,
-                                   SimTime now);
+  void after_gain(const std::vector<OfferedId>& gained, NodeId source,
+                  DeliveryPath path, SimTime now, std::vector<Outbound>& out);
 
   /// Discards payloads every neighbour is known to hold (auto_truncate).
   void maybe_auto_truncate();
 
-  /// Records that `peer` is known to cover `id` (suppresses re-offers).
-  void note_peer_has(NodeId peer, UpdateId id);
-  void note_peer_summary(NodeId peer, const SummaryVector& summary);
   bool peer_known_to_have_all(NodeId peer,
-                              const std::vector<Update>& updates) const;
+                              const std::vector<OfferedId>& gained) const;
+
+  /// The knowledge summary for `peer`, created empty on first use.
+  SummaryVector& knowledge_for(NodeId peer);
+  const SummaryVector* find_knowledge(NodeId peer) const;
 
   /// Builds an Outbound and records traffic counters.
   void send(std::vector<Outbound>& out, NodeId to, Message msg);
 
-  // Message handlers.
-  std::vector<Outbound> on_session_request(NodeId from, const SessionRequest& m,
-                                           SimTime now);
-  std::vector<Outbound> on_session_summary(NodeId from, const SessionSummary& m,
-                                           SimTime now);
-  std::vector<Outbound> on_session_push(NodeId from, const SessionPush& m,
-                                        SimTime now);
-  std::vector<Outbound> on_session_reply(NodeId from, const SessionReply& m,
-                                         SimTime now);
-  std::vector<Outbound> on_fast_offer(NodeId from, const FastOffer& m,
-                                      SimTime now);
-  std::vector<Outbound> on_fast_ack(NodeId from, const FastAck& m, SimTime now);
-  std::vector<Outbound> on_fast_data(NodeId from, const FastData& m,
-                                     SimTime now);
-  std::vector<Outbound> on_demand_advert(NodeId from, const DemandAdvert& m,
-                                         SimTime now);
+  // Message handlers; all append their traffic to `out`. Payload-carrying
+  // messages (push/reply/data) arrive by value so their update vectors can
+  // be moved into the log.
+  void on_session_request(NodeId from, const SessionRequest& m, SimTime now,
+                          std::vector<Outbound>& out);
+  void on_session_summary(NodeId from, const SessionSummary& m, SimTime now,
+                          std::vector<Outbound>& out);
+  void on_session_push(NodeId from, SessionPush m, SimTime now,
+                       std::vector<Outbound>& out);
+  void on_session_reply(NodeId from, SessionReply m, SimTime now,
+                        std::vector<Outbound>& out);
+  void on_fast_offer(NodeId from, const FastOffer& m, SimTime now,
+                     std::vector<Outbound>& out);
+  void on_fast_ack(NodeId from, const FastAck& m, SimTime now,
+                   std::vector<Outbound>& out);
+  void on_fast_data(NodeId from, FastData m, SimTime now,
+                    std::vector<Outbound>& out);
+  void on_demand_advert(NodeId from, const DemandAdvert& m, SimTime now,
+                        std::vector<Outbound>& out);
 
   NodeId self_;
   ProtocolConfig config_;
@@ -210,10 +233,15 @@ class ReplicaEngine {
   std::uint64_t next_session_ = 0;
   std::uint64_t next_offer_ = 0;
 
-  std::map<std::uint64_t, SessionState> sessions_;  // initiated by us
-  std::map<std::uint64_t, OfferState> offers_;      // offered by us
-  // What each neighbour is known to have (via summaries, offers, data).
-  std::unordered_map<NodeId, SummaryVector> peer_knowledge_;
+  // In-flight state, a handful of entries each: flat vectors instead of
+  // node-based maps so the per-message find/insert/erase churn stays out of
+  // the allocator. Session/offer ids are strictly increasing, so appending
+  // keeps the vectors sorted for binary-search lookups.
+  std::vector<std::pair<std::uint64_t, SessionState>> sessions_;  // by us
+  std::vector<std::pair<std::uint64_t, OfferState>> offers_;      // by us
+  // What each neighbour is known to have (via summaries, offers, data);
+  // sorted by peer id, at most degree-many entries.
+  std::vector<std::pair<NodeId, SummaryVector>> peer_knowledge_;
 };
 
 }  // namespace fastcons

@@ -14,10 +14,7 @@ std::size_t summary_size(const SummaryVector& sv) noexcept {
   std::size_t size = 4;
   size += sv.watermarks().size() * (4 + 8);
   size += 4;
-  for (const auto& [origin, seqs] : sv.extras()) {
-    (void)origin;
-    size += 4 + 4 + seqs.size() * 8;
-  }
+  size += sv.distinct_extra_origins() * (4 + 4) + sv.extras().size() * 8;
   return size;
 }
 

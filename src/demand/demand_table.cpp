@@ -6,27 +6,39 @@
 
 namespace fastcons {
 
+namespace {
+
+/// First index entry with key >= peer.
+auto index_lower_bound(const std::vector<std::pair<NodeId, std::uint32_t>>& index,
+                       NodeId peer) {
+  return std::lower_bound(
+      index.begin(), index.end(), peer,
+      [](const std::pair<NodeId, std::uint32_t>& e, NodeId p) {
+        return e.first < p;
+      });
+}
+
+}  // namespace
+
 DemandTable::DemandTable(std::vector<NodeId> neighbours,
                          SimTime liveness_window)
     : liveness_window_(liveness_window) {
   entries_.reserve(neighbours.size());
   index_.reserve(neighbours.size());
   for (const NodeId peer : neighbours) {
-    if (index_.contains(peer)) continue;
-    index_.emplace(peer, entries_.size());
-    entries_.push_back(DemandEntry{peer, 0.0, 0.0});
+    add_neighbour(peer, 0.0);
   }
 }
 
 const DemandEntry* DemandTable::find(NodeId peer) const {
-  const auto it = index_.find(peer);
-  if (it == index_.end()) return nullptr;
+  const auto it = index_lower_bound(index_, peer);
+  if (it == index_.end() || it->first != peer) return nullptr;
   return &entries_[it->second];
 }
 
 DemandEntry* DemandTable::find(NodeId peer) {
-  const auto it = index_.find(peer);
-  if (it == index_.end()) return nullptr;
+  const auto it = index_lower_bound(index_, peer);
+  if (it == index_.end() || it->first != peer) return nullptr;
   return &entries_[it->second];
 }
 
@@ -101,8 +113,9 @@ std::vector<NodeId> DemandTable::alive(SimTime now) const {
 }
 
 void DemandTable::add_neighbour(NodeId peer, SimTime now) {
-  if (index_.contains(peer)) return;
-  index_.emplace(peer, entries_.size());
+  const auto it = index_lower_bound(index_, peer);
+  if (it != index_.end() && it->first == peer) return;
+  index_.insert(it, {peer, static_cast<std::uint32_t>(entries_.size())});
   entries_.push_back(DemandEntry{peer, 0.0, now});
 }
 

@@ -11,7 +11,7 @@
 #define FASTCONS_DEMAND_DEMAND_TABLE_HPP
 
 #include <optional>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -78,9 +78,11 @@ class DemandTable {
   DemandEntry* find(NodeId peer);
 
   std::vector<DemandEntry> entries_;
-  // peer -> index into entries_. find/update/touch run on every message the
-  // engine handles, so lookups must not scan the whole neighbour list.
-  std::unordered_map<NodeId, std::size_t> index_;
+  // (peer, index into entries_), sorted by peer. find/update/touch run on
+  // every message the engine handles; typical degrees are tiny, so a binary
+  // search over one contiguous array beats both a hash table and a scan of
+  // the full entry structs.
+  std::vector<std::pair<NodeId, std::uint32_t>> index_;
   SimTime liveness_window_;
 };
 

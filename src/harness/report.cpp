@@ -60,7 +60,13 @@ JsonValue cdf_to_json(const EmpiricalCdf& cdf) {
   return obj;
 }
 
-JsonValue point_to_json(const PointResult& point) {
+/// Events/sec from a point's timing sums; 0 when nothing was measured.
+double events_per_sec(const PointResult& point) {
+  if (point.wall_ms <= 0.0 || point.events_executed == 0) return 0.0;
+  return static_cast<double>(point.events_executed) / (point.wall_ms / 1000.0);
+}
+
+JsonValue point_to_json(const PointResult& point, bool include_timing) {
   JsonValue obj = JsonValue::object();
   obj.add("label", point.point.label);
   obj.add("index", static_cast<std::uint64_t>(point.index));
@@ -87,12 +93,19 @@ JsonValue point_to_json(const PointResult& point) {
   JsonValue counters = JsonValue::object();
   for (const auto& [name, value] : point.counters) counters.add(name, value);
   obj.add("counters", std::move(counters));
+  if (include_timing) {
+    JsonValue timing = JsonValue::object();
+    timing.add("wall_ms", point.wall_ms);
+    timing.add("events_executed", point.events_executed);
+    timing.add("events_per_sec", events_per_sec(point));
+    obj.add("timing", std::move(timing));
+  }
   return obj;
 }
 
 }  // namespace
 
-JsonValue scenario_to_json(const ScenarioResult& result) {
+JsonValue scenario_to_json(const ScenarioResult& result, bool include_timing) {
   JsonValue obj = JsonValue::object();
   obj.add("schema_version", kResultsSchemaVersion);
   obj.add("scenario", result.name);
@@ -103,19 +116,20 @@ JsonValue scenario_to_json(const ScenarioResult& result) {
   obj.add("base_seed", result.base_seed);
   JsonValue points = JsonValue::array();
   for (const PointResult& point : result.points) {
-    points.push_back(point_to_json(point));
+    points.push_back(point_to_json(point, include_timing));
   }
   obj.add("points", std::move(points));
   return obj;
 }
 
-JsonValue rollup_to_json(const std::vector<ScenarioResult>& results) {
+JsonValue rollup_to_json(const std::vector<ScenarioResult>& results,
+                         bool include_timing) {
   JsonValue obj = JsonValue::object();
   obj.add("schema_version", kResultsSchemaVersion);
   obj.add("mode", !results.empty() && results.front().smoke ? "smoke" : "full");
   JsonValue scenarios = JsonValue::array();
   for (const ScenarioResult& result : results) {
-    scenarios.push_back(scenario_to_json(result));
+    scenarios.push_back(scenario_to_json(result, include_timing));
   }
   obj.add("scenarios", std::move(scenarios));
   return obj;
@@ -143,20 +157,29 @@ void write_file(const std::string& path, const std::string& body) {
 std::string write_scenario_file(const ScenarioResult& result,
                                 const std::string& dir) {
   ensure_dir(dir);
-  const JsonValue json = scenario_to_json(result);
-  write_file(dir + "/" + result.name + ".json", json.dump_pretty());
-  return digest_hex(json.dump());
+  write_file(dir + "/" + result.name + ".json",
+             scenario_to_json(result, /*include_timing=*/true).dump_pretty());
+  return digest_hex(scenario_to_json(result).dump());
 }
 
 std::string write_results(const std::vector<ScenarioResult>& results,
                           const std::string& dir) {
   ensure_dir(dir);
+  std::string digests;
   for (const ScenarioResult& result : results) {
-    write_scenario_file(result, dir);
+    digests += result.name;
+    digests += ' ';
+    digests += write_scenario_file(result, dir);
+    digests += '\n';
   }
-  const JsonValue rollup = rollup_to_json(results);
-  write_file(dir + "/BENCH_RESULTS.json", rollup.dump_pretty());
-  return digest_hex(rollup.dump());
+  write_file(dir + "/BENCH_RESULTS.json",
+             rollup_to_json(results, /*include_timing=*/true).dump_pretty());
+  const std::string rollup_digest = digest_hex(rollup_to_json(results).dump());
+  digests += "rollup ";
+  digests += rollup_digest;
+  digests += '\n';
+  write_file(dir + "/DIGESTS.txt", digests);
+  return rollup_digest;
 }
 
 void print_scenario(const ScenarioResult& result, std::ostream& out) {
@@ -199,6 +222,20 @@ void print_scenario(const ScenarioResult& result, std::ostream& out) {
     }
   }
   if (printed_header) out << "\n";
+
+  double wall_ms = 0.0;
+  std::uint64_t events = 0;
+  for (const PointResult& point : result.points) {
+    wall_ms += point.wall_ms;
+    events += point.events_executed;
+  }
+  out << "timing: " << events << " events in " << Table::num(wall_ms)
+      << " ms";
+  if (wall_ms > 0.0 && events > 0) {
+    out << " (" << Table::num(static_cast<double>(events) / (wall_ms / 1000.0))
+        << " events/sec)";
+  }
+  out << "\n";
 }
 
 int legacy_bench_main(const std::vector<std::string>& scenario_names) {

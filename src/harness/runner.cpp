@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <thread>
 
 #include "common/error.hpp"
+#include "sim/simulator.hpp"
 
 namespace fastcons::harness {
 namespace {
@@ -90,6 +92,11 @@ ScenarioResult run_scenario(const ScenarioSpec& spec,
   // order, which is what makes the output independent of scheduling.
   std::vector<TrialResult> trials(tasks.size());
   std::vector<std::exception_ptr> errors(tasks.size());
+  // Per-trial wall time and simulator-event counts; workers own their slots
+  // like they own `trials`, and the sums land in PointResult.wall_ms /
+  // events_executed (measurements — never part of the result digest).
+  std::vector<double> trial_wall_ms(tasks.size());
+  std::vector<std::uint64_t> trial_events(tasks.size());
   std::atomic<std::size_t> next{0};
   const auto worker = [&] {
     for (;;) {
@@ -98,11 +105,17 @@ ScenarioResult run_scenario(const ScenarioSpec& spec,
       const Task& task = tasks[i];
       const std::uint64_t seed = derive_trial_seed(
           options.base_seed, spec.name, task.seed_index, task.trial);
+      const std::uint64_t events_before = Simulator::thread_events_executed();
+      const auto started = std::chrono::steady_clock::now();
       try {
         trials[i] = spec.run(result.points[task.point_index].point, seed);
       } catch (...) {
         errors[i] = std::current_exception();
       }
+      const auto finished = std::chrono::steady_clock::now();
+      trial_wall_ms[i] =
+          std::chrono::duration<double, std::milli>(finished - started).count();
+      trial_events[i] = Simulator::thread_events_executed() - events_before;
     }
   };
 
@@ -123,6 +136,8 @@ ScenarioResult run_scenario(const ScenarioSpec& spec,
   for (std::size_t i = 0; i < tasks.size(); ++i) {
     PointResult& into = result.points[tasks[i].point_index];
     const TrialResult& trial = trials[i];
+    into.wall_ms += trial_wall_ms[i];
+    into.events_executed += trial_events[i];
     for (const auto& [name, value] : trial.values) {
       fold_named(into.values, name, value,
                  [](OnlineStats& acc, double v) { acc.add(v); });

@@ -56,6 +56,19 @@ struct PointResult {
 
   /// Counters summed across trials.
   std::vector<std::pair<std::string, std::uint64_t>> counters;
+
+  // -- measurements, not results ---------------------------------------
+  // Wall-clock data the runner collects around the trial functions. They
+  // are serialised into the results files (a "timing" object per point)
+  // but excluded from the result digests: two runs with equal digests are
+  // equal experiments, however fast the hardware ran them.
+
+  /// Summed wall-clock time of this point's trials, in milliseconds.
+  double wall_ms = 0.0;
+
+  /// Simulator events executed by this point's trials (0 for trials that
+  /// drive engines directly without a Simulator).
+  std::uint64_t events_executed = 0;
 };
 
 /// Aggregated results of one scenario run.

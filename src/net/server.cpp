@@ -189,7 +189,9 @@ void ReplicaServer::poll_once(int timeout_ms) {
       try {
         while (auto frame = in.reader.next()) {
           const std::lock_guard<std::mutex> lock(engine_mutex_);
-          dispatch(engine_->handle(frame->sender, frame->msg, now_units()));
+          // The frame is consumed here; move the payload into the engine.
+          dispatch(engine_->handle(frame->sender, std::move(frame->msg),
+                                   now_units()));
         }
       } catch (const CodecError& e) {
         FASTCONS_LOG(warn, "net") << "dropping connection: " << e.what();

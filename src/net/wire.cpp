@@ -93,11 +93,17 @@ void put_summary(std::vector<std::uint8_t>& out, const SummaryVector& sv) {
     put_u32(out, origin);
     put_u64(out, mark);
   }
-  put_u32(out, static_cast<std::uint32_t>(sv.extras().size()));
-  for (const auto& [origin, seqs] : sv.extras()) {
+  // Extras are (origin, seq) sorted; encode each per-origin run as one
+  // group — byte-identical to the former map<origin, set<seq>> layout.
+  const auto& extras = sv.extras();
+  put_u32(out, static_cast<std::uint32_t>(sv.distinct_extra_origins()));
+  for (std::size_t i = 0; i < extras.size();) {
+    const NodeId origin = extras[i].origin;
+    std::size_t end = i;
+    while (end < extras.size() && extras[end].origin == origin) ++end;
     put_u32(out, origin);
-    put_u32(out, static_cast<std::uint32_t>(seqs.size()));
-    for (const SeqNo seq : seqs) put_u64(out, seq);
+    put_u32(out, static_cast<std::uint32_t>(end - i));
+    for (; i < end; ++i) put_u64(out, extras[i].seq);
   }
 }
 

@@ -11,12 +11,24 @@
 //
 // The structure is a join-semilattice: merge() is the join, covers() the
 // partial order. Tests verify commutativity/associativity/idempotence.
+//
+// Representation: two sorted flat vectors — (origin, watermark) pairs and
+// out-of-order UpdateIds — instead of std::map/std::set. Summaries ride in
+// every SessionSummary/SessionPush, so they are copied, merged and diffed on
+// the simulation hot path; flat storage makes a copy two memcpys and turns
+// merge/covers/missing_from into linear scans over contiguous memory.
+// Canonical-form invariants (maintained by every mutator):
+//   - watermarks_ sorted by origin, all marks > 0;
+//   - extras_ sorted by (origin, seq), unique, each seq > watermark(origin)+1
+//     (a seq == watermark+1 would have been absorbed into the watermark).
+// Equal coverage therefore implies structural equality (operator==).
 #ifndef FASTCONS_REPLICATION_SUMMARY_VECTOR_HPP
 #define FASTCONS_REPLICATION_SUMMARY_VECTOR_HPP
 
 #include <cstdint>
 #include <map>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "replication/update.hpp"
@@ -26,6 +38,11 @@ namespace fastcons {
 /// Compact description of "which updates a replica has seen".
 class SummaryVector {
  public:
+  /// (origin, watermark) pairs sorted by origin; watermarks are > 0.
+  using Watermarks = std::vector<std::pair<NodeId, SeqNo>>;
+  /// Out-of-order ids sorted by (origin, seq), all above the watermarks.
+  using Extras = std::vector<UpdateId>;
+
   SummaryVector() = default;
 
   /// True when (origin, seq) is covered.
@@ -44,20 +61,28 @@ class SummaryVector {
   /// True when every update covered by `other` is covered by *this.
   bool covers(const SummaryVector& other) const;
 
-  /// Ids covered by *this but not by `other`, in (origin, seq) order.
-  /// This is the paper's step 7/10: "determines if it has messages that
-  /// [the partner] has not yet received".
+  /// Ids covered by *this but not by `other`. Order: watermark-range ids
+  /// (ascending origin, ascending seq) first, then extras (same order) —
+  /// the order payloads have always been shipped in.
   std::vector<UpdateId> missing_from(const SummaryVector& other) const;
 
   /// Total number of updates covered.
   std::uint64_t total() const;
 
-  /// Origins with at least one update covered.
+  /// Origins with at least one update covered (watermarked origins in
+  /// ascending order, then extras-only origins in ascending order).
   std::vector<NodeId> origins() const;
 
-  /// Out-of-order ids beyond the watermarks (exposed for wire encoding).
-  const std::map<NodeId, std::set<SeqNo>>& extras() const { return extras_; }
-  const std::map<NodeId, SeqNo>& watermarks() const { return watermarks_; }
+  /// Out-of-order ids beyond the watermarks (exposed for wire encoding;
+  /// grouped runs share an origin because the vector is (origin, seq)
+  /// sorted).
+  const Extras& extras() const { return extras_; }
+  const Watermarks& watermarks() const { return watermarks_; }
+
+  /// Number of distinct origins in extras() — the per-origin group count
+  /// the wire encoding writes, shared by the codec and its size estimator
+  /// so the two cannot drift.
+  std::size_t distinct_extra_origins() const;
 
   /// Rebuilds from wire parts; normalises (absorbs contiguous extras).
   static SummaryVector from_parts(std::map<NodeId, SeqNo> watermarks,
@@ -73,10 +98,15 @@ class SummaryVector {
   friend bool operator==(const SummaryVector&, const SummaryVector&) = default;
 
  private:
-  void normalise(NodeId origin);
+  /// Rebuilds *this from sorted-by-origin watermarks (zero marks allowed)
+  /// and sorted-unique extras: drops covered extras, absorbs contiguous
+  /// runs, drops zero watermarks.
+  void canonicalise(Watermarks&& watermarks, Extras&& extras);
 
-  std::map<NodeId, SeqNo> watermarks_;          // origin -> contiguous prefix
-  std::map<NodeId, std::set<SeqNo>> extras_;    // origin -> ids > watermark
+  Watermarks::const_iterator find_watermark(NodeId origin) const;
+
+  Watermarks watermarks_;
+  Extras extras_;
 };
 
 }  // namespace fastcons

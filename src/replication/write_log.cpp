@@ -6,31 +6,66 @@
 #include "common/assert.hpp"
 
 namespace fastcons {
+namespace {
+
+/// First update with id >= `id` in the sorted-by-id log.
+std::vector<Update>::const_iterator updates_lower_bound(
+    const std::vector<Update>& updates, UpdateId id) {
+  return std::lower_bound(
+      updates.begin(), updates.end(), id,
+      [](const Update& u, UpdateId key) { return u.id < key; });
+}
+
+}  // namespace
 
 bool WriteLog::apply(const Update& update) {
+  return apply_moved(Update(update)) != nullptr;
+}
+
+const Update* WriteLog::apply_moved(Update&& update) {
   FASTCONS_EXPECTS(update.id.seq > 0);
-  if (summary_.contains(update.id)) return false;
+  if (summary_.contains(update.id)) return nullptr;
   summary_.add(update.id);
-  updates_.emplace(update.id, update);
+  const auto pos = updates_lower_bound(updates_, update.id);
+  const auto it = updates_.insert(
+      updates_.begin() + (pos - updates_.begin()), std::move(update));
+  const Update& stored = *it;
   // Last-writer-wins on (created_at, origin, seq).
-  auto& state = kv_[update.key];
-  const auto candidate =
-      std::tuple(update.created_at, update.id.origin, update.id.seq);
-  const auto incumbent = std::tuple(state.written_at, state.by.origin, state.by.seq);
-  if (state.written_at < 0.0 || candidate > incumbent) {
-    state.written_at = update.created_at;
-    state.by = update.id;
-    state.value = update.value;
+  const auto kv_pos = std::lower_bound(
+      kv_.begin(), kv_.end(), stored.key,
+      [](const auto& entry, const std::string& key) {
+        return entry.first < key;
+      });
+  if (kv_pos == kv_.end() || kv_pos->first != stored.key) {
+    kv_.insert(kv_pos,
+               {stored.key, KeyState{stored.created_at, stored.id, stored.value}});
+  } else {
+    KeyState& state = kv_pos->second;
+    const auto candidate =
+        std::tuple(stored.created_at, stored.id.origin, stored.id.seq);
+    const auto incumbent =
+        std::tuple(state.written_at, state.by.origin, state.by.seq);
+    if (candidate > incumbent) {
+      state.written_at = stored.created_at;
+      state.by = stored.id;
+      state.value = stored.value;
+    }
   }
-  return true;
+  return &stored;
 }
 
 bool WriteLog::contains(UpdateId id) const { return summary_.contains(id); }
 
 std::optional<Update> WriteLog::get(UpdateId id) const {
-  const auto it = updates_.find(id);
-  if (it == updates_.end()) return std::nullopt;
-  return it->second;
+  const Update* found = find(id);
+  if (found == nullptr) return std::nullopt;
+  return *found;
+}
+
+const Update* WriteLog::find(UpdateId id) const {
+  const auto it = updates_lower_bound(updates_, id);
+  if (it == updates_.end() || it->id != id) return nullptr;
+  return &*it;
 }
 
 std::vector<Update> WriteLog::updates_for(
@@ -40,9 +75,8 @@ std::vector<Update> WriteLog::updates_for(
   std::vector<Update> result;
   result.reserve(ids.size());
   for (const UpdateId id : ids) {
-    const auto it = updates_.find(id);
-    if (it != updates_.end()) {
-      result.push_back(it->second);
+    if (const Update* found = find(id)) {
+      result.push_back(*found);
     } else if (missing_truncated != nullptr) {
       missing_truncated->push_back(id);
     }
@@ -51,8 +85,10 @@ std::vector<Update> WriteLog::updates_for(
 }
 
 std::optional<std::string> WriteLog::read(const std::string& key) const {
-  const auto it = kv_.find(key);
-  if (it == kv_.end()) return std::nullopt;
+  const auto it = std::lower_bound(
+      kv_.begin(), kv_.end(), key,
+      [](const auto& entry, const std::string& k) { return entry.first < k; });
+  if (it == kv_.end() || it->first != key) return std::nullopt;
   return it->second.value;
 }
 
@@ -67,28 +103,14 @@ std::vector<std::string> WriteLog::keys() const {
 }
 
 std::size_t WriteLog::truncate_below(const SummaryVector& stable) {
-  std::size_t discarded = 0;
-  for (auto it = updates_.begin(); it != updates_.end();) {
-    if (stable.contains(it->first)) {
-      it = updates_.erase(it);
-      ++discarded;
-    } else {
-      ++it;
-    }
-  }
-  return discarded;
+  const std::size_t before = updates_.size();
+  std::erase_if(updates_,
+                [&](const Update& u) { return stable.contains(u.id); });
+  return before - updates_.size();
 }
 
 std::vector<Update> WriteLog::all_retained() const {
-  std::vector<Update> result;
-  result.reserve(updates_.size());
-  for (const auto& [id, update] : updates_) {
-    (void)id;
-    result.push_back(update);
-  }
-  std::sort(result.begin(), result.end(),
-            [](const Update& a, const Update& b) { return a.id < b.id; });
-  return result;
+  return updates_;  // already (origin, seq) sorted
 }
 
 }  // namespace fastcons

@@ -11,10 +11,9 @@
 #define FASTCONS_REPLICATION_WRITE_LOG_HPP
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <string>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "replication/summary_vector.hpp"
@@ -30,10 +29,20 @@ class WriteLog {
   /// idempotent; re-inserting a known id is a no-op.
   bool apply(const Update& update);
 
+  /// Move-in variant for the dispatch hot path: the payload strings are
+  /// moved, not copied. Returns the stored update, or nullptr when the id
+  /// was already known (in which case `update` is left untouched). The
+  /// pointer is invalidated by the next apply/truncate.
+  const Update* apply_moved(Update&& update);
+
   bool contains(UpdateId id) const;
 
   /// Payload lookup; nullopt when unknown or truncated away.
   std::optional<Update> get(UpdateId id) const;
+
+  /// Borrowed payload lookup; nullptr when unknown or truncated away. The
+  /// pointer is invalidated by the next apply/truncate.
+  const Update* find(UpdateId id) const;
 
   /// The summary of everything ever applied (truncation does not shrink it).
   const SummaryVector& summary() const noexcept { return summary_; }
@@ -76,9 +85,14 @@ class WriteLog {
     std::string value;
   };
 
-  std::unordered_map<UpdateId, Update, UpdateIdHash> updates_;
+  // Flat sorted storage: a replica log is mutated once per applied update
+  // but consulted on every session, and hash/tree nodes cost an allocation
+  // per entry (plus a bucket array per fresh engine — one per trial in the
+  // simulations). Sorted-by-id updates also make all_retained() a plain
+  // copy.
+  std::vector<Update> updates_;                        // sorted by id
   SummaryVector summary_;
-  std::map<std::string, KeyState> kv_;
+  std::vector<std::pair<std::string, KeyState>> kv_;   // sorted by key
 };
 
 }  // namespace fastcons

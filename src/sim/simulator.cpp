@@ -1,18 +1,109 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/assert.hpp"
 
 namespace fastcons {
+namespace {
+
+// Per-thread running total across all Simulator instances; the harness
+// samples it around each trial (trials never share a thread mid-run).
+thread_local std::uint64_t t_events_executed = 0;
+
+}  // namespace
+
+std::uint64_t Simulator::thread_events_executed() noexcept {
+  return t_events_executed;
+}
+
+// --------------------------------------------------------------------------
+// Slab
+
+std::uint32_t Simulator::acquire_slot(EventFn action) {
+  std::uint32_t slot;
+  if (free_head_ != kNoFree) {
+    slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    slots_[slot].action = std::move(action);
+  } else {
+    FASTCONS_EXPECTS(slots_.size() < (1u << 24));  // HeapEntry::slot width
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+    slots_[slot].action = std::move(action);
+  }
+  ++live_;
+  return slot;
+}
+
+void Simulator::release_slot(std::uint32_t slot) noexcept {
+  Slot& s = slots_[slot];
+  s.action.reset();
+  ++s.generation;  // invalidates outstanding heap entries and handles
+  s.next_free = free_head_;
+  free_head_ = slot;
+  --live_;
+}
+
+// --------------------------------------------------------------------------
+// Flat 4-ary min-heap on (when, seq)
+
+void Simulator::heap_push(const HeapEntry& entry) {
+  // Hole insertion: walk the hole up, one store per level instead of a swap.
+  heap_.push_back(entry);
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!entry_before(entry, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = entry;
+}
+
+void Simulator::heap_pop_min() {
+  const HeapEntry moved = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n == 0) return;
+  // Sift the hole down, then drop `moved` in.
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + 4, n);
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (entry_before(heap_[c], heap_[best])) best = c;
+    }
+    if (!entry_before(heap_[best], moved)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = moved;
+}
+
+void Simulator::drop_dead_top() {
+  while (!heap_.empty() && !entry_live(heap_[0])) heap_pop_min();
+}
+
+// --------------------------------------------------------------------------
+// Public interface
 
 TimerHandle Simulator::schedule_at(SimTime when, Action action) {
   FASTCONS_EXPECTS(when >= now_);
-  FASTCONS_EXPECTS(action != nullptr);
-  const std::uint64_t id = next_id_++;
-  queue_.push(Entry{when, next_seq_++, id});
-  actions_.emplace(id, std::move(action));
-  return TimerHandle{id};
+  FASTCONS_EXPECTS(static_cast<bool>(action));
+  FASTCONS_EXPECTS(next_seq_ < (1ull << 40));  // HeapEntry::seq width
+  const std::uint32_t slot = acquire_slot(std::move(action));
+  const std::uint32_t generation = slots_[slot].generation;
+  HeapEntry entry;
+  entry.when = when;
+  entry.seq = next_seq_++;
+  entry.slot = slot;
+  entry.generation = generation;
+  heap_push(entry);
+  return TimerHandle{slot, generation};
 }
 
 TimerHandle Simulator::schedule_in(SimTime delay, Action action) {
@@ -22,24 +113,29 @@ TimerHandle Simulator::schedule_in(SimTime delay, Action action) {
 
 bool Simulator::cancel(TimerHandle handle) noexcept {
   if (!handle.valid()) return false;
-  return actions_.erase(handle.id_) > 0;
+  const std::uint32_t slot = handle.slot();
+  if (slot >= slots_.size()) return false;
+  if (slots_[slot].generation != handle.generation()) return false;
+  release_slot(slot);  // the heap entry dies with the generation bump
+  return true;
 }
 
 bool Simulator::step() {
-  while (!queue_.empty()) {
-    const Entry entry = queue_.top();
-    queue_.pop();
-    const auto it = actions_.find(entry.id);
-    if (it == actions_.end()) continue;  // cancelled
-    // Move the action out before invoking: the action may schedule or
-    // cancel other events, invalidating iterators into actions_.
-    Action action = std::move(it->second);
-    actions_.erase(it);
-    now_ = entry.when;
+  for (;;) {
+    if (heap_.empty()) return false;
+    const HeapEntry top = heap_[0];
+    heap_pop_min();
+    if (!entry_live(top)) continue;  // cancelled
+    // Move the action out and release the slot before invoking: the action
+    // may schedule (reusing this slot) or cancel other events.
+    EventFn action = std::move(slots_[top.slot].action);
+    release_slot(static_cast<std::uint32_t>(top.slot));
+    now_ = top.when;
+    ++executed_;
+    ++t_events_executed;
     action();
     return true;
   }
-  return false;
 }
 
 std::uint64_t Simulator::run() {
@@ -54,18 +150,8 @@ std::uint64_t Simulator::run_until(SimTime deadline) {
   stop_requested_ = false;
   std::uint64_t executed = 0;
   while (!stop_requested_) {
-    // Peek for the next live event without executing it.
-    bool found = false;
-    while (!queue_.empty()) {
-      const Entry& top = queue_.top();
-      if (actions_.find(top.id) == actions_.end()) {
-        queue_.pop();  // drop cancelled entries eagerly
-        continue;
-      }
-      found = true;
-      break;
-    }
-    if (!found || queue_.top().when > deadline) break;
+    drop_dead_top();  // make the peek below see a live event
+    if (heap_.empty() || heap_[0].when > deadline) break;
     step();
     ++executed;
   }

@@ -2,18 +2,23 @@
 // for this reproduction (DESIGN.md S1).
 //
 // Events are closures ordered by (time, insertion sequence); ties are broken
-// by insertion order so runs are bit-for-bit reproducible. Timers can be
-// cancelled in O(1): the heap entry is lazily discarded when popped.
+// by insertion order so runs are bit-for-bit reproducible.
+//
+// Layout: closures live in a slab with a free list, addressed by index from
+// the heap entries; the priority queue is a flat 4-ary min-heap of 24-byte
+// entries. Cancellation is O(1) and allocation-free: it bumps the slot's
+// generation counter, and the orphaned heap entry is discarded when it
+// reaches the top (its recorded generation no longer matches). Handles carry
+// (slot, generation), so a handle to a fired or cancelled event can never
+// alias a later event that reuses the slot.
 #ifndef FASTCONS_SIM_SIMULATOR_HPP
 #define FASTCONS_SIM_SIMULATOR_HPP
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "common/types.hpp"
+#include "sim/event_fn.hpp"
 
 namespace fastcons {
 
@@ -22,12 +27,20 @@ class TimerHandle {
  public:
   TimerHandle() = default;
 
-  bool valid() const noexcept { return id_ != 0; }
+  bool valid() const noexcept { return raw_ != 0; }
 
  private:
   friend class Simulator;
-  explicit TimerHandle(std::uint64_t id) noexcept : id_(id) {}
-  std::uint64_t id_ = 0;
+  TimerHandle(std::uint32_t slot, std::uint32_t generation) noexcept
+      : raw_((static_cast<std::uint64_t>(generation) << 32) |
+             (static_cast<std::uint64_t>(slot) + 1)) {}
+  std::uint32_t slot() const noexcept {
+    return static_cast<std::uint32_t>(raw_ & 0xffffffffu) - 1;
+  }
+  std::uint32_t generation() const noexcept {
+    return static_cast<std::uint32_t>(raw_ >> 32);
+  }
+  std::uint64_t raw_ = 0;
 };
 
 /// Single-threaded event-driven simulator.
@@ -36,7 +49,7 @@ class TimerHandle {
 /// repository use 1.0 == one mean anti-entropy period (see common/types.hpp).
 class Simulator {
  public:
-  using Action = std::function<void()>;
+  using Action = EventFn;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -70,27 +83,60 @@ class Simulator {
   /// Requests run()/run_until() to return after the current event.
   void stop() noexcept { stop_requested_ = true; }
 
-  std::size_t pending_events() const noexcept { return actions_.size(); }
+  std::size_t pending_events() const noexcept { return live_; }
+
+  /// Events executed over this simulator's lifetime.
+  std::uint64_t events_executed() const noexcept { return executed_; }
+
+  /// Events executed by every Simulator on the calling thread. The harness
+  /// samples this around each trial to report events/sec without threading
+  /// a counter through every trial function.
+  static std::uint64_t thread_events_executed() noexcept;
 
  private:
-  struct Entry {
-    SimTime when;
-    std::uint64_t seq;  // insertion order for deterministic tie-breaking
-    std::uint64_t id;
-    // Ordering for a min-heap via std::greater.
-    friend bool operator>(const Entry& a, const Entry& b) noexcept {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
+  static constexpr std::uint32_t kNoFree = 0xffffffffu;
+
+  struct Slot {
+    EventFn action;
+    // Bumped whenever the slot is released (fire or cancel); heap entries
+    // and handles recording an older generation are dead.
+    std::uint32_t generation = 0;
+    std::uint32_t next_free = kNoFree;
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue_;
-  // Live actions keyed by event id; an Entry whose id is absent here was
-  // cancelled and is skipped when popped.
-  std::unordered_map<std::uint64_t, Action> actions_;
+  struct HeapEntry {
+    SimTime when;
+    std::uint64_t seq : 40;  // insertion order for deterministic tie-breaking
+    std::uint64_t slot : 24;
+    std::uint32_t generation;
+  };
+  static_assert(sizeof(HeapEntry) <= 24);
+
+  static bool entry_before(const HeapEntry& a, const HeapEntry& b) noexcept {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;
+  }
+
+  bool entry_live(const HeapEntry& e) const noexcept {
+    return slots_[e.slot].generation == e.generation;
+  }
+
+  void heap_push(const HeapEntry& entry);
+  void heap_pop_min();
+  /// Discards cancelled entries at the top; afterwards heap_ is empty or
+  /// heap_[0] is live.
+  void drop_dead_top();
+
+  std::uint32_t acquire_slot(EventFn action);
+  void release_slot(std::uint32_t slot) noexcept;
+
+  std::vector<Slot> slots_;
+  std::vector<HeapEntry> heap_;
+  std::uint32_t free_head_ = kNoFree;
+  std::size_t live_ = 0;
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
-  std::uint64_t next_id_ = 1;
+  std::uint64_t executed_ = 0;
   bool stop_requested_ = false;
 };
 

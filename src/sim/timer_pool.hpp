@@ -14,27 +14,24 @@
 #ifndef FASTCONS_SIM_TIMER_POOL_HPP
 #define FASTCONS_SIM_TIMER_POOL_HPP
 
+#include <deque>
 #include <functional>
-#include <memory>
-#include <vector>
 
 namespace fastcons {
 
 /// Owns timer closures and hands out pointers that stay valid for the
-/// pool's lifetime (growth never moves the heap-allocated functions).
+/// pool's lifetime (deque growth never moves existing elements, so no
+/// per-closure heap indirection is needed).
 class TimerPool {
  public:
   /// Returns a stable pointer to a fresh, empty closure; assign the tick
   /// body through it.
-  std::function<void()>* add() {
-    return ticks_.emplace_back(std::make_unique<std::function<void()>>())
-        .get();
-  }
+  std::function<void()>* add() { return &ticks_.emplace_back(); }
 
   std::size_t size() const noexcept { return ticks_.size(); }
 
  private:
-  std::vector<std::unique_ptr<std::function<void()>>> ticks_;
+  std::deque<std::function<void()>> ticks_;
 };
 
 }  // namespace fastcons

@@ -25,12 +25,14 @@ SimNetwork::SimNetwork(Graph graph, std::shared_ptr<const DemandModel> demand,
   node_rngs_.reserve(n);
   first_seen_.resize(n);
   planned_writes_.assign(n, 0);
+  node_applied_.assign(n, 0);
+  node_digest_.assign(n, 0);
   for (NodeId node = 0; node < n; ++node) {
     std::vector<NodeId> neighbours;
     neighbours.reserve(graph_.neighbours(node).size());
     for (const Edge& e : graph_.neighbours(node)) neighbours.push_back(e.peer);
-    engines_.push_back(std::make_unique<ReplicaEngine>(
-        node, std::move(neighbours), config_.protocol, rng_.next_u64()));
+    engines_.emplace_back(node, std::move(neighbours), config_.protocol,
+                          rng_.next_u64());
     node_rngs_.push_back(rng_.split());
   }
   // Prime demand knowledge at t=0.
@@ -38,7 +40,7 @@ SimNetwork::SimNetwork(Graph graph, std::shared_ptr<const DemandModel> demand,
     refresh_own_demand(node);
     if (config_.prime_tables) {
       for (const Edge& e : graph_.neighbours(node)) {
-        engines_[node]->prime_neighbour_demand(
+        engines_[node].prime_neighbour_demand(
             e.peer, demand_->demand_at(e.peer, 0.0), 0.0);
       }
     }
@@ -46,24 +48,38 @@ SimNetwork::SimNetwork(Graph graph, std::shared_ptr<const DemandModel> demand,
     hooks.on_delivery = [this, node](const Update& u, DeliveryPath path,
                                      SimTime now) {
       auto& seen = first_seen_[node];
-      if (seen.emplace(u.id, now).second) {
-        ++holding_count_[u.id];
+      const auto it = std::lower_bound(
+          seen.begin(), seen.end(), u.id,
+          [](const auto& entry, UpdateId id) { return entry.first < id; });
+      if (it == seen.end() || it->first != u.id) {
+        seen.emplace(it, u.id, now);
+        const auto hold = std::lower_bound(
+            holding_count_.begin(), holding_count_.end(), u.id,
+            [](const auto& entry, UpdateId id) { return entry.first < id; });
+        if (hold != holding_count_.end() && hold->first == u.id) {
+          ++hold->second;
+        } else {
+          holding_count_.emplace(hold, u.id, 1);
+        }
+        ++node_applied_[node];
+        node_digest_[node] ^= UpdateIdHash{}(u.id);
+        ++summary_revision_;
         if (on_delivery) on_delivery(node, u, path, now);
       }
     };
-    engines_[node]->set_hooks(std::move(hooks));
+    engines_[node].set_hooks(std::move(hooks));
   }
   start_timers();
 }
 
 ReplicaEngine& SimNetwork::engine(NodeId n) {
   FASTCONS_EXPECTS(n < engines_.size());
-  return *engines_[n];
+  return engines_[n];
 }
 
 const ReplicaEngine& SimNetwork::engine(NodeId n) const {
   FASTCONS_EXPECTS(n < engines_.size());
-  return *engines_[n];
+  return engines_[n];
 }
 
 std::uint64_t SimNetwork::edge_key(NodeId a, NodeId b) noexcept {
@@ -73,46 +89,48 @@ std::uint64_t SimNetwork::edge_key(NodeId a, NodeId b) noexcept {
 }
 
 void SimNetwork::refresh_own_demand(NodeId n) {
-  engines_[n]->set_own_demand(demand_->demand_at(n, sim_.now()));
+  engines_[n].set_own_demand(demand_->demand_at(n, sim_.now()));
 }
 
 void SimNetwork::start_timers() {
   const ProtocolConfig& proto = config_.protocol;
   for (NodeId node = 0; node < engines_.size(); ++node) {
-    // Session timer: self-rescheduling closure.
-    std::function<void()>* session_ptr = timers_.add();
-    auto schedule_next_session = [this, node, session_ptr] {
-      const SimTime gap =
-          config_.timing == SimConfig::Timing::exponential
-              ? node_rngs_[node].exponential(config_.protocol.session_period)
-              : config_.protocol.session_period;
-      sim_.schedule_in(gap, [session_ptr] { (*session_ptr)(); });
-    };
-    *session_ptr = [this, node, schedule_next_session] {
-      refresh_own_demand(node);
-      dispatch(node, engines_[node]->on_session_timer(sim_.now()));
-      schedule_next_session();
-    };
     // First session: exponential gap for Poisson timing, uniform phase for
     // periodic timing — either way nodes are desynchronised.
     const SimTime first =
         config_.timing == SimConfig::Timing::exponential
             ? node_rngs_[node].exponential(proto.session_period)
             : node_rngs_[node].uniform(0.0, proto.session_period);
-    sim_.schedule_at(first, [session_ptr] { (*session_ptr)(); });
+    sim_.schedule_at(first, [this, node] { session_tick(node); });
 
     if (proto.advert_period > 0.0) {
-      std::function<void()>* advert_ptr = timers_.add();
-      *advert_ptr = [this, node, advert_ptr] {
-        refresh_own_demand(node);
-        dispatch(node, engines_[node]->on_advert_timer(sim_.now()));
-        sim_.schedule_in(config_.protocol.advert_period,
-                         [advert_ptr] { (*advert_ptr)(); });
-      };
       sim_.schedule_at(node_rngs_[node].uniform(0.0, proto.advert_period),
-                       [advert_ptr] { (*advert_ptr)(); });
+                       [this, node] { advert_tick(node); });
     }
   }
+}
+
+void SimNetwork::session_tick(NodeId node) {
+  refresh_own_demand(node);
+  scratch_out_.clear();
+  engines_[node].on_session_timer(sim_.now(), scratch_out_);
+  dispatch(node, scratch_out_);
+  // Draw the next gap after dispatching, exactly where the retired closure
+  // version drew it, so per-node RNG streams are reproduced draw-for-draw.
+  const SimTime gap =
+      config_.timing == SimConfig::Timing::exponential
+          ? node_rngs_[node].exponential(config_.protocol.session_period)
+          : config_.protocol.session_period;
+  sim_.schedule_in(gap, [this, node] { session_tick(node); });
+}
+
+void SimNetwork::advert_tick(NodeId node) {
+  refresh_own_demand(node);
+  scratch_out_.clear();
+  engines_[node].on_advert_timer(sim_.now(), scratch_out_);
+  dispatch(node, scratch_out_);
+  sim_.schedule_in(config_.protocol.advert_period,
+                   [this, node] { advert_tick(node); });
 }
 
 UpdateId SimNetwork::schedule_write(NodeId node, std::string key,
@@ -120,9 +138,12 @@ UpdateId SimNetwork::schedule_write(NodeId node, std::string key,
   FASTCONS_EXPECTS(node < engines_.size());
   const UpdateId id{node, ++planned_writes_[node]};
   sim_.schedule_at(at, [this, node, key = std::move(key),
-                        value = std::move(value)] {
+                        value = std::move(value)]() mutable {
     refresh_own_demand(node);
-    dispatch(node, engines_[node]->local_write(key, value, sim_.now()));
+    scratch_out_.clear();
+    engines_[node].local_write(std::move(key), std::move(value), sim_.now(),
+                               scratch_out_);
+    dispatch(node, scratch_out_);
   });
   return id;
 }
@@ -132,13 +153,13 @@ void SimNetwork::add_overlay_link(NodeId a, NodeId b, double latency) {
   FASTCONS_EXPECTS(a != b);
   FASTCONS_EXPECTS(latency >= 0.0);
   overlay_latency_[edge_key(a, b)] = latency;
-  engines_[a]->add_overlay_neighbour(b, sim_.now());
-  engines_[b]->add_overlay_neighbour(a, sim_.now());
+  engines_[a].add_overlay_neighbour(b, sim_.now());
+  engines_[b].add_overlay_neighbour(a, sim_.now());
   if (config_.prime_tables) {
-    engines_[a]->prime_neighbour_demand(b, demand_->demand_at(b, sim_.now()),
-                                        sim_.now());
-    engines_[b]->prime_neighbour_demand(a, demand_->demand_at(a, sim_.now()),
-                                        sim_.now());
+    engines_[a].prime_neighbour_demand(b, demand_->demand_at(b, sim_.now()),
+                                       sim_.now());
+    engines_[b].prime_neighbour_demand(a, demand_->demand_at(a, sim_.now()),
+                                       sim_.now());
   }
 }
 
@@ -149,7 +170,7 @@ void SimNetwork::add_link_failure(NodeId a, NodeId b, SimTime down_at,
 }
 
 double SimNetwork::link_latency(NodeId a, NodeId b) const {
-  if (graph_.has_edge(a, b)) return graph_.latency(a, b);
+  if (const Edge* edge = graph_.find_edge(a, b)) return edge->latency;
   const auto it = overlay_latency_.find(edge_key(a, b));
   if (it != overlay_latency_.end()) return it->second;
   throw ConfigError("message between non-adjacent nodes");
@@ -164,8 +185,13 @@ bool SimNetwork::link_down(NodeId a, NodeId b, SimTime at) const {
                      });
 }
 
-void SimNetwork::dispatch(NodeId from, std::vector<Outbound> outs) {
+void SimNetwork::dispatch(NodeId from, std::vector<Outbound>& outs) {
   for (Outbound& out : outs) {
+    // Decide the drop before touching the payload: a lost message must not
+    // pay for a capture, and nothing below ever copies — the Message moves
+    // from the engine's Outbound into the event closure and on into the
+    // receiving engine. (Each Outbound owns a distinct Message, so there is
+    // no genuine fan-out sharing to justify a shared_ptr payload.)
     if (link_down(from, out.to, sim_.now()) ||
         (config_.loss_rate > 0.0 && rng_.bernoulli(config_.loss_rate))) {
       ++dropped_;
@@ -173,15 +199,17 @@ void SimNetwork::dispatch(NodeId from, std::vector<Outbound> outs) {
     }
     const double latency = link_latency(from, out.to);
     sim_.schedule_in(latency, [this, from, to = out.to,
-                               msg = std::move(out.msg)] {
-      deliver(from, to, msg);
+                               msg = std::move(out.msg)]() mutable {
+      deliver(from, to, std::move(msg));
     });
   }
 }
 
-void SimNetwork::deliver(NodeId from, NodeId to, const Message& msg) {
+void SimNetwork::deliver(NodeId from, NodeId to, Message&& msg) {
   refresh_own_demand(to);  // gradient decisions use current demand
-  dispatch(to, engines_[to]->handle(from, msg, sim_.now()));
+  scratch_out_.clear();
+  engines_[to].handle(from, std::move(msg), sim_.now(), scratch_out_);
+  dispatch(to, scratch_out_);
 }
 
 void SimNetwork::run_until(SimTime t) { sim_.run_until(t); }
@@ -207,21 +235,47 @@ bool SimNetwork::run_until_consistent(SimTime deadline, SimTime check_every) {
 }
 
 bool SimNetwork::all_consistent() const {
+  if (engines_.size() <= 1) return true;
+  if (consistent_revision_ == summary_revision_) return consistent_cache_;
+  // Cheap screen: equal applied counts and equal id digests. Different
+  // counts or digests prove different summaries; a match is only probable,
+  // so it is confirmed by the full comparison below.
+  bool result = true;
   for (std::size_t n = 1; n < engines_.size(); ++n) {
-    if (!(engines_[n]->summary() == engines_[0]->summary())) return false;
+    if (node_applied_[n] != node_applied_[0] ||
+        node_digest_[n] != node_digest_[0]) {
+      result = false;
+      break;
+    }
   }
-  return true;
+  if (result) {
+    for (std::size_t n = 1; n < engines_.size(); ++n) {
+      if (!(engines_[n].summary() == engines_[0].summary())) {
+        result = false;
+        break;
+      }
+    }
+  }
+  consistent_revision_ = summary_revision_;
+  consistent_cache_ = result;
+  return result;
 }
 
 std::size_t SimNetwork::nodes_holding(UpdateId id) const {
-  const auto it = holding_count_.find(id);
-  return it == holding_count_.end() ? 0 : it->second;
+  const auto it = std::lower_bound(
+      holding_count_.begin(), holding_count_.end(), id,
+      [](const auto& entry, UpdateId key) { return entry.first < key; });
+  if (it == holding_count_.end() || it->first != id) return 0;
+  return it->second;
 }
 
 std::optional<SimTime> SimNetwork::first_delivery(NodeId n, UpdateId id) const {
   FASTCONS_EXPECTS(n < first_seen_.size());
-  const auto it = first_seen_[n].find(id);
-  if (it == first_seen_[n].end()) return std::nullopt;
+  const auto& seen = first_seen_[n];
+  const auto it = std::lower_bound(
+      seen.begin(), seen.end(), id,
+      [](const auto& entry, UpdateId key) { return entry.first < key; });
+  if (it == seen.end() || it->first != id) return std::nullopt;
   return it->second;
 }
 
@@ -231,14 +285,14 @@ std::vector<double> SimNetwork::demand_now() const {
 
 TrafficCounters SimNetwork::total_traffic() const {
   TrafficCounters total;
-  for (const auto& engine : engines_) total.merge(engine->counters());
+  for (const auto& engine : engines_) total.merge(engine.counters());
   return total;
 }
 
 EngineStats SimNetwork::total_stats() const {
   EngineStats total;
   for (const auto& engine : engines_) {
-    const EngineStats& s = engine->stats();
+    const EngineStats& s = engine.stats();
     total.sessions_initiated += s.sessions_initiated;
     total.sessions_completed += s.sessions_completed;
     total.sessions_responded += s.sessions_responded;

@@ -16,7 +16,6 @@
 #include "core/engine.hpp"
 #include "demand/demand_model.hpp"
 #include "sim/simulator.hpp"
-#include "sim/timer_pool.hpp"
 #include "topology/graph.hpp"
 
 namespace fastcons {
@@ -81,8 +80,17 @@ class SimNetwork {
   /// deadline. Returns whether convergence was reached.
   bool run_until_consistent(SimTime deadline, SimTime check_every = 0.5);
 
-  /// True when every engine's summary equals every other's.
+  /// True when every engine's summary equals every other's. Incremental:
+  /// every delivery bumps a revision counter and folds the update id into a
+  /// per-node digest, so the common cases — nothing changed since the last
+  /// check, or counts/digests disagree — cost O(1)/O(n); the full summary
+  /// comparison only runs when every digest matches.
   bool all_consistent() const;
+
+  /// Events executed by the underlying simulator so far.
+  std::uint64_t events_executed() const noexcept {
+    return sim_.events_executed();
+  }
 
   std::size_t nodes_holding(UpdateId id) const;
 
@@ -105,8 +113,17 @@ class SimNetwork {
 
  private:
   void start_timers();
-  void dispatch(NodeId from, std::vector<Outbound> outs);
-  void deliver(NodeId from, NodeId to, const Message& msg);
+  /// Self-rescheduling timer bodies. Scheduled events capture just
+  /// [this, node], which fits EventFn's inline buffer — no allocation and
+  /// no closure-ownership gymnastics (see sim/timer_pool.hpp for the
+  /// pattern external workloads still use).
+  void session_tick(NodeId node);
+  void advert_tick(NodeId node);
+  /// Schedules deliveries for `outs`, moving each message into its event;
+  /// the vector's elements are consumed but the vector itself is the
+  /// caller's (the hot paths pass scratch_out_ and reuse its capacity).
+  void dispatch(NodeId from, std::vector<Outbound>& outs);
+  void deliver(NodeId from, NodeId to, Message&& msg);
   void refresh_own_demand(NodeId n);
   double link_latency(NodeId a, NodeId b) const;
   bool link_down(NodeId a, NodeId b, SimTime at) const;
@@ -117,7 +134,7 @@ class SimNetwork {
   SimConfig config_;
   Simulator sim_;
   Rng rng_;
-  std::vector<std::unique_ptr<ReplicaEngine>> engines_;
+  std::vector<ReplicaEngine> engines_;
   std::vector<Rng> node_rngs_;
 
   std::unordered_map<std::uint64_t, double> overlay_latency_;
@@ -127,15 +144,29 @@ class SimNetwork {
   };
   std::unordered_map<std::uint64_t, std::vector<Outage>> outages_;
 
-  // first_seen_[n] maps update id -> first application time at node n.
-  std::vector<std::unordered_map<UpdateId, SimTime, UpdateIdHash>> first_seen_;
-  std::unordered_map<UpdateId, std::size_t, UpdateIdHash> holding_count_;
+  // first_seen_[n]: (update id, first application time) at node n, sorted
+  // by id. Flat vectors: a trial touches few ids per node, and hash tables
+  // here cost a bucket-array allocation per node per trial.
+  std::vector<std::vector<std::pair<UpdateId, SimTime>>> first_seen_;
+  // (update id, nodes holding it), sorted by id.
+  std::vector<std::pair<UpdateId, std::size_t>> holding_count_;
   std::vector<SeqNo> planned_writes_;
   std::uint64_t dropped_ = 0;
 
-  // Owns the self-rescheduling timer closures; see sim/timer_pool.hpp for
-  // why scheduled events must hold plain pointers, never a shared_ptr.
-  TimerPool timers_;
+  // Incremental convergence tracker: per-node count and order-independent
+  // digest of applied update ids (a node's summary is exactly the set of
+  // updates its delivery hook has seen), plus a global revision so repeated
+  // all_consistent() polls between deliveries are free.
+  std::vector<std::uint64_t> node_applied_;
+  std::vector<std::uint64_t> node_digest_;
+  std::uint64_t summary_revision_ = 0;
+  mutable std::uint64_t consistent_revision_ = ~std::uint64_t{0};
+  mutable bool consistent_cache_ = false;
+
+  // Reused output buffer for engine entry points: one delivery never nests
+  // inside another (follow-up traffic goes through scheduled events), so a
+  // single scratch vector serves every call without allocating.
+  std::vector<Outbound> scratch_out_;
 };
 
 }  // namespace fastcons

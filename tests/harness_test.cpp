@@ -127,6 +127,37 @@ TEST(TrialRunner, ResultsAreBitIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(TrialRunner, TimingIsMeasuredButStaysOutsideTheDigest) {
+  // wall_ms/events_executed are measurements of a particular run: they go
+  // into the results files (under "timing") but never into the digestable
+  // serialisation, so perf changes can't masquerade as result changes.
+  const ScenarioRegistry registry = builtin_registry();
+  ScenarioResult result = run_scenario(registry.get("fig5"), smoke_options(1));
+  std::uint64_t events = 0;
+  for (const PointResult& point : result.points) {
+    events += point.events_executed;
+    EXPECT_GE(point.wall_ms, 0.0);
+  }
+  EXPECT_GT(events, 0u);  // fig5 trials run on the simulator
+
+  const std::string pure = scenario_to_json(result).dump();
+  EXPECT_EQ(pure.find("timing"), std::string::npos);
+  EXPECT_EQ(pure.find("wall_ms"), std::string::npos);
+  const std::string timed =
+      scenario_to_json(result, /*include_timing=*/true).dump();
+  EXPECT_NE(timed.find("\"timing\""), std::string::npos);
+  EXPECT_NE(timed.find("\"events_per_sec\""), std::string::npos);
+
+  // Different measurements, same digest.
+  ScenarioResult other = result;
+  for (PointResult& point : other.points) {
+    point.wall_ms += 1234.5;
+    point.events_executed += 99;
+  }
+  EXPECT_EQ(scenario_to_json(other).dump(), pure);
+  EXPECT_NE(scenario_to_json(other, true).dump(), timed);
+}
+
 TEST(TrialRunner, RollupDigestIsStableAcrossThreadCounts) {
   const ScenarioRegistry registry = builtin_registry();
   const auto run_all = [&](std::size_t jobs) {

@@ -107,6 +107,40 @@ TEST(SimNetworkTest, DeterministicForSameSeed) {
   EXPECT_NE(run(5), run(6));
 }
 
+/// Ground truth the incremental convergence tracker must agree with.
+bool brute_force_consistent(const SimNetwork& net) {
+  for (NodeId n = 1; n < net.size(); ++n) {
+    if (!(net.engine(n).summary() == net.engine(0).summary())) return false;
+  }
+  return true;
+}
+
+TEST(SimNetworkTest, IncrementalConsistencyTrackerAgreesWithBruteForce) {
+  SimNetwork net(line5(), static_demand({3, 1, 4, 1, 5}), fast_sim(7));
+  net.schedule_write(0, "a", "1", 0.3);
+  net.schedule_write(4, "b", "2", 0.7);
+  // Step through the run in slices and cross-check at every boundary,
+  // including repeated polls at the same revision (the cached path).
+  bool saw_inconsistent = false;
+  for (int slice = 1; slice <= 120; ++slice) {
+    net.run_until(0.1 * slice);
+    const bool expected = brute_force_consistent(net);
+    EXPECT_EQ(net.all_consistent(), expected) << "at t=" << 0.1 * slice;
+    EXPECT_EQ(net.all_consistent(), expected) << "cached poll diverged";
+    if (!expected) saw_inconsistent = true;
+  }
+  EXPECT_TRUE(saw_inconsistent);  // the check exercised both outcomes
+  EXPECT_TRUE(net.all_consistent());
+  EXPECT_GT(net.events_executed(), 0u);
+}
+
+TEST(SimNetworkTest, RunUntilConsistentMatchesTracker) {
+  SimNetwork net(line5(), static_demand({2, 2, 2, 2, 2}), fast_sim(9));
+  net.schedule_write(2, "k", "v", 0.5);
+  EXPECT_TRUE(net.run_until_consistent(40.0));
+  EXPECT_TRUE(brute_force_consistent(net));
+}
+
 TEST(SimNetworkTest, LossySimulationStillConverges) {
   SimConfig cfg = fast_sim(3);
   cfg.loss_rate = 0.2;

@@ -176,6 +176,110 @@ TEST(SimulatorTest, TimeNeverGoesBackwards) {
   EXPECT_TRUE(monotone);
 }
 
+// ---------------------------------------------------------------------------
+// Slab/generation semantics: handles must stay dead across slot reuse.
+
+TEST(SimulatorTest, StaleHandleCannotCancelSlotReuse) {
+  Simulator sim;
+  // Fire A, whose slot is then recycled for B. A's stale handle must not
+  // cancel B.
+  const TimerHandle a = sim.schedule_at(1.0, [] {});
+  EXPECT_TRUE(sim.step());  // A fired; its slot returns to the free list
+  bool b_fired = false;
+  sim.schedule_at(2.0, [&] { b_fired = true; });
+  EXPECT_FALSE(sim.cancel(a));  // stale generation: must be a no-op
+  sim.run();
+  EXPECT_TRUE(b_fired);
+}
+
+TEST(SimulatorTest, CancelledSlotReuseKeepsNewEventAlive) {
+  Simulator sim;
+  const TimerHandle a = sim.schedule_at(5.0, [] {});
+  EXPECT_TRUE(sim.cancel(a));
+  // The freed slot is reused immediately; the orphaned heap entry for A
+  // must not fire or suppress B.
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  EXPECT_FALSE(sim.cancel(a));  // still stale after reuse
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulatorTest, ManyCancellationsInterleavedWithReuse) {
+  Simulator sim;
+  std::vector<TimerHandle> handles;
+  int fired = 0;
+  for (int round = 0; round < 10; ++round) {
+    handles.clear();
+    for (int i = 0; i < 20; ++i) {
+      handles.push_back(
+          sim.schedule_in(1.0 + i, [&] { ++fired; }));
+    }
+    // Cancel every other event; the slots get reused next round.
+    for (std::size_t i = 0; i < handles.size(); i += 2) {
+      EXPECT_TRUE(sim.cancel(handles[i]));
+      EXPECT_FALSE(sim.cancel(handles[i]));
+    }
+    sim.run();
+  }
+  EXPECT_EQ(fired, 10 * 10);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, CancelFromInsideEventIsSafe) {
+  Simulator sim;
+  bool victim_fired = false;
+  const TimerHandle victim =
+      sim.schedule_at(2.0, [&] { victim_fired = true; });
+  sim.schedule_at(1.0, [&] { EXPECT_TRUE(sim.cancel(victim)); });
+  sim.run();
+  EXPECT_FALSE(victim_fired);
+}
+
+TEST(SimulatorTest, TieBreakSurvivesCancellationChurn) {
+  // Determinism pin: interleaved schedule/cancel churn must not disturb
+  // the (time, insertion-seq) order of the surviving events.
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<TimerHandle> doomed;
+  for (int i = 0; i < 50; ++i) {
+    doomed.push_back(sim.schedule_at(1.0, [] {}));
+    sim.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  for (const TimerHandle h : doomed) sim.cancel(h);
+  sim.run();
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, EventsExecutedCounts) {
+  Simulator sim;
+  const std::uint64_t thread_before = Simulator::thread_events_executed();
+  for (int i = 0; i < 5; ++i) sim.schedule_at(1.0, [] {});
+  const TimerHandle h = sim.schedule_at(2.0, [] {});
+  sim.cancel(h);
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 5u);  // cancelled events don't count
+  EXPECT_EQ(Simulator::thread_events_executed() - thread_before, 5u);
+}
+
+TEST(SimulatorTest, MoveOnlyCaptureAndLargePayload) {
+  // EventFn accepts move-only captures (std::function never could) and
+  // falls back to the heap for captures beyond its inline buffer.
+  Simulator sim;
+  auto payload = std::make_unique<int>(41);
+  int got = 0;
+  sim.schedule_at(1.0, [p = std::move(payload), &got] { got = *p + 1; });
+  struct Big {
+    double data[40] = {};
+  };
+  double sum = -1.0;
+  sim.schedule_at(2.0, [big = Big{}, &sum] { sum = big.data[0]; });
+  sim.run();
+  EXPECT_EQ(got, 42);
+  EXPECT_EQ(sum, 0.0);
+}
+
 TEST(SimulatorTest, SelfReschedulingTimerPattern) {
   // The pattern SimNetwork uses for session timers: a TimerPool owns the
   // closure, scheduled events hold non-owning pointers (a shared_ptr

@@ -347,5 +347,78 @@ TEST_P(SummaryMeetProperty, MeetIsAssociative) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SummaryMeetProperty,
                          ::testing::Range<std::uint64_t>(1, 9));
 
+// ---------------------------------------------------------------------------
+// Flat-representation invariants and from_parts round-trips.
+
+/// Rebuilds the wire-shaped parts from the flat accessors, as net/wire.cpp
+/// encodes them.
+std::pair<std::map<NodeId, SeqNo>, std::map<NodeId, std::set<SeqNo>>>
+to_parts(const SummaryVector& sv) {
+  std::map<NodeId, SeqNo> marks(sv.watermarks().begin(),
+                                sv.watermarks().end());
+  std::map<NodeId, std::set<SeqNo>> extras;
+  for (const UpdateId id : sv.extras()) extras[id.origin].insert(id.seq);
+  return {std::move(marks), std::move(extras)};
+}
+
+class SummaryFlatProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SummaryFlatProperty, CanonicalFormInvariants) {
+  Rng rng(GetParam() + 10000);
+  for (int round = 0; round < 50; ++round) {
+    const SummaryVector sv = random_summary(rng);
+    // Watermarks sorted by origin, all > 0.
+    for (std::size_t i = 0; i < sv.watermarks().size(); ++i) {
+      EXPECT_GT(sv.watermarks()[i].second, 0u);
+      if (i > 0) {
+        EXPECT_LT(sv.watermarks()[i - 1].first, sv.watermarks()[i].first);
+      }
+    }
+    // Extras sorted, unique, strictly above watermark + 1 (else they would
+    // have been absorbed).
+    for (std::size_t i = 0; i < sv.extras().size(); ++i) {
+      if (i > 0) {
+        EXPECT_LT(sv.extras()[i - 1], sv.extras()[i]);
+      }
+      EXPECT_GT(sv.extras()[i].seq, sv.watermark(sv.extras()[i].origin) + 1);
+    }
+  }
+}
+
+TEST_P(SummaryFlatProperty, FromPartsRoundTrip) {
+  Rng rng(GetParam() + 11000);
+  for (int round = 0; round < 50; ++round) {
+    const SummaryVector sv = random_summary(rng);
+    auto [marks, extras] = to_parts(sv);
+    const SummaryVector rebuilt =
+        SummaryVector::from_parts(std::move(marks), std::move(extras));
+    EXPECT_EQ(rebuilt, sv);
+  }
+}
+
+TEST_P(SummaryFlatProperty, EqualCoverageImpliesStructuralEquality) {
+  // Build the same coverage through two different add() orders; canonical
+  // form must make them structurally identical.
+  Rng rng(GetParam() + 12000);
+  for (int round = 0; round < 30; ++round) {
+    std::vector<UpdateId> ids;
+    const std::size_t n = 1 + rng.index(25);
+    for (std::size_t i = 0; i < n; ++i) {
+      ids.push_back(id(static_cast<NodeId>(rng.index(4)),
+                       rng.uniform_u64(1, 10)));
+    }
+    SummaryVector forward;
+    for (const UpdateId x : ids) forward.add(x);
+    SummaryVector backward;
+    for (auto it = ids.rbegin(); it != ids.rend(); ++it) backward.add(*it);
+    EXPECT_EQ(forward, backward);
+    EXPECT_EQ(forward.watermarks(), backward.watermarks());
+    EXPECT_EQ(forward.extras(), backward.extras());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SummaryFlatProperty,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
 }  // namespace
 }  // namespace fastcons

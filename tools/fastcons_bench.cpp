@@ -144,8 +144,8 @@ int main(int argc, char** argv) {
 
     if (!out_dir.empty()) {
       const std::string digest = write_results(results, out_dir);
-      std::printf("wrote %zu scenario file(s) + BENCH_RESULTS.json to %s/ "
-                  "(digest %s)\n",
+      std::printf("wrote %zu scenario file(s) + BENCH_RESULTS.json + "
+                  "DIGESTS.txt to %s/ (digest %s)\n",
                   results.size(), out_dir.c_str(), digest.c_str());
     } else {
       std::printf("digest %s\n", digest_hex(rollup_to_json(results).dump()).c_str());
