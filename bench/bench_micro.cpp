@@ -331,6 +331,105 @@ void BM_SimNetworkEventsPerSec(benchmark::State& state) {
 }
 BENCHMARK(BM_SimNetworkEventsPerSec);
 
+void BM_SimNetworkEventsPerSecReset(benchmark::State& state) {
+  // The reset-path twin of BM_SimNetworkEventsPerSec: the network is
+  // acquired from a pool (rewired, not rebuilt, between iterations),
+  // exactly how harness workers run scenario trials. Construction sits in
+  // the paused region of both benchmarks, so the items/sec delta isolates
+  // the reset path's effect on event execution itself (reused slab and
+  // vector storage staying cache-warm); the construction tax itself is
+  // what BM_TrialConstructionFresh/Pooled measure.
+  std::uint64_t events = 0;
+  SimNetworkPool pool;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Rng rng(11);
+    Graph graph = make_barabasi_albert(100, 2, {0.01, 0.05}, rng);
+    auto demand = std::make_shared<StaticDemand>(
+        make_uniform_random_demand(graph.size(), 1.0, 9.0, rng));
+    SimConfig cfg;
+    cfg.protocol = ProtocolConfig::fast();
+    cfg.protocol.advert_period = 0.0;
+    cfg.seed = rng.next_u64();
+    SimNetwork& net = pool.acquire(std::move(graph), std::move(demand), cfg);
+    net.schedule_write(0, "key", "value", 0.5);
+    state.ResumeTiming();
+    net.run_until(10.0);
+    events += net.events_executed();
+    benchmark::DoNotOptimize(net.total_stats().updates_applied);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_SimNetworkEventsPerSecReset);
+
+void BM_TrialConstructionFresh(benchmark::State& state) {
+  // The per-trial construction tax at 16/100/1024 nodes: BA topology,
+  // uniform demand, full SimNetwork wiring — everything a propagation
+  // trial builds before its first event, constructed from scratch the way
+  // trials did before context pooling.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(21);
+  for (auto _ : state) {
+    Graph graph = make_barabasi_albert(n, 2, {0.01, 0.05}, rng);
+    auto demand = std::make_shared<StaticDemand>(
+        make_uniform_random_demand(n, 0.0, 100.0, rng));
+    SimConfig cfg;
+    cfg.protocol = ProtocolConfig::fast();
+    cfg.protocol.advert_period = 0.0;
+    cfg.seed = rng.next_u64();
+    SimNetwork net(std::move(graph), std::move(demand), cfg);
+    benchmark::DoNotOptimize(net.size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TrialConstructionFresh)->Arg(16)->Arg(100)->Arg(1024);
+
+void BM_TrialConstructionPooled(benchmark::State& state) {
+  // Same construction work through a pooled network: topology and demand
+  // are still built per iteration (random per trial, as in the fig5/fig6
+  // sweeps), but engines/simulator/tracker storage is rewired in place.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(21);
+  SimNetworkPool pool;
+  for (auto _ : state) {
+    Graph graph = make_barabasi_albert(n, 2, {0.01, 0.05}, rng);
+    auto demand = std::make_shared<StaticDemand>(
+        make_uniform_random_demand(n, 0.0, 100.0, rng));
+    SimConfig cfg;
+    cfg.protocol = ProtocolConfig::fast();
+    cfg.protocol.advert_period = 0.0;
+    cfg.seed = rng.next_u64();
+    SimNetwork& net = pool.acquire(std::move(graph), std::move(demand), cfg);
+    benchmark::DoNotOptimize(net.size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TrialConstructionPooled)->Arg(16)->Arg(100)->Arg(1024);
+
+void BM_TrialConstructionPooledShared(benchmark::State& state) {
+  // The deterministic-topology fast path: the graph is built once and
+  // shared immutably across iterations, so per-trial construction is just
+  // the demand model plus the rewire — the floor the harness reaches on
+  // shared-topology sweep points (fig3, the large-scale grids).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(21);
+  const auto graph = std::make_shared<const Graph>(
+      make_barabasi_albert(n, 2, {0.01, 0.05}, rng));
+  SimNetworkPool pool;
+  for (auto _ : state) {
+    auto demand = std::make_shared<StaticDemand>(
+        make_uniform_random_demand(n, 0.0, 100.0, rng));
+    SimConfig cfg;
+    cfg.protocol = ProtocolConfig::fast();
+    cfg.protocol.advert_period = 0.0;
+    cfg.seed = rng.next_u64();
+    SimNetwork& net = pool.acquire(graph, std::move(demand), cfg);
+    benchmark::DoNotOptimize(net.size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TrialConstructionPooledShared)->Arg(16)->Arg(100)->Arg(1024);
+
 }  // namespace
 
 BENCHMARK_MAIN();

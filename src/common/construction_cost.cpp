@@ -1,0 +1,27 @@
+#include "common/construction_cost.hpp"
+
+namespace fastcons {
+namespace {
+
+thread_local std::uint64_t t_construction_ns = 0;
+thread_local int t_scope_depth = 0;
+
+}  // namespace
+
+std::uint64_t ConstructionCost::thread_ns() noexcept {
+  return t_construction_ns;
+}
+
+ConstructionCost::Scope::Scope() noexcept
+    : started_(std::chrono::steady_clock::now()),
+      outermost_(t_scope_depth++ == 0) {}
+
+ConstructionCost::Scope::~Scope() {
+  --t_scope_depth;
+  if (!outermost_) return;
+  const auto elapsed = std::chrono::steady_clock::now() - started_;
+  t_construction_ns += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+}
+
+}  // namespace fastcons

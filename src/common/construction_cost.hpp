@@ -1,0 +1,43 @@
+// Thread-local accounting of per-trial construction time.
+//
+// Scenario trials spend wall-clock in two phases: building state (topology
+// generation, demand models, wiring a SimNetwork) and executing simulator
+// events. The harness reports the two separately per sweep point
+// (timing.construction_ms / timing.event_ms) so the construction tax — and
+// the effect of pooling/reset — is visible in every results file. Trial
+// code marks its construction regions with a ConstructionCost::Scope; the
+// runner samples thread_ns() around each trial, exactly like
+// Simulator::thread_events_executed().
+#ifndef FASTCONS_COMMON_CONSTRUCTION_COST_HPP
+#define FASTCONS_COMMON_CONSTRUCTION_COST_HPP
+
+#include <chrono>
+#include <cstdint>
+
+namespace fastcons {
+
+/// Per-thread running total of time spent in construction scopes.
+class ConstructionCost {
+ public:
+  /// Nanoseconds accumulated by every Scope on the calling thread.
+  static std::uint64_t thread_ns() noexcept;
+
+  /// RAII region marker. Scopes nest: only the outermost scope adds its
+  /// elapsed time, so a SimNetwork build inside an already-marked trial
+  /// construction block is not double-counted.
+  class Scope {
+   public:
+    Scope() noexcept;
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    std::chrono::steady_clock::time_point started_;
+    bool outermost_;
+  };
+};
+
+}  // namespace fastcons
+
+#endif  // FASTCONS_COMMON_CONSTRUCTION_COST_HPP

@@ -73,6 +73,15 @@ class Rng {
   /// other streams.
   Rng split() noexcept;
 
+  /// State equality. Two generators seeded identically compare equal
+  /// exactly when they have consumed the same draw sequence, which is how
+  /// the reset-equivalence tests prove pooled trials replay fresh trials
+  /// draw-for-draw.
+  friend bool operator==(const Rng& a, const Rng& b) noexcept {
+    return a.s_[0] == b.s_[0] && a.s_[1] == b.s_[1] && a.s_[2] == b.s_[2] &&
+           a.s_[3] == b.s_[3];
+  }
+
  private:
   std::uint64_t s_[4];
 };

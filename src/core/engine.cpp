@@ -39,6 +39,35 @@ ReplicaEngine::ReplicaEngine(NodeId self, std::vector<NodeId> neighbours,
   FASTCONS_EXPECTS(config_.fast_fanout >= 1);
 }
 
+void ReplicaEngine::reset(NodeId self, const std::vector<NodeId>& neighbours,
+                          const ProtocolConfig& config, std::uint64_t seed) {
+  FASTCONS_EXPECTS(config.session_period > 0.0);
+  FASTCONS_EXPECTS(config.fast_fanout >= 1);
+  // The policy object is stateless apart from its cycle bookkeeping, so it
+  // is reused (and told to forget the cycle) unless the selection strategy
+  // itself changed.
+  if (policy_ == nullptr || config.selection != config_.selection) {
+    policy_ = make_policy(config.selection);
+  } else {
+    policy_->reset();
+  }
+  self_ = self;
+  config_ = config;
+  rng_ = Rng(seed);
+  log_.clear();
+  table_.reset(neighbours, config.liveness_window);
+  hooks_ = EngineHooks{};
+  stats_ = EngineStats{};
+  counters_ = TrafficCounters{};
+  own_demand_ = 0.0;
+  next_seq_ = 0;
+  next_session_ = 0;
+  next_offer_ = 0;
+  sessions_.clear();
+  offers_.clear();
+  peer_knowledge_.clear();
+}
+
 void ReplicaEngine::prime_neighbour_demand(NodeId peer, double demand,
                                            SimTime now) {
   table_.update(peer, demand, now);

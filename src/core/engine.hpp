@@ -74,6 +74,16 @@ class ReplicaEngine {
   ReplicaEngine(ReplicaEngine&&) = default;
   ReplicaEngine& operator=(ReplicaEngine&&) = default;
 
+  /// Reinitialises to the state a freshly constructed
+  /// `ReplicaEngine(self, neighbours, config, seed)` would have —
+  /// observationally identical, RNG stream included — while retaining the
+  /// write-log, kv, session, offer and peer-knowledge vector capacity, so
+  /// a pooled runtime re-wires engines between trials without returning
+  /// their storage to the allocator. Hooks are cleared (as on
+  /// construction); the caller re-installs them.
+  void reset(NodeId self, const std::vector<NodeId>& neighbours,
+             const ProtocolConfig& config, std::uint64_t seed);
+
   // --- runtime entry points -------------------------------------------
   //
   // Every entry point exists in two shapes: the vector-returning form for

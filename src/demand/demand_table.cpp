@@ -30,6 +30,16 @@ DemandTable::DemandTable(std::vector<NodeId> neighbours,
   }
 }
 
+void DemandTable::reset(const std::vector<NodeId>& neighbours,
+                        SimTime liveness_window) {
+  liveness_window_ = liveness_window;
+  entries_.clear();
+  index_.clear();
+  for (const NodeId peer : neighbours) {
+    add_neighbour(peer, 0.0);
+  }
+}
+
 const DemandEntry* DemandTable::find(NodeId peer) const {
   const auto it = index_lower_bound(index_, peer);
   if (it == index_.end() || it->first != peer) return nullptr;

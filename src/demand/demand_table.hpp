@@ -35,6 +35,10 @@ class DemandTable {
   explicit DemandTable(std::vector<NodeId> neighbours,
                        SimTime liveness_window = 0.0);
 
+  /// Reinitialises as if freshly constructed with these arguments, but
+  /// reusing the entry and index storage — the pooled-engine reset path.
+  void reset(const std::vector<NodeId>& neighbours, SimTime liveness_window);
+
   /// Records an advert (or any message doubling as one) from `peer`.
   /// Unknown peers are ignored (overlay churn can race with adverts).
   void update(NodeId peer, double demand, SimTime now);

@@ -4,16 +4,18 @@
 #include <cmath>
 
 #include "common/assert.hpp"
+#include "common/construction_cost.hpp"
 #include "common/error.hpp"
 
 namespace fastcons {
 namespace {
 
-/// Ids of the ceil(fraction * n) highest-demand nodes (demand desc, id asc).
-std::vector<bool> high_demand_mask(const std::vector<double>& demands,
-                                   double fraction) {
+/// Marks the ceil(fraction * n) highest-demand nodes (demand desc, id asc)
+/// in `mask`, using `order` as the sorting scratch buffer.
+void high_demand_mask(const std::vector<double>& demands, double fraction,
+                      std::vector<NodeId>& order, std::vector<bool>& mask) {
   const std::size_t n = demands.size();
-  std::vector<NodeId> order(n);
+  order.resize(n);
   for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<NodeId>(i);
   std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
     if (demands[a] != demands[b]) return demands[a] > demands[b];
@@ -21,15 +23,17 @@ std::vector<bool> high_demand_mask(const std::vector<double>& demands,
   });
   const auto k = static_cast<std::size_t>(
       std::max(1.0, std::ceil(fraction * static_cast<double>(n))));
-  std::vector<bool> mask(n, false);
+  mask.assign(n, false);
   for (std::size_t i = 0; i < std::min(k, n); ++i) mask[order[i]] = true;
-  return mask;
 }
 
 /// Shared precondition checks for the trial and batch entry points.
 void check_config(const PropagationExperiment& config) {
-  if (!config.topology || !config.demand) {
-    throw ConfigError("propagation experiment needs topology and demand factories");
+  if (!config.shared_topology && !config.topology) {
+    throw ConfigError("propagation experiment needs a topology factory or a shared topology");
+  }
+  if (!config.demand) {
+    throw ConfigError("propagation experiment needs a demand factory");
   }
   if (config.high_demand_fraction <= 0.0 || config.high_demand_fraction > 1.0) {
     throw ConfigError("high_demand_fraction must be in (0, 1]");
@@ -38,18 +42,40 @@ void check_config(const PropagationExperiment& config) {
 
 }  // namespace
 
-PropagationTrial run_propagation_trial(const PropagationExperiment& config,
-                                       Rng& rng) {
+const PropagationTrial& run_propagation_trial(
+    const PropagationExperiment& config, Rng& rng, PropagationContext& ctx) {
   check_config(config);
 
   const SimTime period = config.sim.protocol.session_period;
-  PropagationTrial trial;
+  PropagationTrial& trial = ctx.trial;
+  trial.sessions_all.clear();
+  trial.sessions_high.clear();
+  trial.time_to_full = 0.0;
+  trial.traffic = TrafficCounters{};
+  trial.converged = false;
+  trial.censored_samples = 0;
 
-  Graph graph = config.topology(rng);
-  auto demand = config.demand(graph, rng);
-  SimConfig sim_config = config.sim;
-  sim_config.seed = rng.next_u64();
-  SimNetwork net(std::move(graph), demand, sim_config);
+  // Construction phase: topology + demand + (re)wiring the pooled network.
+  // Scoped so the harness can report the construction tax separately from
+  // event execution.
+  SimNetwork* net_ptr = nullptr;
+  std::shared_ptr<const DemandModel> demand;
+  {
+    ConstructionCost::Scope construction;
+    if (config.shared_topology != nullptr) {
+      demand = config.demand(*config.shared_topology, rng);
+      SimConfig sim_config = config.sim;
+      sim_config.seed = rng.next_u64();
+      net_ptr = &ctx.pool.acquire(config.shared_topology, demand, sim_config);
+    } else {
+      Graph graph = config.topology(rng);
+      demand = config.demand(graph, rng);
+      SimConfig sim_config = config.sim;
+      sim_config.seed = rng.next_u64();
+      net_ptr = &ctx.pool.acquire(std::move(graph), demand, sim_config);
+    }
+  }
+  SimNetwork& net = *net_ptr;
 
   const auto writer = static_cast<NodeId>(rng.index(net.size()));
   // Random phase relative to the session timers, after a short settling
@@ -60,9 +86,12 @@ PropagationTrial run_propagation_trial(const PropagationExperiment& config,
   trial.converged =
       net.run_until_update_everywhere(id, write_at + config.deadline);
 
-  const std::vector<double> demands = demand_snapshot(*demand, write_at);
-  const std::vector<bool> high = high_demand_mask(demands,
-                                                  config.high_demand_fraction);
+  ctx.demands.resize(net.size());
+  for (NodeId node = 0; node < net.size(); ++node) {
+    ctx.demands[node] = demand->demand_at(node, write_at);
+  }
+  high_demand_mask(ctx.demands, config.high_demand_fraction, ctx.order,
+                   ctx.high);
 
   double last = 0.0;
   for (NodeId node = 0; node < net.size(); ++node) {
@@ -77,11 +106,17 @@ PropagationTrial run_propagation_trial(const PropagationExperiment& config,
     }
     last = std::max(last, sessions);
     trial.sessions_all.push_back(sessions);
-    if (high[node]) trial.sessions_high.push_back(sessions);
+    if (ctx.high[node]) trial.sessions_high.push_back(sessions);
   }
   trial.time_to_full = last;
   trial.traffic.merge(net.total_traffic());
   return trial;
+}
+
+PropagationTrial run_propagation_trial(const PropagationExperiment& config,
+                                       Rng& rng) {
+  PropagationContext ctx;
+  return run_propagation_trial(config, rng, ctx);
 }
 
 PropagationResult run_propagation(const PropagationExperiment& config) {
@@ -90,10 +125,11 @@ PropagationResult run_propagation(const PropagationExperiment& config) {
 
   Rng master(config.seed);
   PropagationResult result;
+  PropagationContext ctx;
 
   for (std::size_t rep = 0; rep < config.repetitions; ++rep) {
     Rng rep_rng = master.split();
-    const PropagationTrial trial = run_propagation_trial(config, rep_rng);
+    const PropagationTrial& trial = run_propagation_trial(config, rep_rng, ctx);
     result.reps_converged += trial.converged ? 1 : 0;
     ++result.reps_total;
     result.censored_samples += trial.censored_samples;

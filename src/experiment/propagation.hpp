@@ -31,6 +31,18 @@ struct PropagationExperiment {
   DemandFactory demand;
   SimConfig sim;
 
+  /// Optional pre-built topology shared immutably across repetitions. When
+  /// set, `topology` is never called and no trial RNG is consumed for the
+  /// graph. This changes the experiment design, not just its speed: the
+  /// whole instance — structure AND edge latencies — is frozen, so trials
+  /// vary only in demand, writer and timer draws. Use it for points meant
+  /// to study one fixed network (fig3's star, the large-scale grids);
+  /// points that sample a topology distribution per trial (the fig5/fig6
+  /// BA sweeps) must keep their per-trial factory, both for the statistics
+  /// and because removing the draws would shift the RNG stream and every
+  /// digest.
+  std::shared_ptr<const Graph> shared_topology;
+
   std::size_t repetitions = 1000;
 
   /// "Replicas with most demand": the top fraction by demand at write time.
@@ -84,8 +96,34 @@ struct PropagationTrial {
   std::uint64_t censored_samples = 0;
 };
 
-/// Runs a single repetition of `config` drawing all randomness from `rng`.
-/// Deterministic for a given rng state; ignores config.repetitions/seed.
+/// Pooled state one worker reuses across propagation repetitions: the
+/// simulated network (reset, not rebuilt, between trials) and every scratch
+/// vector the trial body needs. Results are bit-identical to fresh
+/// construction — the reset-equivalence tests pin that — the pool only
+/// removes the per-trial construction tax.
+struct PropagationContext {
+  SimNetworkPool pool;
+
+  /// Demand snapshot at write time (one slot per node).
+  std::vector<double> demands;
+
+  /// Node ids sorted by demand, and the resulting high-demand mask.
+  std::vector<NodeId> order;
+  std::vector<bool> high;
+
+  /// Trial observations; the sample vectors keep their capacity between
+  /// repetitions.
+  PropagationTrial trial;
+};
+
+/// Runs a single repetition of `config` drawing all randomness from `rng`,
+/// reusing `ctx`'s network and buffers. Returns a reference to `ctx.trial`,
+/// valid until the next call with the same context. Deterministic for a
+/// given rng state; ignores config.repetitions/seed.
+const PropagationTrial& run_propagation_trial(
+    const PropagationExperiment& config, Rng& rng, PropagationContext& ctx);
+
+/// Convenience overload with a one-shot context (fresh construction).
 PropagationTrial run_propagation_trial(const PropagationExperiment& config,
                                        Rng& rng);
 

@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "common/assert.hpp"
+#include "common/construction_cost.hpp"
 #include "common/error.hpp"
 #include "sim/timer_pool.hpp"
 
@@ -13,6 +14,16 @@ WorkloadResult run_workload(Graph topology,
                             std::shared_ptr<const DemandModel> demand,
                             const SimConfig& sim_config,
                             const WorkloadConfig& workload) {
+  SimNetworkPool pool;
+  return run_workload(std::move(topology), std::move(demand), sim_config,
+                      workload, pool);
+}
+
+WorkloadResult run_workload(Graph topology,
+                            std::shared_ptr<const DemandModel> demand,
+                            const SimConfig& sim_config,
+                            const WorkloadConfig& workload,
+                            SimNetworkPool& pool) {
   if (workload.keys == 0) throw ConfigError("workload needs >= 1 key");
   if (workload.write_interval <= 0.0) {
     throw ConfigError("write interval must be positive");
@@ -21,7 +32,10 @@ WorkloadResult run_workload(Graph topology,
     throw ConfigError("duration must exceed warmup");
   }
 
-  SimNetwork net(std::move(topology), demand, sim_config);
+  SimNetwork& net = [&]() -> SimNetwork& {
+    ConstructionCost::Scope construction;
+    return pool.acquire(std::move(topology), demand, sim_config);
+  }();
   Rng rng(workload.seed);
   WorkloadResult result;
 

@@ -66,6 +66,15 @@ WorkloadResult run_workload(Graph topology,
                             const SimConfig& sim_config,
                             const WorkloadConfig& workload);
 
+/// Pooled variant: acquires the network from `pool` (reset, not rebuilt,
+/// after the first trial on this pool). Results are bit-identical to the
+/// fresh-construction overload, which delegates here.
+WorkloadResult run_workload(Graph topology,
+                            std::shared_ptr<const DemandModel> demand,
+                            const SimConfig& sim_config,
+                            const WorkloadConfig& workload,
+                            SimNetworkPool& pool);
+
 }  // namespace fastcons
 
 #endif  // FASTCONS_EXPERIMENT_WORKLOAD_HPP

@@ -53,6 +53,7 @@ ScenarioRegistry builtin_registry() {
   register_paper_scenarios(registry);
   register_scaling_scenarios(registry);
   register_extension_scenarios(registry);
+  register_large_scale_scenarios(registry);
   return registry;
 }
 

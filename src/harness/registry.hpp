@@ -36,8 +36,9 @@ class ScenarioRegistry {
 };
 
 /// The built-in registry: the 13 experiment scenarios ported from the
-/// historical bench_* binaries (see docs/paper-map.md for the mapping).
-/// Built fresh on each call; cheap enough for CLI startup.
+/// historical bench_* binaries (see docs/paper-map.md for the mapping) plus
+/// the "large-scale" 1k/4k-node sweeps. Built fresh on each call; cheap
+/// enough for CLI startup.
 ScenarioRegistry builtin_registry();
 
 }  // namespace fastcons::harness

@@ -96,6 +96,8 @@ JsonValue point_to_json(const PointResult& point, bool include_timing) {
   if (include_timing) {
     JsonValue timing = JsonValue::object();
     timing.add("wall_ms", point.wall_ms);
+    timing.add("construction_ms", point.construction_ms);
+    timing.add("event_ms", point.event_ms());
     timing.add("events_executed", point.events_executed);
     timing.add("events_per_sec", events_per_sec(point));
     obj.add("timing", std::move(timing));
@@ -224,9 +226,11 @@ void print_scenario(const ScenarioResult& result, std::ostream& out) {
   if (printed_header) out << "\n";
 
   double wall_ms = 0.0;
+  double construction_ms = 0.0;
   std::uint64_t events = 0;
   for (const PointResult& point : result.points) {
     wall_ms += point.wall_ms;
+    construction_ms += point.construction_ms;
     events += point.events_executed;
   }
   out << "timing: " << events << " events in " << Table::num(wall_ms)
@@ -234,6 +238,10 @@ void print_scenario(const ScenarioResult& result, std::ostream& out) {
   if (wall_ms > 0.0 && events > 0) {
     out << " (" << Table::num(static_cast<double>(events) / (wall_ms / 1000.0))
         << " events/sec)";
+  }
+  if (wall_ms > 0.0) {
+    out << ", construction " << Table::num(construction_ms) << " ms ("
+        << Table::num(100.0 * construction_ms / wall_ms) << "% of wall)";
   }
   out << "\n";
 }

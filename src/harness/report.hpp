@@ -21,9 +21,10 @@ inline constexpr int kResultsSchemaVersion = 1;
 /// experiment outcome: no timestamps, host names, thread counts or wall
 /// times, so equal runs serialise to equal documents (the property the
 /// determinism tests and digests pin down). With `include_timing` each
-/// point additionally carries {"timing": {wall_ms, events_executed,
-/// events_per_sec}} — measurements of this particular run, for the perf
-/// trajectory; digests are always taken over the pure form.
+/// point additionally carries {"timing": {wall_ms, construction_ms,
+/// event_ms, events_executed, events_per_sec}} — measurements of this
+/// particular run, for the perf trajectory; digests are always taken over
+/// the pure form.
 JsonValue scenario_to_json(const ScenarioResult& result,
                            bool include_timing = false);
 

@@ -6,6 +6,7 @@
 #include <exception>
 #include <thread>
 
+#include "common/construction_cost.hpp"
 #include "common/error.hpp"
 #include "sim/simulator.hpp"
 
@@ -17,6 +18,19 @@ struct Task {
   std::size_t point_index = 0;  // into the executed-points vector
   std::size_t seed_index = 0;   // seed_group or spec.sweep index (feeds the seed)
   std::size_t trial = 0;
+};
+
+/// Everything one task writes: the trial's result plus the measurements
+/// taken around it. One cache-line-aligned record per task, so concurrent
+/// workers finishing adjacent tasks never store into the same line — the
+/// previous four parallel arrays (results / errors / wall / events)
+/// interleaved adjacent 8-byte writes from different workers.
+struct alignas(64) TaskSlot {
+  TrialResult result;
+  std::exception_ptr error;
+  double wall_ms = 0.0;
+  double construction_ms = 0.0;
+  std::uint64_t events = 0;
 };
 
 std::size_t effective_jobs(std::size_t jobs) {
@@ -87,35 +101,42 @@ ScenarioResult run_scenario(const ScenarioSpec& spec,
                       options.sweep_filter + "'");
   }
 
-  // Fan the trials out. Workers only write their own slot of `trials`, so
-  // no locking is needed; aggregation below runs single-threaded in task
+  // Fan the trials out. Workers only write their own TaskSlot, so no
+  // locking is needed; aggregation below runs single-threaded in task
   // order, which is what makes the output independent of scheduling.
-  std::vector<TrialResult> trials(tasks.size());
-  std::vector<std::exception_ptr> errors(tasks.size());
-  // Per-trial wall time and simulator-event counts; workers own their slots
-  // like they own `trials`, and the sums land in PointResult.wall_ms /
-  // events_executed (measurements — never part of the result digest).
-  std::vector<double> trial_wall_ms(tasks.size());
-  std::vector<std::uint64_t> trial_events(tasks.size());
+  // Each worker owns one TrialContext for its lifetime: pooled networks
+  // and scratch buffers survive across every trial the worker executes,
+  // which is where the per-trial construction tax goes to die. Contexts
+  // never affect results (reset-equivalence is tested per scenario), so
+  // the output stays bit-identical for any --jobs value.
+  std::vector<TaskSlot> slots(tasks.size());
   std::atomic<std::size_t> next{0};
   const auto worker = [&] {
+    TrialContext context;
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= tasks.size()) return;
       const Task& task = tasks[i];
+      TaskSlot& slot = slots[i];
       const std::uint64_t seed = derive_trial_seed(
           options.base_seed, spec.name, task.seed_index, task.trial);
       const std::uint64_t events_before = Simulator::thread_events_executed();
+      const std::uint64_t construction_before = ConstructionCost::thread_ns();
       const auto started = std::chrono::steady_clock::now();
       try {
-        trials[i] = spec.run(result.points[task.point_index].point, seed);
+        slot.result =
+            spec.run(result.points[task.point_index].point, seed, context);
       } catch (...) {
-        errors[i] = std::current_exception();
+        slot.error = std::current_exception();
       }
       const auto finished = std::chrono::steady_clock::now();
-      trial_wall_ms[i] =
+      slot.wall_ms =
           std::chrono::duration<double, std::milli>(finished - started).count();
-      trial_events[i] = Simulator::thread_events_executed() - events_before;
+      slot.construction_ms =
+          static_cast<double>(ConstructionCost::thread_ns() -
+                              construction_before) /
+          1e6;
+      slot.events = Simulator::thread_events_executed() - events_before;
     }
   };
 
@@ -128,16 +149,17 @@ ScenarioResult run_scenario(const ScenarioSpec& spec,
     for (std::size_t i = 0; i < jobs; ++i) pool.emplace_back(worker);
     for (std::thread& t : pool) t.join();
   }
-  for (const std::exception_ptr& error : errors) {
-    if (error) std::rethrow_exception(error);
+  for (const TaskSlot& slot : slots) {
+    if (slot.error) std::rethrow_exception(slot.error);
   }
 
   // Deterministic aggregation: tasks are ordered by (point, trial).
   for (std::size_t i = 0; i < tasks.size(); ++i) {
     PointResult& into = result.points[tasks[i].point_index];
-    const TrialResult& trial = trials[i];
-    into.wall_ms += trial_wall_ms[i];
-    into.events_executed += trial_events[i];
+    const TrialResult& trial = slots[i].result;
+    into.wall_ms += slots[i].wall_ms;
+    into.construction_ms += slots[i].construction_ms;
+    into.events_executed += slots[i].events;
     for (const auto& [name, value] : trial.values) {
       fold_named(into.values, name, value,
                  [](OnlineStats& acc, double v) { acc.add(v); });

@@ -18,6 +18,8 @@
 #include <utility>
 #include <vector>
 
+#include "harness/trial_context.hpp"
+
 namespace fastcons::harness {
 
 /// Ordered key/value numeric parameters. A vector of pairs rather than a map
@@ -95,9 +97,14 @@ struct TrialResult {
 /// Runs one independent repetition of a sweep point. `seed` is the only
 /// source of randomness; implementations must not read clocks, globals or
 /// the environment, so any two invocations with equal arguments return
-/// equal results on any thread.
-using TrialFn =
-    std::function<TrialResult(const SweepPoint& point, std::uint64_t seed)>;
+/// equal results on any thread. `ctx` is the calling worker's pooled
+/// state (see trial_context.hpp): anything stashed there may be reused by
+/// later trials on the same worker, and MUST NOT change results — a trial
+/// run with a fresh context and one run with a heavily reused context
+/// return identical TrialResults (the reset-equivalence tests enforce
+/// this for every registered scenario).
+using TrialFn = std::function<TrialResult(
+    const SweepPoint& point, std::uint64_t seed, TrialContext& ctx)>;
 
 /// A complete experiment description. Instances live in the
 /// ScenarioRegistry (registry.hpp); the 13 built-ins port the historical

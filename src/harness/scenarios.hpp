@@ -27,6 +27,12 @@ void register_scaling_scenarios(ScenarioRegistry& registry);
 /// "ablation-staleness", "freshness".
 void register_extension_scenarios(ScenarioRegistry& registry);
 
+/// Thousand-node sweeps ("large-scale"): BA and grid topologies at 1k/4k
+/// replicas — the regime demand-based propagation is meant for, affordable
+/// now that trial construction is pooled and deterministic topologies are
+/// shared across trials.
+void register_large_scale_scenarios(ScenarioRegistry& registry);
+
 /// Maps an "algo" tag ("weak", "demand-order", "fast") to the protocol
 /// preset with adverts disabled — the static-demand experiment setup every
 /// figure uses. Throws ConfigError on unknown names.
@@ -43,13 +49,24 @@ TopologyFactory topology_from_point(const SweepPoint& point);
 /// Uniform [lo, hi) per-node demand factory (the paper's §5 setup).
 DemandFactory uniform_demand(double lo = 0.0, double hi = 100.0);
 
+/// The topology a sweep point with `shared_topo != 0` shares across every
+/// trial: built once per (context, point label) from the point's topology
+/// tags with a fixed probe RNG — never the trial RNG — so trials consume
+/// identical draw sequences whether or not sharing is on, and every worker
+/// builds the same graph. Only meaningful for points whose topology is
+/// supposed to be one fixed instance (grids, stars, rings); random-
+/// per-trial topologies (the fig5/fig6 BA sweeps) must not set it.
+std::shared_ptr<const Graph> shared_topology_for(const SweepPoint& point,
+                                                 TrialContext& ctx);
+
 /// Runs one propagation repetition for `point` (reading "algo", topology
-/// tags and "deadline") and records the standard propagation metrics into a
-/// TrialResult: sessions_all/sessions_high samples, time_to_full value,
-/// convergence and traffic counters.
+/// tags, "deadline" and "shared_topo") and records the standard propagation
+/// metrics into a TrialResult: sessions_all/sessions_high samples,
+/// time_to_full value, convergence and traffic counters. Pools the network
+/// and scratch buffers in `ctx`.
 TrialResult propagation_trial(const SweepPoint& point, std::uint64_t seed,
                               const ProtocolConfig& protocol,
-                              const DemandFactory& demand);
+                              const DemandFactory& demand, TrialContext& ctx);
 
 /// Appends `trial`'s observations to `out` under the standard metric names.
 void record_propagation(TrialResult& out, const PropagationTrial& trial);

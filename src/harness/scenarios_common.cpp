@@ -1,6 +1,8 @@
 // Shared helpers for the built-in scenario definitions.
+#include <charconv>
 #include <cmath>
 
+#include "common/construction_cost.hpp"
 #include "common/error.hpp"
 #include "harness/scenarios.hpp"
 #include "stats/counters.hpp"
@@ -98,11 +100,64 @@ void record_propagation(TrialResult& out, const PropagationTrial& trial) {
   record_traffic(out, trial.traffic);
 }
 
+namespace {
+
+/// Per-worker cache of the fixed topologies shared_topology_for hands out,
+/// keyed by the inputs the build actually reads (topology tag + params) —
+/// not the point label, so algorithm variants of one topology (e.g.
+/// grid-64x64/weak and /fast) share a single instance per worker.
+struct SharedTopologyCache {
+  std::vector<std::pair<std::string, std::shared_ptr<const Graph>>> by_key;
+};
+
+/// Probe seed for shared-topology construction. A constant: every worker
+/// must build byte-identical graphs, and the build must never touch the
+/// trial RNG stream.
+constexpr std::uint64_t kSharedTopologyProbeSeed = 123;
+
+/// Everything topology_from_point reads, flattened into a cache key.
+/// Over-keying (params like "deadline" that the build ignores) only costs
+/// a duplicate build; under-keying would silently alias different graphs —
+/// hence shortest-round-trip formatting (std::to_chars), which keys every
+/// distinct double distinctly, unlike std::to_string's fixed 6 decimals.
+std::string topology_cache_key(const SweepPoint& point) {
+  std::string key = tag_or(point.tags, "topo", "ba");
+  for (const auto& [name, value] : point.params) {
+    key += '|';
+    key += name;
+    key += '=';
+    char buf[32];
+    const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+    key.append(buf, ec == std::errc{} ? end : buf);
+  }
+  return key;
+}
+
+}  // namespace
+
+std::shared_ptr<const Graph> shared_topology_for(const SweepPoint& point,
+                                                 TrialContext& ctx) {
+  SharedTopologyCache& cache = ctx.state<SharedTopologyCache>();
+  const std::string key = topology_cache_key(point);
+  for (const auto& [existing, graph] : cache.by_key) {
+    if (existing == key) return graph;
+  }
+  ConstructionCost::Scope construction;
+  Rng probe(kSharedTopologyProbeSeed);
+  auto graph = std::make_shared<const Graph>(topology_from_point(point)(probe));
+  cache.by_key.emplace_back(key, graph);
+  return graph;
+}
+
 TrialResult propagation_trial(const SweepPoint& point, std::uint64_t seed,
                               const ProtocolConfig& protocol,
-                              const DemandFactory& demand) {
+                              const DemandFactory& demand, TrialContext& ctx) {
   PropagationExperiment exp;
-  exp.topology = topology_from_point(point);
+  if (param_or(point.params, "shared_topo", 0.0) != 0.0) {
+    exp.shared_topology = shared_topology_for(point, ctx);
+  } else {
+    exp.topology = topology_from_point(point);
+  }
   exp.demand = demand;
   exp.sim.protocol = protocol;
   exp.deadline = param_or(point.params, "deadline", exp.deadline);
@@ -110,7 +165,8 @@ TrialResult propagation_trial(const SweepPoint& point, std::uint64_t seed,
       param_or(point.params, "high_demand_fraction", exp.high_demand_fraction);
 
   Rng rng(seed);
-  const PropagationTrial trial = run_propagation_trial(exp, rng);
+  const PropagationTrial& trial =
+      run_propagation_trial(exp, rng, ctx.state<PropagationContext>());
   TrialResult out;
   record_propagation(out, trial);
   return out;

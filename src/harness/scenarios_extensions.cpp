@@ -2,6 +2,7 @@
 // ablations, advert staleness, and client-observed freshness.
 #include <map>
 
+#include "common/construction_cost.hpp"
 #include "experiment/workload.hpp"
 #include "harness/scenarios.hpp"
 #include "islands/islands.hpp"
@@ -16,25 +17,32 @@ namespace {
 /// §6's complex demand distribution: two high-demand islands joined by a
 /// cold bridge; measures arrival time in the far island with and without
 /// the leader-bridge overlay.
-TrialResult islands_trial(const SweepPoint& point, std::uint64_t seed) {
+TrialResult islands_trial(const SweepPoint& point, std::uint64_t seed,
+                          TrialContext& ctx) {
   const auto clique = static_cast<std::size_t>(param_or(point.params, "clique", 6));
   const bool overlay = tag_or(point.tags, "variant", "fast") == "fast+overlay";
   const std::string algo = overlay ? "fast" : tag_or(point.tags, "variant", "fast");
   const SimTime deadline = param_or(point.params, "deadline", 80.0);
 
   Rng rng(seed);
-  Graph g = topology_from_point(point)(rng);
-  // Demands: left island warm, right island hot, bridge cold.
-  std::vector<double> demand(g.size(), 1.0);
-  for (NodeId n = 0; n < clique; ++n) demand[n] = rng.uniform(30.0, 50.0);
-  for (NodeId n = clique; n < 2 * clique; ++n) {
-    demand[n] = rng.uniform(50.0, 80.0);
+  std::vector<double> demand;
+  SimNetwork* net_ptr;
+  {
+    ConstructionCost::Scope construction;
+    Graph g = topology_from_point(point)(rng);
+    // Demands: left island warm, right island hot, bridge cold.
+    demand.assign(g.size(), 1.0);
+    for (NodeId n = 0; n < clique; ++n) demand[n] = rng.uniform(30.0, 50.0);
+    for (NodeId n = clique; n < 2 * clique; ++n) {
+      demand[n] = rng.uniform(50.0, 80.0);
+    }
+    auto model = std::make_shared<StaticDemand>(demand);
+    SimConfig cfg;
+    cfg.protocol = algorithm_config(algo);
+    cfg.seed = rng.next_u64();
+    net_ptr = &ctx.state<SimNetworkPool>().acquire(std::move(g), model, cfg);
   }
-  auto model = std::make_shared<StaticDemand>(demand);
-  SimConfig cfg;
-  cfg.protocol = algorithm_config(algo);
-  cfg.seed = rng.next_u64();
-  SimNetwork net(std::move(g), model, cfg);
+  SimNetwork& net = *net_ptr;
 
   const auto islands = detect_islands(net.graph(), demand, 20.0);
   const auto leaders = elect_leaders(islands, demand);
@@ -91,9 +99,10 @@ ProtocolConfig ablation_config(const SweepPoint& point) {
   return cfg;
 }
 
-TrialResult ablation_trial(const SweepPoint& point, std::uint64_t seed) {
+TrialResult ablation_trial(const SweepPoint& point, std::uint64_t seed,
+                           TrialContext& ctx) {
   return propagation_trial(point, seed, ablation_config(point),
-                           uniform_demand());
+                           uniform_demand(), ctx);
 }
 
 // -------------------------------------------------- ablation-staleness ----
@@ -102,7 +111,8 @@ TrialResult ablation_trial(const SweepPoint& point, std::uint64_t seed) {
 /// just before the write lands, so tables primed at t=0 rank yesterday's
 /// hotspots. Sweeps the advert period; without adverts the high-demand
 /// advantage evaporates.
-TrialResult staleness_trial(const SweepPoint& point, std::uint64_t seed) {
+TrialResult staleness_trial(const SweepPoint& point, std::uint64_t seed,
+                            TrialContext& ctx) {
   const double advert = param_or(point.params, "advert_period", 0.0);
   ProtocolConfig protocol = ProtocolConfig::fast();
   protocol.advert_period = advert < 0.0 ? 0.0 : advert;
@@ -116,7 +126,7 @@ TrialResult staleness_trial(const SweepPoint& point, std::uint64_t seed) {
     }
     return std::make_shared<StepDemand>(std::move(schedules));
   };
-  return propagation_trial(point, seed, protocol, demand);
+  return propagation_trial(point, seed, protocol, demand, ctx);
 }
 
 // ----------------------------------------------------------- freshness ----
@@ -124,13 +134,21 @@ TrialResult staleness_trial(const SweepPoint& point, std::uint64_t seed) {
 /// The abstract, measured literally: Poisson client reads at demand rate
 /// against a write stream; a read is fresh when the serving replica already
 /// holds the newest write of the key.
-TrialResult freshness_trial(const SweepPoint& point, std::uint64_t seed) {
+TrialResult freshness_trial(const SweepPoint& point, std::uint64_t seed,
+                            TrialContext& ctx) {
   const auto n = static_cast<std::size_t>(param_or(point.params, "n", 40));
 
   Rng rng(seed);
-  Graph g = topology_from_point(point)(rng);
-  auto demand =
-      std::make_shared<StaticDemand>(make_zipf_demand(n, 1.0, 60.0, rng));
+  Graph g;
+  std::shared_ptr<StaticDemand> demand;
+  {
+    // Only the graph/demand build is construction; run_workload times its
+    // own network wiring.
+    ConstructionCost::Scope construction;
+    g = topology_from_point(point)(rng);
+    demand =
+        std::make_shared<StaticDemand>(make_zipf_demand(n, 1.0, 60.0, rng));
+  }
   SimConfig sim;
   sim.protocol = algorithm_config(tag_or(point.tags, "algo", "fast"));
   sim.seed = rng.next_u64();
@@ -140,7 +158,8 @@ TrialResult freshness_trial(const SweepPoint& point, std::uint64_t seed) {
   workload.duration = param_or(point.params, "duration", 40.0);
   workload.warmup = param_or(point.params, "warmup", 5.0);
   workload.seed = rng.next_u64();
-  const WorkloadResult result = run_workload(std::move(g), demand, sim, workload);
+  const WorkloadResult result = run_workload(
+      std::move(g), demand, sim, workload, ctx.state<SimNetworkPool>());
 
   TrialResult out;
   out.value("fresh_fraction", result.fresh_fraction());

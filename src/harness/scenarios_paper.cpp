@@ -1,7 +1,9 @@
 // The paper-core scenarios: the §2 walkthrough and Figures 3-6.
 #include <deque>
 #include <map>
+#include <optional>
 
+#include "common/construction_cost.hpp"
 #include "core/engine.hpp"
 #include "experiment/metrics.hpp"
 #include "harness/scenarios.hpp"
@@ -12,16 +14,32 @@ namespace {
 
 // ---------------------------------------------------------------- sec2 ----
 
+/// Pooled per-worker state for sec2: the three walkthrough engines and B's
+/// demand table are constructed once and reset — never rebuilt — for every
+/// later trial on the worker.
+struct Sec2Context {
+  std::optional<DemandTable> b_table;
+  std::optional<ReplicaEngine> e, b, d;
+};
+
 /// §2 running example (A..E with demands 4 6 3 8 7): B's demand-ordered
 /// session cycle and the 18-step message walkthrough (session E<->B, then
 /// the fast update B->D). Fully deterministic; one trial.
-TrialResult sec2_trial(const SweepPoint&, std::uint64_t) {
+TrialResult sec2_trial(const SweepPoint&, std::uint64_t, TrialContext& ctx) {
   const std::vector<double> demands{4, 6, 3, 8, 7};  // A..E
 
   TrialResult out;
 
+  Sec2Context& pooled = ctx.state<Sec2Context>();
+
   // B's demand-ordered cycle: paper best case B-D, B-E, B-A, B-C.
-  DemandTable b_table({0, 2, 3, 4});
+  const std::vector<NodeId> b_neighbours{0, 2, 3, 4};
+  if (pooled.b_table.has_value()) {
+    pooled.b_table->reset(b_neighbours, 0.0);
+  } else {
+    pooled.b_table.emplace(b_neighbours);
+  }
+  DemandTable& b_table = *pooled.b_table;
   for (const NodeId peer : {0u, 2u, 3u, 4u}) {
     b_table.update(peer, demands[peer], 0.0);
   }
@@ -37,9 +55,19 @@ TrialResult sec2_trial(const SweepPoint&, std::uint64_t) {
   // fast-updates D.
   ProtocolConfig cfg = ProtocolConfig::fast();
   cfg.advert_period = 0.0;
-  ReplicaEngine e(4, {1}, cfg, 1);
-  ReplicaEngine b(1, {0, 2, 3, 4}, cfg, 2);
-  ReplicaEngine d(3, {1}, cfg, 3);
+  const auto engine_for = [&cfg](std::optional<ReplicaEngine>& slot,
+                                 NodeId self, std::vector<NodeId> neighbours,
+                                 std::uint64_t seed) -> ReplicaEngine& {
+    if (slot.has_value()) {
+      slot->reset(self, neighbours, cfg, seed);
+    } else {
+      slot.emplace(self, std::move(neighbours), cfg, seed);
+    }
+    return *slot;
+  };
+  ReplicaEngine& e = engine_for(pooled.e, 4, {1}, 1);
+  ReplicaEngine& b = engine_for(pooled.b, 1, {0, 2, 3, 4}, 2);
+  ReplicaEngine& d = engine_for(pooled.d, 3, {1}, 3);
   e.set_own_demand(demands[4]);
   b.set_own_demand(demands[1]);
   d.set_own_demand(demands[3]);
@@ -106,16 +134,35 @@ std::vector<double> fig3_series_for_order(const std::vector<NodeId>& order) {
   return consistent_rate_series(delivery, fig3_demands(), 4, 1.0);
 }
 
+/// Pooled per-worker state for fig3: the (deterministic) star and its
+/// demand model are built once and shared immutably across every trial the
+/// worker executes; the network is reset, not rebuilt, per trial.
+struct Fig3Context {
+  std::shared_ptr<const Graph> star;
+  std::shared_ptr<const DemandModel> demands;
+  SimNetworkPool pool;
+};
+
 /// One measured fast-consistency run: B writes at t=0; sample the
 /// consistent-service rate at the four session boundaries.
-TrialResult fig3_trial(const SweepPoint&, std::uint64_t seed) {
-  SimConfig cfg;
-  cfg.protocol = ProtocolConfig::fast();
-  cfg.protocol.advert_period = 0.0;
-  cfg.timing = SimConfig::Timing::periodic;
-  cfg.seed = seed;
-  SimNetwork net(fig3_star(), std::make_shared<StaticDemand>(fig3_demands()),
-                 cfg);
+TrialResult fig3_trial(const SweepPoint&, std::uint64_t seed,
+                       TrialContext& ctx) {
+  Fig3Context& fig3 = ctx.state<Fig3Context>();
+  SimNetwork* net_ptr;
+  {
+    ConstructionCost::Scope construction;
+    if (fig3.star == nullptr) {
+      fig3.star = std::make_shared<const Graph>(fig3_star());
+      fig3.demands = std::make_shared<StaticDemand>(fig3_demands());
+    }
+    SimConfig cfg;
+    cfg.protocol = ProtocolConfig::fast();
+    cfg.protocol.advert_period = 0.0;
+    cfg.timing = SimConfig::Timing::periodic;
+    cfg.seed = seed;
+    net_ptr = &fig3.pool.acquire(fig3.star, fig3.demands, cfg);
+  }
+  SimNetwork& net = *net_ptr;
   const UpdateId id = net.schedule_write(1, "k", "v", 0.0);
   net.run_until_update_everywhere(id, 10.0);
   std::vector<std::optional<SimTime>> delivery(5);
@@ -134,7 +181,7 @@ TrialResult fig3_trial(const SweepPoint&, std::uint64_t seed) {
 /// Drives B's engine through three session timers with the Fig. 4 demand
 /// shift (A: 2->0, C: 0->9 after the first session; D constant at 13) and
 /// records the chosen partner sequence.
-TrialResult fig4_trial(const SweepPoint& point, std::uint64_t) {
+TrialResult fig4_trial(const SweepPoint& point, std::uint64_t, TrialContext&) {
   const std::string variant = tag_or(point.tags, "selection", "dynamic");
   ProtocolConfig cfg = ProtocolConfig::fast();
   cfg.selection = variant == "dynamic" ? PartnerSelection::demand_dynamic
@@ -198,10 +245,11 @@ std::vector<SweepPoint> ba_algorithm_sweep(std::size_t n, double paper_fast,
   return sweep;
 }
 
-TrialResult figure_cdf_trial(const SweepPoint& point, std::uint64_t seed) {
+TrialResult figure_cdf_trial(const SweepPoint& point, std::uint64_t seed,
+                             TrialContext& ctx) {
   return propagation_trial(point, seed,
                            algorithm_config(tag_or(point.tags, "algo", "fast")),
-                           uniform_demand());
+                           uniform_demand(), ctx);
 }
 
 }  // namespace

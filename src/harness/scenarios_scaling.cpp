@@ -1,5 +1,6 @@
 // Scaling and overhead scenarios: §5's uniform-topology and diameter claims,
 // §8's traffic accounting.
+#include "common/construction_cost.hpp"
 #include "harness/scenarios.hpp"
 #include "sim_runtime/sim_network.hpp"
 #include "topology/metrics.hpp"
@@ -17,10 +18,10 @@ ParamMap structural_reference(const TopologyFactory& topo) {
 }
 
 TrialResult uniform_propagation_trial(const SweepPoint& point,
-                                      std::uint64_t seed) {
+                                      std::uint64_t seed, TrialContext& ctx) {
   return propagation_trial(point, seed,
                            algorithm_config(tag_or(point.tags, "algo", "fast")),
-                           uniform_demand());
+                           uniform_demand(), ctx);
 }
 
 /// Appends one sweep point per algorithm for a named topology.
@@ -51,18 +52,24 @@ void add_topology_points(std::vector<SweepPoint>& sweep,
 
 /// §8 traffic accounting: one write, fixed horizon, exact wire bytes per
 /// message class from the codec.
-TrialResult overhead_trial(const SweepPoint& point, std::uint64_t seed) {
+TrialResult overhead_trial(const SweepPoint& point, std::uint64_t seed,
+                           TrialContext& ctx) {
   const auto n = static_cast<std::size_t>(param_or(point.params, "n", 50));
   const SimTime horizon = param_or(point.params, "horizon", 10.0);
 
   Rng rng(seed);
-  Graph g = topology_from_point(point)(rng);
-  auto demand = std::make_shared<StaticDemand>(
-      make_uniform_random_demand(n, 0.0, 100.0, rng));
-  SimConfig cfg;
-  cfg.protocol = algorithm_config(tag_or(point.tags, "algo", "fast"));
-  cfg.seed = rng.next_u64();
-  SimNetwork net(std::move(g), demand, cfg);
+  SimNetwork* net_ptr;
+  {
+    ConstructionCost::Scope construction;
+    Graph g = topology_from_point(point)(rng);
+    auto demand = std::make_shared<StaticDemand>(
+        make_uniform_random_demand(n, 0.0, 100.0, rng));
+    SimConfig cfg;
+    cfg.protocol = algorithm_config(tag_or(point.tags, "algo", "fast"));
+    cfg.seed = rng.next_u64();
+    net_ptr = &ctx.state<SimNetworkPool>().acquire(std::move(g), demand, cfg);
+  }
+  SimNetwork& net = *net_ptr;
   net.schedule_write(static_cast<NodeId>(rng.index(n)), "k", "v", 0.5);
   net.run_until(horizon);
 

@@ -1,0 +1,54 @@
+/// @file
+/// Per-worker pooled state threaded through every trial function.
+///
+/// The TrialRunner gives each worker thread one TrialContext for the whole
+/// scenario run. Trial functions stash whatever expensive-to-build state
+/// they want to reuse — a pooled SimNetwork, scratch vectors, a shared
+/// topology — under a type key via state<T>(). Because trials are seeded
+/// purely from (base_seed, scenario, point, trial) and pooled state resets
+/// to fresh-construction behaviour, results stay bit-identical whether a
+/// context serves one trial or ten thousand; the reset-equivalence tests
+/// pin that for every registered scenario.
+#ifndef FASTCONS_HARNESS_TRIAL_CONTEXT_HPP
+#define FASTCONS_HARNESS_TRIAL_CONTEXT_HPP
+
+#include <memory>
+#include <typeindex>
+#include <vector>
+
+namespace fastcons::harness {
+
+/// Type-indexed bag of pooled per-worker state.
+///
+/// Deliberately not a cache with eviction: a scenario uses a handful of
+/// state types and a context lives for one run_scenario call, so a linear
+/// scan over a small vector beats any map.
+class TrialContext {
+ public:
+  /// The context's single instance of T, default-constructed on first use.
+  /// T must be default-constructible; the instance lives until the context
+  /// is destroyed, so trials on the same worker see each other's pooled
+  /// buffers (that persistence is the whole point).
+  template <typename T>
+  T& state() {
+    const std::type_index key(typeid(T));
+    for (const Slot& slot : slots_) {
+      if (slot.type == key) return *static_cast<T*>(slot.ptr.get());
+    }
+    slots_.push_back(Slot{
+        key, std::unique_ptr<void, void (*)(void*)>(
+                 new T(), [](void* p) { delete static_cast<T*>(p); })});
+    return *static_cast<T*>(slots_.back().ptr.get());
+  }
+
+ private:
+  struct Slot {
+    std::type_index type;
+    std::unique_ptr<void, void (*)(void*)> ptr;
+  };
+  std::vector<Slot> slots_;
+};
+
+}  // namespace fastcons::harness
+
+#endif  // FASTCONS_HARNESS_TRIAL_CONTEXT_HPP

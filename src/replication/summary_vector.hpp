@@ -51,6 +51,13 @@ class SummaryVector {
   /// Records an update as seen. Idempotent.
   void add(UpdateId id);
 
+  /// Forgets everything, retaining the buffers (pooled engines reset
+  /// their summaries once per trial).
+  void clear() noexcept {
+    watermarks_.clear();
+    extras_.clear();
+  }
+
   /// Watermark for one origin (largest w such that all of 1..w are seen).
   SeqNo watermark(NodeId origin) const;
 

@@ -77,6 +77,14 @@ class WriteLog {
   /// Updates currently retained, in (origin, seq) order.
   std::vector<Update> all_retained() const;
 
+  /// Forgets every update, value and summary entry, retaining the vector
+  /// capacity — the pooled-engine reset path (ReplicaEngine::reset).
+  void clear() noexcept {
+    updates_.clear();
+    kv_.clear();
+    summary_.clear();
+  }
+
  private:
   struct KeyState {
     // Ordering key for last-writer-wins.

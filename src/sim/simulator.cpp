@@ -145,6 +145,27 @@ std::uint64_t Simulator::run() {
   return executed;
 }
 
+void Simulator::reset() noexcept {
+  heap_.clear();
+  // Rebuild the free list over every retained slot, releasing pending
+  // closures and invalidating outstanding handles via the generation bump.
+  // Walking backwards leaves slot 0 at the head, matching the order a
+  // fresh slab hands slots out in.
+  free_head_ = kNoFree;
+  for (std::size_t i = slots_.size(); i-- > 0;) {
+    Slot& slot = slots_[i];
+    slot.action.reset();
+    ++slot.generation;
+    slot.next_free = free_head_;
+    free_head_ = static_cast<std::uint32_t>(i);
+  }
+  live_ = 0;
+  now_ = 0.0;
+  next_seq_ = 0;
+  executed_ = 0;
+  stop_requested_ = false;
+}
+
 std::uint64_t Simulator::run_until(SimTime deadline) {
   FASTCONS_EXPECTS(deadline >= now_);
   stop_requested_ = false;

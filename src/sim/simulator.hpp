@@ -83,6 +83,15 @@ class Simulator {
   /// Requests run()/run_until() to return after the current event.
   void stop() noexcept { stop_requested_ = true; }
 
+  /// Returns the simulator to its freshly-constructed logical state —
+  /// time 0, empty queue, zeroed counters — while retaining the slab and
+  /// heap storage, so a pooled simulator schedules its next trial's events
+  /// without touching the allocator. Every pending event is discarded
+  /// (closure destructors run) and every slot generation is bumped, so
+  /// TimerHandles obtained before the reset can never cancel an event
+  /// scheduled after it.
+  void reset() noexcept;
+
   std::size_t pending_events() const noexcept { return live_; }
 
   /// Events executed over this simulator's lifetime.

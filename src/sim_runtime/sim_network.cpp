@@ -8,38 +8,95 @@
 namespace fastcons {
 
 SimNetwork::SimNetwork(Graph graph, std::shared_ptr<const DemandModel> demand,
-                       SimConfig config)
-    : graph_(std::move(graph)),
-      demand_(std::move(demand)),
-      config_(config),
-      rng_(config.seed) {
-  if (demand_ == nullptr) throw ConfigError("SimNetwork needs a demand model");
-  if (demand_->size() != graph_.size()) {
+                       SimConfig config) {
+  wire(std::make_shared<const Graph>(std::move(graph)), std::move(demand),
+       std::move(config));
+}
+
+SimNetwork::SimNetwork(std::shared_ptr<const Graph> graph,
+                       std::shared_ptr<const DemandModel> demand,
+                       SimConfig config) {
+  wire(std::move(graph), std::move(demand), std::move(config));
+}
+
+void SimNetwork::reset(Graph graph, std::shared_ptr<const DemandModel> demand,
+                       SimConfig config) {
+  reset(std::make_shared<const Graph>(std::move(graph)), std::move(demand),
+        std::move(config));
+}
+
+void SimNetwork::reset(std::shared_ptr<const Graph> graph,
+                       std::shared_ptr<const DemandModel> demand,
+                       SimConfig config) {
+  sim_.reset();
+  overlay_latency_.clear();
+  outages_.clear();
+  holding_count_.clear();
+  dropped_ = 0;
+  summary_revision_ = 0;
+  consistent_revision_ = ~std::uint64_t{0};
+  consistent_cache_ = false;
+  on_delivery = nullptr;
+  // first_seen_ inner vectors keep their capacity for the surviving nodes;
+  // wire() resizes the outer vector to the new node count.
+  for (auto& seen : first_seen_) seen.clear();
+  wire(std::move(graph), std::move(demand), std::move(config));
+}
+
+void SimNetwork::wire(std::shared_ptr<const Graph> graph,
+                      std::shared_ptr<const DemandModel> demand,
+                      SimConfig config) {
+  if (graph == nullptr) throw ConfigError("SimNetwork needs a topology");
+  if (demand == nullptr) throw ConfigError("SimNetwork needs a demand model");
+  if (demand->size() != graph->size()) {
     throw ConfigError("demand model size does not match topology size");
   }
-  if (config_.loss_rate < 0.0 || config_.loss_rate >= 1.0) {
+  if (config.loss_rate < 0.0 || config.loss_rate >= 1.0) {
     throw ConfigError("loss rate must be in [0, 1)");
   }
-  const std::size_t n = graph_.size();
+  graph_ = std::move(graph);
+  demand_ = std::move(demand);
+  config_ = config;
+  rng_ = Rng(config_.seed);
+
+  const std::size_t n = graph_->size();
   engines_.reserve(n);
   node_rngs_.reserve(n);
+  node_rngs_.clear();
+  // A pooled network shrinking to a smaller topology drops surplus engines;
+  // their storage is the one piece reset() cannot retain.
+  if (engines_.size() > n) {
+    engines_.erase(engines_.begin() + static_cast<std::ptrdiff_t>(n),
+                   engines_.end());
+  }
   first_seen_.resize(n);
   planned_writes_.assign(n, 0);
   node_applied_.assign(n, 0);
   node_digest_.assign(n, 0);
   for (NodeId node = 0; node < n; ++node) {
-    std::vector<NodeId> neighbours;
-    neighbours.reserve(graph_.neighbours(node).size());
-    for (const Edge& e : graph_.neighbours(node)) neighbours.push_back(e.peer);
-    engines_.emplace_back(node, std::move(neighbours), config_.protocol,
-                          rng_.next_u64());
+    // The engine copies the ids out of this scratch list, so one buffer
+    // serves every node of every trial.
+    scratch_neighbours_.clear();
+    scratch_neighbours_.reserve(graph_->neighbours(node).size());
+    for (const Edge& e : graph_->neighbours(node)) {
+      scratch_neighbours_.push_back(e.peer);
+    }
+    // Draw order matches the historical constructor exactly: one next_u64
+    // per engine, then one split per node RNG.
+    if (node < engines_.size()) {
+      engines_[node].reset(node, scratch_neighbours_, config_.protocol,
+                           rng_.next_u64());
+    } else {
+      engines_.emplace_back(node, scratch_neighbours_, config_.protocol,
+                            rng_.next_u64());
+    }
     node_rngs_.push_back(rng_.split());
   }
   // Prime demand knowledge at t=0.
   for (NodeId node = 0; node < n; ++node) {
     refresh_own_demand(node);
     if (config_.prime_tables) {
-      for (const Edge& e : graph_.neighbours(node)) {
+      for (const Edge& e : graph_->neighbours(node)) {
         engines_[node].prime_neighbour_demand(
             e.peer, demand_->demand_at(e.peer, 0.0), 0.0);
       }
@@ -170,7 +227,7 @@ void SimNetwork::add_link_failure(NodeId a, NodeId b, SimTime down_at,
 }
 
 double SimNetwork::link_latency(NodeId a, NodeId b) const {
-  if (const Edge* edge = graph_.find_edge(a, b)) return edge->latency;
+  if (const Edge* edge = graph_->find_edge(a, b)) return edge->latency;
   const auto it = overlay_latency_.find(edge_key(a, b));
   if (it != overlay_latency_.end()) return it->second;
   throw ConfigError("message between non-adjacent nodes");

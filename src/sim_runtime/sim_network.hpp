@@ -10,6 +10,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -43,17 +44,37 @@ struct SimConfig {
 };
 
 /// A fully wired simulated replica network.
+///
+/// The topology is held as `shared_ptr<const Graph>` and never mutated:
+/// trials of a sweep point that use one deterministic topology can share a
+/// single immutable Graph with zero per-trial build cost, while callers
+/// with a fresh per-trial graph pass it by value as before. Engines copy
+/// the neighbour id lists they need at wiring time, so the graph is read,
+/// never aliased mutably.
 class SimNetwork {
  public:
   SimNetwork(Graph graph, std::shared_ptr<const DemandModel> demand,
              SimConfig config);
+  SimNetwork(std::shared_ptr<const Graph> graph,
+             std::shared_ptr<const DemandModel> demand, SimConfig config);
 
   SimNetwork(const SimNetwork&) = delete;
   SimNetwork& operator=(const SimNetwork&) = delete;
 
+  /// Rewires this instance as if freshly constructed with the given
+  /// arguments — observationally identical, RNG streams included — while
+  /// retaining slab slots, heap storage, engine log/kv/session capacity
+  /// and the convergence tracker's arrays. A pooled network therefore runs
+  /// steady-state trials allocation-free outside first touch. Overlay
+  /// links, outages and the delivery observer are cleared.
+  void reset(Graph graph, std::shared_ptr<const DemandModel> demand,
+             SimConfig config);
+  void reset(std::shared_ptr<const Graph> graph,
+             std::shared_ptr<const DemandModel> demand, SimConfig config);
+
   std::size_t size() const noexcept { return engines_.size(); }
   Simulator& sim() noexcept { return sim_; }
-  const Graph& graph() const noexcept { return graph_; }
+  const Graph& graph() const noexcept { return *graph_; }
   ReplicaEngine& engine(NodeId n);
   const ReplicaEngine& engine(NodeId n) const;
 
@@ -112,6 +133,12 @@ class SimNetwork {
   std::function<void(NodeId, const Update&, DeliveryPath, SimTime)> on_delivery;
 
  private:
+  /// Shared tail of construction and reset(): validates the arguments,
+  /// (re)builds engines and per-node RNG streams in exactly the
+  /// constructor's draw order, primes demand knowledge, installs the
+  /// delivery hooks and starts the timers.
+  void wire(std::shared_ptr<const Graph> graph,
+            std::shared_ptr<const DemandModel> demand, SimConfig config);
   void start_timers();
   /// Self-rescheduling timer bodies. Scheduled events capture just
   /// [this, node], which fits EventFn's inline buffer — no allocation and
@@ -129,7 +156,7 @@ class SimNetwork {
   bool link_down(NodeId a, NodeId b, SimTime at) const;
   static std::uint64_t edge_key(NodeId a, NodeId b) noexcept;
 
-  Graph graph_;
+  std::shared_ptr<const Graph> graph_;
   std::shared_ptr<const DemandModel> demand_;
   SimConfig config_;
   Simulator sim_;
@@ -167,6 +194,40 @@ class SimNetwork {
   // inside another (follow-up traffic goes through scheduled events), so a
   // single scratch vector serves every call without allocating.
   std::vector<Outbound> scratch_out_;
+
+  // Reused neighbour-id buffer for wiring engines on reset.
+  std::vector<NodeId> scratch_neighbours_;
+};
+
+/// Owns at most one SimNetwork and hands it out construct-or-reset style:
+/// the first acquire() builds the network, every later one rewires it in
+/// place. This is the one spelling of "pooled network per trial context"
+/// shared by the harness scenarios, run_workload and the benchmarks.
+class SimNetworkPool {
+ public:
+  SimNetwork& acquire(std::shared_ptr<const Graph> graph,
+                      std::shared_ptr<const DemandModel> demand,
+                      SimConfig config) {
+    if (net_ != nullptr) {
+      net_->reset(std::move(graph), std::move(demand), std::move(config));
+    } else {
+      net_ = std::make_unique<SimNetwork>(std::move(graph), std::move(demand),
+                                          std::move(config));
+    }
+    return *net_;
+  }
+
+  SimNetwork& acquire(Graph graph, std::shared_ptr<const DemandModel> demand,
+                      SimConfig config) {
+    return acquire(std::make_shared<const Graph>(std::move(graph)),
+                   std::move(demand), std::move(config));
+  }
+
+  /// The pooled network, or nullptr before the first acquire().
+  SimNetwork* get() noexcept { return net_.get(); }
+
+ private:
+  std::unique_ptr<SimNetwork> net_;
 };
 
 }  // namespace fastcons

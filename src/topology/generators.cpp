@@ -104,7 +104,14 @@ Graph make_barabasi_albert(std::size_t n, std::size_t m, LatencyRange lat,
   Graph g(n);
   // `stubs` holds one entry per edge endpoint; sampling uniformly from it is
   // sampling nodes proportionally to degree (preferential connectivity F1).
-  std::vector<NodeId> stubs;
+  // The simulation harness regenerates same-sized BA graphs thousands of
+  // times per sweep point, so the working buffers are thread-local: after
+  // the first trial on a thread the generator only allocates the Graph
+  // itself. (Thread-local state never feeds randomness — draws come from
+  // `rng` alone — so results are independent of thread placement.)
+  thread_local std::vector<NodeId> stubs;
+  thread_local std::vector<NodeId> targets;
+  stubs.clear();
   stubs.reserve(2 * m * n);
   for (std::size_t i = 0; i < m0; ++i) {
     for (std::size_t j = i + 1; j < m0; ++j) {
@@ -115,7 +122,6 @@ Graph make_barabasi_albert(std::size_t n, std::size_t m, LatencyRange lat,
     }
   }
   // Incremental growth (F2): nodes join one at a time.
-  std::vector<NodeId> targets;
   for (std::size_t v = m0; v < n; ++v) {
     targets.clear();
     while (targets.size() < m) {

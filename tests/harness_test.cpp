@@ -14,16 +14,16 @@ namespace {
 
 // ------------------------------------------------------------- registry ----
 
-TEST(ScenarioRegistry, ContainsAllThirteenPortedScenarios) {
+TEST(ScenarioRegistry, ContainsAllRegisteredScenarios) {
   const ScenarioRegistry registry = builtin_registry();
   const std::vector<std::string> expected{
       "sec2",        "fig3",          "fig4",
       "fig5",        "fig6",          "uniform-topologies",
       "diameter-ba", "diameter-grid", "overhead",
       "islands",     "ablation",      "ablation-staleness",
-      "freshness"};
+      "freshness",   "large-scale"};
   EXPECT_EQ(registry.names(), expected);
-  EXPECT_EQ(registry.all().size(), 13u);
+  EXPECT_EQ(registry.all().size(), 14u);
 }
 
 TEST(ScenarioRegistry, FindRoundTripsEveryRegisteredName) {
@@ -64,7 +64,9 @@ TEST(ScenarioRegistry, RejectsDuplicatesAndInvalidSpecs) {
   SweepPoint point;
   point.label = "only";
   spec.sweep.push_back(point);
-  spec.run = [](const SweepPoint&, std::uint64_t) { return TrialResult{}; };
+  spec.run = [](const SweepPoint&, std::uint64_t, TrialContext&) {
+    return TrialResult{};
+  };
   registry.add(spec);
   EXPECT_THROW(registry.add(spec), ConfigError);  // duplicate
 
@@ -240,7 +242,7 @@ TEST(TrialRunner, SeedGroupsPairPointsOnIdenticalSeeds) {
   }
   spec.trials = 4;
   spec.smoke_trials = 4;
-  spec.run = [](const SweepPoint&, std::uint64_t seed) {
+  spec.run = [](const SweepPoint&, std::uint64_t seed, TrialContext&) {
     TrialResult out;
     out.sample("seed", {static_cast<double>(seed >> 12)});
     return out;
@@ -262,7 +264,7 @@ TEST(TrialRunner, TrialExceptionsPropagate) {
   spec.sweep.push_back(point);
   spec.trials = 4;
   spec.smoke_trials = 4;
-  spec.run = [](const SweepPoint&, std::uint64_t) -> TrialResult {
+  spec.run = [](const SweepPoint&, std::uint64_t, TrialContext&) -> TrialResult {
     throw ConfigError("boom");
   };
   RunOptions options;
