@@ -41,6 +41,13 @@ class ScenarioRegistry {
 /// enough for CLI startup.
 ScenarioRegistry builtin_registry();
 
+/// The live-transport registry: scenarios that run LocalCluster over real
+/// TCP sockets and measure wall-clock behaviour. Kept OUT of
+/// builtin_registry() on purpose — their results depend on the host and
+/// the clock, so they are excluded from the determinism digests and the
+/// reset-equivalence sweeps that pin every builtin scenario.
+ScenarioRegistry live_registry();
+
 }  // namespace fastcons::harness
 
 #endif  // FASTCONS_HARNESS_REGISTRY_HPP

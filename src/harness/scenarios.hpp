@@ -33,6 +33,12 @@ void register_extension_scenarios(ScenarioRegistry& registry);
 /// shared across trials.
 void register_large_scale_scenarios(ScenarioRegistry& registry);
 
+/// Real-socket scenarios ("live"): LocalCluster meshes over TCP, weak vs
+/// fast, measuring wall-clock convergence, sustained write throughput and
+/// write-visibility latency. Registered only in live_registry(): results
+/// are wall-clock measurements, not deterministic functions of the seed.
+void register_live_scenarios(ScenarioRegistry& registry);
+
 /// Maps an "algo" tag ("weak", "demand-order", "fast") to the protocol
 /// preset with adverts disabled — the static-demand experiment setup every
 /// figure uses. Throws ConfigError on unknown names.

@@ -1,13 +1,15 @@
-// LocalCluster: spins up one ReplicaServer per topology node on loopback
-// ephemeral ports — the integration harness for running the protocol over
-// real TCP (tests and the live_cluster example).
+// LocalCluster: spins up one ReplicaServer per topology node on ephemeral
+// ports — the integration harness for running the protocol over real TCP
+// (tests, the live_cluster example, and the harness's live scenario family).
 #ifndef FASTCONS_NET_CLUSTER_HPP
 #define FASTCONS_NET_CLUSTER_HPP
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "net/server.hpp"
+#include "stats/cdf.hpp"
 #include "topology/graph.hpp"
 
 namespace fastcons {
@@ -19,6 +21,27 @@ struct ClusterConfig {
   std::uint64_t seed = 1;
   /// Per-node demands (size must match the topology; empty = all zero).
   std::vector<double> demands;
+  /// Listen address for every server. The loopback default keeps the
+  /// cluster on one host; "0.0.0.0" also accepts non-local peers (peers
+  /// inside the cluster still connect over loopback).
+  std::string bind_address = "127.0.0.1";
+};
+
+/// What one run_load() call observed.
+struct LoadReport {
+  std::uint64_t writes_issued = 0;
+  /// Writes confirmed visible on EVERY replica before the drain timeout.
+  std::uint64_t writes_confirmed = 0;
+  /// Wall-clock length of the issue window, seconds.
+  double issue_seconds = 0.0;
+  /// writes_issued / issue_seconds — the rate the cluster actually
+  /// absorbed (<= the requested rate when the writer saturates).
+  double achieved_writes_per_sec = 0.0;
+  /// Wall-clock from the last write to full visibility (or timeout).
+  double drain_seconds = 0.0;
+  /// Per-write full-visibility latency, milliseconds: wall-clock from
+  /// write() to the write being readable at every replica.
+  EmpiricalCdf visibility_latency_ms;
 };
 
 /// Owns n servers wired according to a topology graph.
@@ -40,15 +63,28 @@ class LocalCluster {
   /// `min_updates` updates exist. Pass the number of writes you issued:
   /// with the default of 1, a cluster that has fully spread the first write
   /// counts as converged even if a later write is still in flight inside a
-  /// server's command queue.
+  /// server's command queue. An empty cluster is vacuously converged only
+  /// when no updates are required.
   bool converged(std::uint64_t min_updates = 1) const;
 
   /// Polls converged(min_updates) up to `timeout_seconds`; returns success.
+  /// The poll interval scales with the configured seconds_per_unit so a
+  /// slow cluster is not hammered and a fast one is not over-waited.
   bool wait_for_convergence(double timeout_seconds,
                             std::uint64_t min_updates = 1);
 
+  /// Drives sustained write traffic: issues `writes_per_sec * seconds`
+  /// writes at node `writer` on a steady schedule, tracking when each
+  /// write becomes visible on every replica. After the issue window, keeps
+  /// polling up to `drain_timeout_seconds` for the stragglers. The cluster
+  /// must be start()ed. Keys are "load/<writer>/<i>" — unique per call
+  /// only if callers vary the writer or restart the cluster.
+  LoadReport run_load(NodeId writer, double writes_per_sec, double seconds,
+                      double drain_timeout_seconds = 30.0);
+
  private:
   std::vector<std::unique_ptr<ReplicaServer>> servers_;
+  double seconds_per_unit_ = 0.05;
 };
 
 }  // namespace fastcons

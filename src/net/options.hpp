@@ -1,0 +1,46 @@
+// Command-line parsing for fastconsd, extracted from the binary so the
+// validation rules are unit-testable: every numeric field is parsed with
+// full-consumption checks and range validation — a malformed "--peer
+// abc:host:port" is an error, not silently replica id 0.
+#ifndef FASTCONS_NET_OPTIONS_HPP
+#define FASTCONS_NET_OPTIONS_HPP
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/server.hpp"
+
+namespace fastcons {
+
+/// Parses "ID:HOST:PORT" (e.g. "1:10.0.0.7:7001"). Throws ConfigError on a
+/// malformed spec: missing fields, non-numeric or out-of-range id/port,
+/// empty host.
+PeerAddress parse_peer_address(const std::string& spec);
+
+/// Everything fastconsd's command line configures.
+struct DaemonOptions {
+  ServerConfig server;  // self, peers, listen_port, bind_address, demand, ...
+  /// Session period in wall-clock milliseconds (seconds_per_unit * 1000).
+  double period_ms = 1000.0;
+  /// Startup client writes, in order.
+  std::vector<std::pair<std::string, std::string>> writes;
+  /// Exit after this many seconds; < 0 = run until a signal.
+  double run_seconds = -1.0;
+  /// Load-generator mode: > 0 issues writes at this rate...
+  double load_writes_per_sec = 0.0;
+  /// ...for this many seconds, then prints a latency/health report.
+  double load_seconds = 0.0;
+  bool verbose = false;
+};
+
+/// Parses fastconsd's argv (excluding argv[0]) into `out`. Returns
+/// std::nullopt on success or a one-line error message; the caller prints
+/// it with the usage text. "--help" yields the error message "help".
+std::optional<std::string> parse_daemon_args(
+    const std::vector<std::string>& args, DaemonOptions& out);
+
+}  // namespace fastcons
+
+#endif  // FASTCONS_NET_OPTIONS_HPP

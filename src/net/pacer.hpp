@@ -1,0 +1,45 @@
+// Drift-free fixed-rate scheduling, shared by the load generators
+// (LocalCluster::run_load and fastconsd --load-writes-per-sec).
+#ifndef FASTCONS_NET_PACER_HPP
+#define FASTCONS_NET_PACER_HPP
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+
+namespace fastcons {
+
+/// Deadline calculator for "N events per second from a fixed start":
+/// due(i) derives every deadline from the one start timestamp, so sleep
+/// jitter and slow ticks never accumulate into rate drift.
+class RatePacer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  RatePacer(Clock::time_point start, double per_sec) noexcept
+      : start_(start),
+        interval_(std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(1.0 / per_sec))) {}
+
+  /// When tick `i` (0-based) is due.
+  Clock::time_point due(std::uint64_t i) const noexcept {
+    return start_ + interval_ * static_cast<std::int64_t>(i);
+  }
+
+  /// How long to sleep from `now` toward tick `i`, capped at 1 ms so the
+  /// caller regains control to do bookkeeping (confirm passes, stop
+  /// flags) while waiting.
+  Clock::duration sleep_toward(std::uint64_t i,
+                               Clock::time_point now) const noexcept {
+    return std::min(due(i) - now,
+                    Clock::duration(std::chrono::milliseconds(1)));
+  }
+
+ private:
+  Clock::time_point start_;
+  Clock::duration interval_;
+};
+
+}  // namespace fastcons
+
+#endif  // FASTCONS_NET_PACER_HPP

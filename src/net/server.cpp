@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "common/assert.hpp"
 #include "common/error.hpp"
@@ -13,11 +14,15 @@ namespace fastcons {
 
 ReplicaServer::ReplicaServer(ServerConfig config)
     : config_(std::move(config)),
-      listener_(TcpListener::bind_loopback(config_.listen_port)),
+      listener_(TcpListener::bind(config_.bind_address, config_.listen_port)),
       timer_rng_(config_.seed) {
   if (config_.self == kInvalidNode) throw ConfigError("server needs a NodeId");
   if (config_.seconds_per_unit <= 0.0) {
     throw ConfigError("seconds_per_unit must be positive");
+  }
+  if (config_.reconnect_backoff_min <= 0.0 ||
+      config_.reconnect_backoff_max < config_.reconnect_backoff_min) {
+    throw ConfigError("reconnect backoff bounds must satisfy 0 < min <= max");
   }
 }
 
@@ -33,7 +38,12 @@ void ReplicaServer::start() {
   std::vector<NodeId> neighbour_ids;
   for (const PeerAddress& peer : config_.peers) {
     neighbour_ids.push_back(peer.id);
-    peer_links_[peer.id] = PeerLink{peer, TcpConnection{}};
+    PeerLink link;
+    link.address = peer;
+    link.backoff_seconds = config_.reconnect_backoff_min;
+    link.next_attempt = std::chrono::steady_clock::now();
+    link.stats.peer = peer.id;
+    peer_links_[peer.id] = std::move(link);
   }
   engine_ = std::make_unique<ReplicaEngine>(config_.self,
                                             std::move(neighbour_ids),
@@ -70,10 +80,10 @@ double ReplicaServer::now_units() const {
 void ReplicaServer::write(std::string key, std::string value) {
   {
     const std::lock_guard<std::mutex> lock(command_mutex_);
-    commands_.push_back([this, key = std::move(key),
-                         value = std::move(value)]() mutable {
-      dispatch(engine_->local_write(std::move(key), std::move(value),
-                                    now_units()));
+    commands_.push_back([this, key = std::move(key), value = std::move(value)](
+                            std::vector<Outbound>& outs) mutable {
+      engine_->local_write(std::move(key), std::move(value), now_units(),
+                           outs);
     });
   }
   wake_.wake();
@@ -82,7 +92,9 @@ void ReplicaServer::write(std::string key, std::string value) {
 void ReplicaServer::set_demand(double demand) {
   {
     const std::lock_guard<std::mutex> lock(command_mutex_);
-    commands_.push_back([this, demand] { engine_->set_own_demand(demand); });
+    commands_.push_back([this, demand](std::vector<Outbound>&) {
+      engine_->set_own_demand(demand);
+    });
   }
   wake_.wake();
 }
@@ -111,39 +123,152 @@ TrafficCounters ReplicaServer::traffic() const {
   return engine_->counters();
 }
 
-void ReplicaServer::pump_commands() {
-  std::vector<std::function<void()>> pending;
+NetStats ReplicaServer::net_stats() const {
+  const std::lock_guard<std::mutex> lock(net_mutex_);
+  NetStats out = inbound_stats_;
+  for (const auto& [id, link] : peer_links_) {
+    PeerNetStats peer = link.stats;
+    peer.current_backoff_seconds = link.backoff_seconds;
+    out.frames_sent += peer.frames_sent;
+    out.bytes_sent += peer.bytes_sent;
+    out.frames_dropped += peer.frames_dropped;
+    out.bytes_abandoned += peer.bytes_abandoned;
+    out.connect_attempts += peer.connect_attempts;
+    out.connect_failures += peer.connect_failures;
+    out.disconnects += peer.disconnects;
+    out.peers.push_back(std::move(peer));
+  }
+  return out;
+}
+
+void ReplicaServer::run_engine_turn(std::vector<Outbound>& outs) {
+  std::vector<std::function<void(std::vector<Outbound>&)>> pending;
   {
     const std::lock_guard<std::mutex> lock(command_mutex_);
     pending.swap(commands_);
   }
+  const ProtocolConfig& proto = config_.protocol;
   const std::lock_guard<std::mutex> lock(engine_mutex_);
-  for (auto& command : pending) command();
+  for (auto& command : pending) command(outs);
+
+  const double now = now_units();
+  if (now >= next_session_units_) {
+    engine_->on_session_timer(now, outs);
+    next_session_units_ = now + timer_rng_.exponential(proto.session_period);
+  }
+  if (next_advert_units_ >= 0.0 && now >= next_advert_units_) {
+    engine_->on_advert_timer(now, outs);
+    next_advert_units_ = now + proto.advert_period;
+  }
+  engine_->expire_inflight(now);
 }
 
-void ReplicaServer::send_to_peer(NodeId peer, const Message& msg) {
+void ReplicaServer::register_connect_failure(PeerLink& link) {
+  const std::lock_guard<std::mutex> lock(net_mutex_);
+  link.connecting = false;
+  link.stats.connecting = false;
+  link.stats.connected = false;
+  ++link.stats.connect_failures;
+  link.next_attempt = std::chrono::steady_clock::now() +
+                      std::chrono::duration_cast<
+                          std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double>(link.backoff_seconds));
+  link.backoff_seconds =
+      std::min(link.backoff_seconds * 2.0, config_.reconnect_backoff_max);
+}
+
+void ReplicaServer::drop_connection(PeerLink& link, bool was_established) {
+  const std::size_t abandoned = link.connection.pending_output_bytes();
+  link.connection.close();
+  const std::lock_guard<std::mutex> lock(net_mutex_);
+  link.connecting = false;
+  link.stats.connecting = false;
+  link.stats.connected = false;
+  link.stats.bytes_abandoned += abandoned;
+  if (was_established) ++link.stats.disconnects;
+  link.next_attempt = std::chrono::steady_clock::now() +
+                      std::chrono::duration_cast<
+                          std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double>(link.backoff_seconds));
+  link.backoff_seconds =
+      std::min(link.backoff_seconds * 2.0, config_.reconnect_backoff_max);
+}
+
+bool ReplicaServer::ensure_connection(PeerLink& link) {
+  if (link.connection.valid()) return true;
+  if (std::chrono::steady_clock::now() < link.next_attempt) return false;
+  {
+    const std::lock_guard<std::mutex> lock(net_mutex_);
+    ++link.stats.connect_attempts;
+  }
+  try {
+    link.connection =
+        TcpConnection::connect(link.address.host, link.address.port);
+  } catch (const TransportError& e) {
+    FASTCONS_LOG(debug, "net") << "connect to " << link.address.id
+                               << " failed: " << e.what();
+    register_connect_failure(link);
+    return false;
+  }
+  const std::lock_guard<std::mutex> lock(net_mutex_);
+  link.connecting = true;
+  link.stats.connecting = true;
+  return true;
+}
+
+void ReplicaServer::finish_connect(PeerLink& link) {
+  const int err = link.connection.pending_error();
+  if (err != 0) {
+    FASTCONS_LOG(debug, "net") << "async connect to " << link.address.id
+                               << " failed: " << std::strerror(err);
+    link.connection.close();
+    register_connect_failure(link);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(net_mutex_);
+    link.connecting = false;
+    link.stats.connecting = false;
+    link.stats.connected = true;
+    link.backoff_seconds = config_.reconnect_backoff_min;
+  }
+  if (link.connection.flush() == IoStatus::error) {
+    drop_connection(link, /*was_established=*/true);
+  }
+}
+
+void ReplicaServer::enqueue_frame(NodeId peer,
+                                  const std::vector<std::uint8_t>& frame) {
   const auto it = peer_links_.find(peer);
   if (it == peer_links_.end()) return;
   PeerLink& link = it->second;
-  if (!link.connection.valid()) {
-    try {
-      link.connection =
-          TcpConnection::connect(link.address.host, link.address.port);
-    } catch (const TransportError& e) {
-      // Weak consistency tolerates message loss: the next session retries.
-      FASTCONS_LOG(debug, "net") << "connect to " << peer << " failed: "
-                                 << e.what();
-      return;
-    }
+  if (!ensure_connection(link) ||
+      link.connection.pending_output_bytes() + frame.size() >
+          config_.max_peer_outbox_bytes) {
+    // Weak consistency tolerates message loss: the next session retries.
+    const std::lock_guard<std::mutex> lock(net_mutex_);
+    ++link.stats.frames_dropped;
+    return;
   }
-  const std::vector<std::uint8_t> frame = encode_frame(config_.self, msg);
-  if (link.connection.send(frame) == IoStatus::error) {
-    link.connection.close();  // reconnect lazily on the next send
+  if (link.connecting) {
+    // Handshake still in flight; buffer until writability resolves it.
+    link.connection.queue(frame);
+  } else if (link.connection.send(frame) == IoStatus::error) {
+    drop_connection(link, /*was_established=*/true);
+    const std::lock_guard<std::mutex> lock(net_mutex_);
+    ++link.stats.frames_dropped;
+    return;
   }
+  const std::lock_guard<std::mutex> lock(net_mutex_);
+  ++link.stats.frames_sent;
+  link.stats.bytes_sent += frame.size();
 }
 
-void ReplicaServer::dispatch(std::vector<Outbound> outs) {
-  for (Outbound& out : outs) send_to_peer(out.to, out.msg);
+void ReplicaServer::transmit(std::vector<Outbound>& outs) {
+  for (Outbound& out : outs) {
+    enqueue_frame(out.to, encode_frame(config_.self, out.msg));
+  }
+  outs.clear();
 }
 
 void ReplicaServer::poll_once(int timeout_ms) {
@@ -157,7 +282,8 @@ void ReplicaServer::poll_once(int timeout_ms) {
   const std::size_t peer_base = fds.size();
   std::vector<NodeId> peer_order;
   for (auto& [id, link] : peer_links_) {
-    if (link.connection.valid() && link.connection.has_pending_output()) {
+    if (link.connection.valid() &&
+        (link.connecting || link.connection.has_pending_output())) {
       fds.push_back(pollfd{link.connection.fd(), POLLOUT, 0});
       peer_order.push_back(id);
     }
@@ -171,13 +297,20 @@ void ReplicaServer::poll_once(int timeout_ms) {
   if ((fds[1].revents & POLLIN) != 0) {
     while (auto conn = listener_.accept()) {
       inbound_.push_back(Inbound{std::move(*conn), FrameReader{}});
+      const std::lock_guard<std::mutex> lock(net_mutex_);
+      ++inbound_stats_.inbound_accepted;
     }
   }
 
-  // Inbound traffic -> engine. Only walk the connections that were polled:
-  // the accept loop above can grow inbound_ beyond the fds we registered.
+  // Inbound traffic: read and decode WITHOUT the engine lock. Only walk the
+  // connections that were polled: the accept loop above can grow inbound_
+  // beyond the fds we registered.
   const std::size_t polled_inbound = peer_base - inbound_base;
+  std::vector<WireFrame> frames;
   std::vector<std::uint8_t> bytes;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t codec_errors = 0;
+  std::uint64_t closed = 0;
   for (std::size_t i = 0; i < polled_inbound; ++i) {
     const short revents = fds[inbound_base + i].revents;
     if ((revents & (POLLIN | POLLERR | POLLHUP)) == 0) continue;
@@ -185,60 +318,68 @@ void ReplicaServer::poll_once(int timeout_ms) {
     bytes.clear();
     const IoStatus status = in.connection.read_available(bytes);
     if (!bytes.empty()) {
+      bytes_read += bytes.size();
       in.reader.feed(bytes);
       try {
         while (auto frame = in.reader.next()) {
-          const std::lock_guard<std::mutex> lock(engine_mutex_);
-          // The frame is consumed here; move the payload into the engine.
-          dispatch(engine_->handle(frame->sender, std::move(frame->msg),
-                                   now_units()));
+          frames.push_back(std::move(*frame));
         }
       } catch (const CodecError& e) {
         FASTCONS_LOG(warn, "net") << "dropping connection: " << e.what();
         in.connection.close();
+        ++codec_errors;
       }
     }
     if (status == IoStatus::closed || status == IoStatus::error) {
       in.connection.close();
+      ++closed;
     }
   }
   std::erase_if(inbound_, [](const Inbound& in) {
     return !in.connection.valid();
   });
+  if (bytes_read != 0 || codec_errors != 0 || closed != 0 ||
+      !frames.empty()) {
+    const std::lock_guard<std::mutex> lock(net_mutex_);
+    inbound_stats_.bytes_received += bytes_read;
+    inbound_stats_.frames_received += frames.size();
+    inbound_stats_.codec_errors += codec_errors;
+    inbound_stats_.inbound_closed += closed;
+  }
 
-  // Flush peers that were waiting for writability.
+  // Peers waiting for writability: connect completions and flushes.
   for (std::size_t i = 0; i < peer_order.size(); ++i) {
     const short revents = fds[peer_base + i].revents;
     if ((revents & (POLLOUT | POLLERR | POLLHUP)) == 0) continue;
     PeerLink& link = peer_links_[peer_order[i]];
-    if (link.connection.flush() == IoStatus::error) link.connection.close();
+    if (!link.connection.valid()) continue;
+    if (link.connecting) {
+      finish_connect(link);
+    } else if (link.connection.flush() == IoStatus::error) {
+      drop_connection(link, /*was_established=*/true);
+    }
+  }
+
+  // Decoded frames -> engine, in one lock scope; the replies go out after
+  // the lock is released.
+  if (!frames.empty()) {
+    std::vector<Outbound> outs;
+    {
+      const std::lock_guard<std::mutex> lock(engine_mutex_);
+      const double now = now_units();
+      for (WireFrame& frame : frames) {
+        engine_->handle(frame.sender, std::move(frame.msg), now, outs);
+      }
+    }
+    transmit(outs);
   }
 }
 
 void ReplicaServer::loop() {
-  const ProtocolConfig& proto = config_.protocol;
+  std::vector<Outbound> outs;
   while (!stop_requested_.load()) {
-    pump_commands();
-
-    const double now = now_units();
-    if (now >= next_session_units_) {
-      {
-        const std::lock_guard<std::mutex> lock(engine_mutex_);
-        dispatch(engine_->on_session_timer(now));
-      }
-      next_session_units_ = now + timer_rng_.exponential(proto.session_period);
-    }
-    if (next_advert_units_ >= 0.0 && now >= next_advert_units_) {
-      {
-        const std::lock_guard<std::mutex> lock(engine_mutex_);
-        dispatch(engine_->on_advert_timer(now));
-      }
-      next_advert_units_ = now + proto.advert_period;
-    }
-    {
-      const std::lock_guard<std::mutex> lock(engine_mutex_);
-      engine_->expire_inflight(now);
-    }
+    run_engine_turn(outs);  // engine work under the lock, no I/O
+    transmit(outs);         // socket I/O, lock released
 
     double next_deadline = next_session_units_;
     if (next_advert_units_ >= 0.0) {

@@ -6,6 +6,13 @@
 // Public methods communicate with it through a mutex-guarded command queue
 // plus a wake pipe; read-only queries copy state under the same mutex the
 // loop holds while touching the engine.
+//
+// Lock discipline: engine_mutex_ guards the engine and NOTHING else. The
+// loop thread takes it to run protocol logic (commands, timers, decoded
+// inbound frames) and collect the resulting Outbound messages, then releases
+// it before any socket syscall — connect/send/recv/flush all run unlocked,
+// so client read()/stats() latency is bounded by engine compute even when a
+// peer is unreachable or a connection is backpressured.
 #ifndef FASTCONS_NET_SERVER_HPP
 #define FASTCONS_NET_SERVER_HPP
 
@@ -35,13 +42,53 @@ struct PeerAddress {
   std::uint16_t port = 0;
 };
 
+/// Transport health of one outbound peer link.
+struct PeerNetStats {
+  NodeId peer = kInvalidNode;
+  bool connected = false;   ///< established outbound connection
+  bool connecting = false;  ///< non-blocking connect in progress
+  std::uint64_t frames_sent = 0;   ///< frames accepted into the outbox
+  std::uint64_t bytes_sent = 0;    ///< bytes accepted into the outbox
+  std::uint64_t frames_dropped = 0;  ///< frames discarded (unreachable, backoff, full outbox)
+  std::uint64_t bytes_abandoned = 0;  ///< outbox bytes discarded on disconnect
+  std::uint64_t connect_attempts = 0;
+  std::uint64_t connect_failures = 0;
+  std::uint64_t disconnects = 0;  ///< established connections lost
+  double current_backoff_seconds = 0.0;  ///< wait before the next reconnect
+};
+
+/// Snapshot of a server's transport-layer counters: per-peer link health
+/// plus inbound/codec totals. Weak consistency tolerates dropped frames —
+/// the next anti-entropy session repairs them — so drops are telemetry
+/// here, not errors.
+struct NetStats {
+  std::uint64_t frames_sent = 0;    ///< sum over peers
+  std::uint64_t bytes_sent = 0;     ///< sum over peers
+  std::uint64_t frames_dropped = 0;  ///< sum over peers
+  std::uint64_t bytes_abandoned = 0;  ///< sum over peers
+  std::uint64_t connect_attempts = 0;
+  std::uint64_t connect_failures = 0;
+  std::uint64_t disconnects = 0;
+  std::uint64_t frames_received = 0;  ///< complete frames decoded
+  std::uint64_t bytes_received = 0;   ///< raw bytes read off inbound sockets
+  std::uint64_t inbound_accepted = 0;  ///< inbound connections accepted
+  std::uint64_t inbound_closed = 0;    ///< inbound connections closed/EOF
+  std::uint64_t codec_errors = 0;  ///< connections dropped on malformed frames
+  std::vector<PeerNetStats> peers;  ///< sorted by peer id
+};
+
 struct ServerConfig {
   NodeId self = kInvalidNode;
   ProtocolConfig protocol;
   std::vector<PeerAddress> peers;
 
-  /// Loopback port to listen on; 0 picks an ephemeral port (query port()).
+  /// Listen port; 0 picks an ephemeral port (query port()).
   std::uint16_t listen_port = 0;
+
+  /// Listen address. The loopback default keeps the mesh on one host;
+  /// "0.0.0.0" (or an explicit interface address) accepts peers from other
+  /// hosts — what fastconsd --bind sets for a real multi-host mesh.
+  std::string bind_address = "127.0.0.1";
 
   /// Wall-clock seconds per protocol time unit (session period). Tests use
   /// small values so sessions fire quickly.
@@ -51,10 +98,22 @@ struct ServerConfig {
   /// set_demand() is called).
   double demand = 0.0;
 
+  /// Reconnect backoff bounds (wall-clock seconds). After a connect
+  /// failure or disconnect the link waits the current backoff before the
+  /// next attempt; the wait doubles per consecutive failure up to the max
+  /// and resets to the min on success.
+  double reconnect_backoff_min = 0.05;
+  double reconnect_backoff_max = 2.0;
+
+  /// Per-peer outbox cap: frames beyond this many buffered bytes are
+  /// dropped (counted in NetStats) instead of growing the buffer while a
+  /// peer is unreachable or stalled.
+  std::size_t max_peer_outbox_bytes = 4 * 1024 * 1024;
+
   std::uint64_t seed = 1;
 };
 
-/// A replica server bound to a loopback TCP port.
+/// A replica server bound to a TCP port.
 class ReplicaServer {
  public:
   /// Binds the listener (learning the ephemeral port) without starting the
@@ -89,10 +148,17 @@ class ReplicaServer {
   EngineStats stats() const;
   TrafficCounters traffic() const;
 
+  /// Transport-layer health snapshot (thread-safe).
+  NetStats net_stats() const;
+
  private:
   struct PeerLink {
     PeerAddress address;
     TcpConnection connection;  // lazily (re)established outbound channel
+    bool connecting = false;   // non-blocking connect awaiting writability
+    double backoff_seconds = 0.0;
+    std::chrono::steady_clock::time_point next_attempt{};  // epoch = "now"
+    PeerNetStats stats;
   };
   struct Inbound {
     TcpConnection connection;
@@ -100,10 +166,22 @@ class ReplicaServer {
   };
 
   void loop();
-  void pump_commands();
+  /// Runs queued commands and due timers under engine_mutex_, appending
+  /// the engine's outbound messages to `outs`. No I/O.
+  void run_engine_turn(std::vector<Outbound>& outs);
   double now_units() const;
-  void dispatch(std::vector<Outbound> outs);
-  void send_to_peer(NodeId peer, const Message& msg);
+  /// Encodes and enqueues `outs` onto peer connections; performs socket
+  /// I/O. Must be called WITHOUT engine_mutex_ held.
+  void transmit(std::vector<Outbound>& outs);
+  void enqueue_frame(NodeId peer, const std::vector<std::uint8_t>& frame);
+  /// Starts a non-blocking connect if the link is down and its backoff
+  /// window has elapsed. Returns true when the link has a usable
+  /// (established or connecting) connection afterwards.
+  bool ensure_connection(PeerLink& link);
+  void register_connect_failure(PeerLink& link);
+  void drop_connection(PeerLink& link, bool was_established);
+  /// Resolves a connecting link whose socket turned writable.
+  void finish_connect(PeerLink& link);
   void poll_once(int timeout_ms);
 
   ServerConfig config_;
@@ -113,7 +191,12 @@ class ReplicaServer {
 
   WakePipe wake_;
   std::mutex command_mutex_;
-  std::vector<std::function<void()>> commands_;
+  std::vector<std::function<void(std::vector<Outbound>&)>> commands_;
+
+  // Counters shared between the loop thread (writer) and net_stats()
+  // (reader). PeerLink::stats is guarded by the same mutex.
+  mutable std::mutex net_mutex_;
+  NetStats inbound_stats_;  // only the inbound/codec totals are maintained
 
   std::map<NodeId, PeerLink> peer_links_;
   std::vector<Inbound> inbound_;

@@ -79,22 +79,50 @@ IoStatus TcpConnection::send(std::span<const std::uint8_t> bytes) {
   return flush();
 }
 
+void TcpConnection::queue(std::span<const std::uint8_t> bytes) {
+  outbox_.insert(outbox_.end(), bytes.begin(), bytes.end());
+}
+
+namespace {
+// Compact only once the consumed prefix is both sizeable and at least half
+// the buffer: each compaction then moves no more bytes than were consumed
+// since the last one, keeping the total copy work linear in bytes sent.
+constexpr std::size_t kCompactThreshold = 16 * 1024;
+}  // namespace
+
 IoStatus TcpConnection::flush() {
   if (!valid()) return IoStatus::error;
-  while (!outbox_.empty()) {
-    const ssize_t n =
-        ::send(fd_.get(), outbox_.data(), outbox_.size(), MSG_NOSIGNAL);
+  while (sent_ < outbox_.size()) {
+    const ssize_t n = ::send(fd_.get(), outbox_.data() + sent_,
+                             outbox_.size() - sent_, MSG_NOSIGNAL);
     if (n > 0) {
-      outbox_.erase(outbox_.begin(), outbox_.begin() + n);
+      sent_ += static_cast<std::size_t>(n);
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (sent_ >= kCompactThreshold && sent_ * 2 >= outbox_.size()) {
+        outbox_.erase(outbox_.begin(),
+                      outbox_.begin() + static_cast<std::ptrdiff_t>(sent_));
+        sent_ = 0;
+      }
       return IoStatus::would_block;
     }
     if (n < 0 && errno == EINTR) continue;
     return IoStatus::error;
   }
+  outbox_.clear();
+  sent_ = 0;
   return IoStatus::ok;
+}
+
+int TcpConnection::pending_error() noexcept {
+  if (!valid()) return ENOTCONN;
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd_.get(), SOL_SOCKET, SO_ERROR, &err, &len) < 0) {
+    return errno;
+  }
+  return err;
 }
 
 IoStatus TcpConnection::read_available(std::vector<std::uint8_t>& out) {
@@ -119,7 +147,7 @@ IoStatus TcpConnection::read_available(std::vector<std::uint8_t>& out) {
 
 // --- TcpListener ------------------------------------------------------------
 
-TcpListener TcpListener::bind_loopback(std::uint16_t port) {
+TcpListener TcpListener::bind(const std::string& address, std::uint16_t port) {
   TcpListener listener;
   Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
   if (!fd.valid()) throw_errno("socket");
@@ -128,7 +156,9 @@ TcpListener TcpListener::bind_loopback(std::uint16_t port) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    throw TransportError("invalid IPv4 bind address: " + address);
+  }
   if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
     throw_errno("bind");
   }
@@ -141,6 +171,10 @@ TcpListener TcpListener::bind_loopback(std::uint16_t port) {
   listener.fd_ = std::move(fd);
   listener.port_ = ntohs(addr.sin_port);
   return listener;
+}
+
+TcpListener TcpListener::bind_loopback(std::uint16_t port) {
+  return bind("127.0.0.1", port);
 }
 
 std::optional<TcpConnection> TcpListener::accept() {

@@ -47,9 +47,10 @@ class TcpConnection {
   TcpConnection() = default;
   explicit TcpConnection(Fd fd) noexcept : fd_(std::move(fd)) {}
 
-  /// Starts a non-blocking connect to host:port (numeric IPv4 only — the
-  /// runtime targets loopback clusters). The connection becomes writable
-  /// when established. Throws TransportError if the attempt cannot start.
+  /// Starts a non-blocking connect to host:port (numeric IPv4 only). The
+  /// connection becomes writable when established; query pending_error()
+  /// on writability to learn whether the handshake actually succeeded.
+  /// Throws TransportError if the attempt cannot start.
   static TcpConnection connect(const std::string& host, std::uint16_t port);
 
   bool valid() const noexcept { return fd_.valid(); }
@@ -58,25 +59,54 @@ class TcpConnection {
   /// Appends to the outbound buffer and attempts to flush.
   IoStatus send(std::span<const std::uint8_t> bytes);
 
-  /// Flushes as much buffered output as the kernel accepts.
+  /// Appends to the outbound buffer WITHOUT attempting a flush. Used while
+  /// a non-blocking connect is still in progress: the bytes sit in the
+  /// outbox until writability reports the handshake outcome.
+  void queue(std::span<const std::uint8_t> bytes);
+
+  /// Flushes as much buffered output as the kernel accepts. Consumed bytes
+  /// are tracked as an offset into the outbox and the prefix is compacted
+  /// away only once it is both large and the majority of the buffer, so a
+  /// backpressured connection costs amortised O(1) per byte instead of the
+  /// O(n^2) a front-erase-per-send scheme degrades to.
   IoStatus flush();
 
-  bool has_pending_output() const noexcept { return !outbox_.empty(); }
+  bool has_pending_output() const noexcept { return outbox_.size() > sent_; }
+  std::size_t pending_output_bytes() const noexcept {
+    return outbox_.size() - sent_;
+  }
+
+  /// The socket's pending SO_ERROR (0 = none); clears it. The poll loop
+  /// calls this when a connecting socket turns writable to distinguish an
+  /// established connection from an asynchronous connect failure.
+  int pending_error() noexcept;
 
   /// Reads whatever is available into `out` (appends). Returns would_block
   /// when drained, closed on EOF.
   IoStatus read_available(std::vector<std::uint8_t>& out);
 
-  void close() noexcept { fd_.reset(); }
+  /// Closes the socket and discards any unsent output.
+  void close() noexcept {
+    fd_.reset();
+    outbox_.clear();
+    sent_ = 0;
+  }
 
  private:
   Fd fd_;
   std::vector<std::uint8_t> outbox_;
+  std::size_t sent_ = 0;  // outbox_[0, sent_) already accepted by the kernel
 };
 
-/// A listening TCP socket on 127.0.0.1.
+/// A listening TCP socket.
 class TcpListener {
  public:
+  /// Binds to `address`:`port` (numeric IPv4; 0 = ephemeral port) and
+  /// listens. "127.0.0.1" restricts the mesh to one host, "0.0.0.0" or an
+  /// explicit interface address accepts peers from other hosts. Throws
+  /// TransportError on an unparsable address or any socket failure.
+  static TcpListener bind(const std::string& address, std::uint16_t port);
+
   /// Binds to 127.0.0.1:`port` (0 = ephemeral) and listens. Throws
   /// TransportError on failure.
   static TcpListener bind_loopback(std::uint16_t port);

@@ -45,6 +45,29 @@ TEST(ScenarioRegistry, FindRoundTripsEveryRegisteredName) {
   }
 }
 
+TEST(ScenarioRegistry, LiveFamilyIsSeparateFromBuiltins) {
+  // The live (real-socket) scenarios measure wall clocks, so they must
+  // never enter builtin_registry(): --all runs, the determinism digests
+  // and the reset-equivalence sweeps all iterate the builtins only.
+  const ScenarioRegistry builtin = builtin_registry();
+  EXPECT_EQ(builtin.find("live"), nullptr);
+  const ScenarioRegistry live = live_registry();
+  const ScenarioSpec* spec = live.find("live");
+  ASSERT_NE(spec, nullptr);
+  EXPECT_EQ(live.all().size(), 1u);
+  // >= 3 topologies x weak vs fast, per the live results contract.
+  EXPECT_GE(spec->sweep.size(), 6u);
+  std::size_t weak = 0;
+  std::size_t fast = 0;
+  for (const SweepPoint& point : spec->sweep) {
+    const std::string algo = tag_or(point.tags, "algo", "");
+    weak += algo == "weak" ? 1 : 0;
+    fast += algo == "fast" ? 1 : 0;
+  }
+  EXPECT_GE(weak, 3u);
+  EXPECT_EQ(weak, fast);
+}
+
 TEST(ScenarioRegistry, UnknownNameIsNullFromFindAndThrowsFromGet) {
   const ScenarioRegistry registry = builtin_registry();
   EXPECT_EQ(registry.find("no-such-scenario"), nullptr);

@@ -8,8 +8,11 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "net/cluster.hpp"
+#include "net/options.hpp"
 #include "net/server.hpp"
 #include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "stats/cdf.hpp"
 #include "topology/generators.hpp"
 
 namespace fastcons {
@@ -215,6 +218,406 @@ TEST(ClusterTest, DemandVectorSizeValidated) {
   ClusterConfig cfg;
   cfg.demands = {1.0};  // wrong size
   EXPECT_THROW(LocalCluster(g, cfg), ConfigError);
+}
+
+// ---------------------------------------------------------------- bind ----
+
+// Regression: bind_loopback used to be the only entry point and hard-bound
+// INADDR_LOOPBACK, so the daemon's documented multi-host mesh could never
+// accept a non-local peer. A wildcard bind must accept connections.
+TEST(SocketTest, NonLoopbackBindAcceptsConnection) {
+  REQUIRE_LOOPBACK();
+  TcpListener listener = TcpListener::bind("0.0.0.0", 0);
+  ASSERT_TRUE(listener.valid());
+  EXPECT_GT(listener.port(), 0);
+  TcpConnection client = TcpConnection::connect("127.0.0.1", listener.port());
+  std::optional<TcpConnection> serverside;
+  for (int i = 0; i < 100 && !serverside; ++i) {
+    serverside = listener.accept();
+    if (!serverside) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(serverside.has_value());
+}
+
+TEST(SocketTest, BindRejectsInvalidAddress) {
+  EXPECT_THROW(TcpListener::bind("not-an-address", 0), TransportError);
+  EXPECT_THROW(TcpListener::bind("", 0), TransportError);
+}
+
+TEST(ServerTest, WildcardBindServersConverge) {
+  REQUIRE_LOOPBACK();
+  Rng rng(9);
+  const Graph g = make_line(2, {0.0, 0.0}, rng);
+  ClusterConfig cfg;
+  cfg.protocol = ProtocolConfig::fast();
+  cfg.seconds_per_unit = 0.02;
+  cfg.bind_address = "0.0.0.0";
+  LocalCluster cluster(g, cfg);
+  cluster.start();
+  cluster.server(0).write("k", "v");
+  const bool converged = cluster.wait_for_convergence(10.0);
+  const auto value = cluster.server(1).read("k");
+  cluster.stop();
+  ASSERT_TRUE(converged);
+  EXPECT_EQ(value, "v");
+}
+
+// ------------------------------------------------------- empty cluster ----
+
+// Regression: converged() called servers_.front() — UB on a cluster built
+// from an empty topology.
+TEST(ClusterTest, EmptyTopologyDoesNotCrash) {
+  const Graph empty;
+  ClusterConfig cfg;
+  LocalCluster cluster(empty, cfg);
+  cluster.start();
+  EXPECT_FALSE(cluster.converged());     // one update required, none exist
+  EXPECT_TRUE(cluster.converged(0));     // vacuously consistent
+  EXPECT_TRUE(cluster.wait_for_convergence(0.05, 0));
+  EXPECT_FALSE(cluster.wait_for_convergence(0.05, 1));
+  cluster.stop();
+}
+
+// --------------------------------------------------------- backpressure ----
+
+// Regression: flush() erased sent bytes from the front of the outbox —
+// O(n^2) under backpressure. Queue multi-MB of frames against a reader
+// that is not draining, then drain and check every byte arrives in order.
+TEST(SocketTest, BackpressuredOutboxDeliversEverything) {
+  REQUIRE_LOOPBACK();
+  TcpListener listener = TcpListener::bind_loopback(0);
+  TcpConnection client = TcpConnection::connect("127.0.0.1", listener.port());
+  std::optional<TcpConnection> serverside;
+  for (int i = 0; i < 100 && !serverside; ++i) {
+    serverside = listener.accept();
+    if (!serverside) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(serverside.has_value());
+
+  // 4 MiB in 64 KiB frames of a deterministic byte pattern, sent while
+  // nobody reads: the socket buffers fill and the outbox backs up.
+  constexpr std::size_t kFrame = 64 * 1024;
+  constexpr std::size_t kFrames = 64;
+  std::vector<std::uint8_t> frame(kFrame);
+  std::size_t sent_index = 0;
+  for (std::size_t f = 0; f < kFrames; ++f) {
+    for (auto& b : frame) {
+      b = static_cast<std::uint8_t>(sent_index * 31 + 7);
+      ++sent_index;
+    }
+    const IoStatus status = client.send(frame);
+    ASSERT_NE(status, IoStatus::error);
+  }
+  EXPECT_GT(client.pending_output_bytes(), 0u)
+      << "expected the stalled reader to backpressure the sender";
+
+  // Drain: alternate reads and flushes until everything lands.
+  std::vector<std::uint8_t> received;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (received.size() < kFrame * kFrames &&
+         std::chrono::steady_clock::now() < deadline) {
+    ASSERT_NE(client.flush(), IoStatus::error);
+    ASSERT_NE(serverside->read_available(received), IoStatus::error);
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  ASSERT_EQ(received.size(), kFrame * kFrames);
+  EXPECT_FALSE(client.has_pending_output());
+  for (std::size_t i = 0; i < received.size(); ++i) {
+    ASSERT_EQ(received[i], static_cast<std::uint8_t>(i * 31 + 7))
+        << "corrupt byte at offset " << i;
+  }
+}
+
+// ----------------------------------------------------------- arg parsing ----
+
+TEST(OptionsTest, ParsePeerAddressValid) {
+  const PeerAddress peer = parse_peer_address("3:10.0.0.7:7001");
+  EXPECT_EQ(peer.id, 3u);
+  EXPECT_EQ(peer.host, "10.0.0.7");
+  EXPECT_EQ(peer.port, 7001);
+}
+
+// Regression: strtoul without error checking turned "--peer abc:host:port"
+// into replica id 0 silently.
+TEST(OptionsTest, ParsePeerAddressRejectsMalformedSpecs) {
+  EXPECT_THROW(parse_peer_address("abc:127.0.0.1:7001"), ConfigError);
+  EXPECT_THROW(parse_peer_address("1x:127.0.0.1:7001"), ConfigError);
+  EXPECT_THROW(parse_peer_address("1:127.0.0.1:70x1"), ConfigError);
+  EXPECT_THROW(parse_peer_address("1:127.0.0.1:0"), ConfigError);
+  EXPECT_THROW(parse_peer_address("1:127.0.0.1:99999"), ConfigError);
+  EXPECT_THROW(parse_peer_address("1::7001"), ConfigError);
+  EXPECT_THROW(parse_peer_address("1:127.0.0.1"), ConfigError);
+  EXPECT_THROW(parse_peer_address("no-colons-at-all"), ConfigError);
+  EXPECT_THROW(parse_peer_address(":host:1"), ConfigError);
+}
+
+TEST(OptionsTest, ParseDaemonArgsFullCommandLine) {
+  DaemonOptions options;
+  const auto error = parse_daemon_args(
+      {"--id", "2", "--port", "7002", "--bind", "0.0.0.0", "--peer",
+       "0:10.0.0.5:7000", "--peer", "1:10.0.0.6:7001", "--demand", "8.5",
+       "--algorithm", "weak", "--period-ms", "250", "--write", "k=v",
+       "--run-seconds", "3", "--load-writes-per-sec", "100",
+       "--load-seconds", "2", "--verbose"},
+      options);
+  ASSERT_FALSE(error.has_value()) << *error;
+  EXPECT_EQ(options.server.self, 2u);
+  EXPECT_EQ(options.server.listen_port, 7002);
+  EXPECT_EQ(options.server.bind_address, "0.0.0.0");
+  ASSERT_EQ(options.server.peers.size(), 2u);
+  EXPECT_EQ(options.server.peers[1].host, "10.0.0.6");
+  EXPECT_DOUBLE_EQ(options.server.demand, 8.5);
+  EXPECT_FALSE(options.server.protocol.fast_push);  // weak preset
+  EXPECT_DOUBLE_EQ(options.server.seconds_per_unit, 0.25);
+  ASSERT_EQ(options.writes.size(), 1u);
+  EXPECT_EQ(options.writes[0].first, "k");
+  EXPECT_DOUBLE_EQ(options.run_seconds, 3.0);
+  EXPECT_DOUBLE_EQ(options.load_writes_per_sec, 100.0);
+  EXPECT_DOUBLE_EQ(options.load_seconds, 2.0);
+  EXPECT_TRUE(options.verbose);
+}
+
+TEST(OptionsTest, ParseDaemonArgsRejectsBadInput) {
+  const auto parse = [](std::vector<std::string> args) {
+    DaemonOptions options;
+    return parse_daemon_args(args, options);
+  };
+  EXPECT_TRUE(parse({"--port", "7000"}).has_value());            // missing id
+  EXPECT_TRUE(parse({"--id", "0"}).has_value());                 // missing port
+  EXPECT_TRUE(parse({"--id", "x", "--port", "1"}).has_value());
+  EXPECT_TRUE(parse({"--id", "0", "--port", "x"}).has_value());
+  EXPECT_TRUE(parse({"--id", "0", "--port", "1", "--peer",
+                     "abc:h:1"}).has_value());
+  EXPECT_TRUE(parse({"--id", "0", "--port", "1", "--algorithm",
+                     "turbo"}).has_value());
+  EXPECT_TRUE(parse({"--id", "0", "--port", "1", "--write",
+                     "novalue"}).has_value());
+  EXPECT_TRUE(parse({"--id", "0", "--port", "1",
+                     "--load-writes-per-sec", "5"}).has_value());
+  EXPECT_TRUE(parse({"--id", "0", "--port", "1", "--period-ms",
+                     "0"}).has_value());
+  EXPECT_TRUE(parse({"--id", "0", "--port", "1", "--bogus"}).has_value());
+  EXPECT_EQ(parse({"--help"}), "help");
+  EXPECT_FALSE(parse({"--id", "0", "--port", "1"}).has_value());
+}
+
+// ------------------------------------------------- lock discipline / IO ----
+
+// Socket work must never run under the engine mutex: with a peer that is
+// unreachable (blackhole or refusing), client read() latency has to stay
+// bounded by engine compute while the server keeps writing and the
+// transport layer churns through connect attempts.
+TEST(ServerTest, ReadLatencyBoundedWhilePeerUnreachable) {
+  REQUIRE_LOOPBACK();
+  // A loopback port with no listener: connects fail fast (ECONNREFUSED).
+  const std::uint16_t dead_port = [] {
+    const TcpListener probe = TcpListener::bind_loopback(0);
+    return probe.port();
+  }();  // listener destroyed; port closed
+
+  ServerConfig cfg;
+  cfg.self = 0;
+  cfg.protocol = ProtocolConfig::fast();
+  cfg.seconds_per_unit = 0.005;  // aggressive timers -> constant send churn
+  cfg.reconnect_backoff_min = 0.001;
+  ReplicaServer server(std::move(cfg));
+  server.set_peers({PeerAddress{1, "127.0.0.1", dead_port}});
+  server.start();
+
+  EmpiricalCdf read_ms;
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(400);
+  std::uint64_t i = 0;
+  while (std::chrono::steady_clock::now() < until) {
+    server.write("key" + std::to_string(i), "v");
+    const auto before = std::chrono::steady_clock::now();
+    (void)server.read("key" + std::to_string(i));
+    read_ms.add(std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - before)
+                    .count());
+    ++i;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const NetStats net = server.net_stats();
+  server.stop();
+  EXPECT_TRUE(server.running() == false);
+  // Generous bound on a robust statistic: reads copy a value under the
+  // engine mutex and must never wait on connect/send syscalls to a dead
+  // peer. The p95 (not the max) keeps an unlucky scheduler preemption of
+  // the *client* thread from failing the test on a loaded CI box.
+  ASSERT_GE(read_ms.count(), 20u);
+  EXPECT_LT(read_ms.quantile(0.95), 50.0);
+  EXPECT_GE(net.connect_attempts, 1u);
+  ASSERT_EQ(net.peers.size(), 1u);
+  EXPECT_EQ(net.peers[0].peer, 1u);
+  EXPECT_FALSE(net.peers[0].connected);
+}
+
+// Consecutive connect failures must back the link off (doubling toward the
+// max) and drop frames instead of buffering unboundedly.
+TEST(ServerTest, BackoffGrowsWhilePeerRefusesConnections) {
+  REQUIRE_LOOPBACK();
+  const std::uint16_t dead_port = [] {
+    const TcpListener probe = TcpListener::bind_loopback(0);
+    return probe.port();
+  }();
+
+  ServerConfig cfg;
+  cfg.self = 0;
+  cfg.protocol = ProtocolConfig::fast();
+  cfg.seconds_per_unit = 0.005;
+  cfg.reconnect_backoff_min = 0.002;
+  cfg.reconnect_backoff_max = 0.5;
+  ReplicaServer server(std::move(cfg));
+  server.set_peers({PeerAddress{1, "127.0.0.1", dead_port}});
+  server.start();
+
+  NetStats net;
+  for (int i = 0; i < 200; ++i) {
+    server.write("k" + std::to_string(i), "v");
+    net = server.net_stats();
+    if (net.connect_failures >= 3) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  server.stop();
+  ASSERT_GE(net.connect_failures, 3u);
+  ASSERT_EQ(net.peers.size(), 1u);
+  EXPECT_GT(net.peers[0].current_backoff_seconds, 0.002);
+  EXPECT_LE(net.peers[0].current_backoff_seconds, 0.5);
+  EXPECT_GE(net.frames_dropped, 1u);
+}
+
+// After a peer restarts at the same address, the link must reconnect and
+// the fresh inbound connection must decode frames from a clean boundary
+// (each connection gets its own FrameReader).
+TEST(ServerTest, ReconnectsAfterPeerRestartAndResyncs) {
+  REQUIRE_LOOPBACK();
+  ServerConfig a_cfg;
+  a_cfg.self = 0;
+  a_cfg.protocol = ProtocolConfig::fast();
+  a_cfg.seconds_per_unit = 0.02;
+  a_cfg.reconnect_backoff_min = 0.005;
+  ReplicaServer a(std::move(a_cfg));
+
+  const auto make_b = [&a] {
+    ServerConfig b_cfg;
+    b_cfg.self = 1;
+    b_cfg.protocol = ProtocolConfig::fast();
+    b_cfg.seconds_per_unit = 0.02;
+    auto b = std::make_unique<ReplicaServer>(std::move(b_cfg));
+    b->set_peers({PeerAddress{0, "127.0.0.1", a.port()}});
+    return b;
+  };
+
+  auto b = make_b();
+  const std::uint16_t b_port = b->port();
+  a.set_peers({PeerAddress{1, "127.0.0.1", b_port}});
+  a.start();
+  b->start();
+  a.write("before", "restart");
+  // Wait until b holds the first write.
+  for (int i = 0; i < 500 && !b->read("before"); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(b->read("before").has_value());
+
+  b->stop();
+  b.reset();
+  // Let a notice: sends fail, the link cycles through failures.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  // New process at the same port (fresh engine, fresh frame reader).
+  ServerConfig b2_cfg;
+  b2_cfg.self = 1;
+  b2_cfg.protocol = ProtocolConfig::fast();
+  b2_cfg.seconds_per_unit = 0.02;
+  b2_cfg.listen_port = b_port;
+  auto b2 = std::make_unique<ReplicaServer>(std::move(b2_cfg));
+  b2->set_peers({PeerAddress{0, "127.0.0.1", a.port()}});
+  b2->start();
+
+  a.write("after", "restart");
+  std::optional<std::string> before;
+  std::optional<std::string> after;
+  for (int i = 0; i < 1000 && (!before || !after); ++i) {
+    before = b2->read("before");
+    after = b2->read("after");
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const NetStats net = a.net_stats();
+  b2->stop();
+  a.stop();
+  // The restarted peer recovered the old write (anti-entropy) and saw the
+  // new one; a's link survived the disconnect/reconnect cycle.
+  EXPECT_EQ(before, "restart");
+  EXPECT_EQ(after, "restart");
+  EXPECT_GE(net.connect_attempts, 2u);
+}
+
+TEST(ServerTest, NetStatsCountTraffic) {
+  REQUIRE_LOOPBACK();
+  Rng rng(12);
+  const Graph g = make_line(2, {0.0, 0.0}, rng);
+  ClusterConfig cfg;
+  cfg.protocol = ProtocolConfig::fast();
+  cfg.seconds_per_unit = 0.02;
+  LocalCluster cluster(g, cfg);
+  cluster.start();
+  cluster.server(0).write("k", "v");
+  ASSERT_TRUE(cluster.wait_for_convergence(10.0));
+  // Let at least one full session round-trip accumulate counters on both
+  // sides.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const NetStats n0 = cluster.server(0).net_stats();
+  const NetStats n1 = cluster.server(1).net_stats();
+  cluster.stop();
+  EXPECT_GT(n0.frames_sent, 0u);
+  EXPECT_GT(n0.bytes_sent, 0u);
+  EXPECT_GT(n1.frames_received, 0u);
+  EXPECT_GT(n1.bytes_received, 0u);
+  EXPECT_GE(n1.inbound_accepted, 1u);
+  EXPECT_EQ(n0.codec_errors, 0u);
+  ASSERT_EQ(n0.peers.size(), 1u);
+  EXPECT_TRUE(n0.peers[0].connected);
+  EXPECT_EQ(n0.peers[0].peer, 1u);
+}
+
+// ------------------------------------------------------------- run_load ----
+
+TEST(ClusterTest, RunLoadReportsThroughputAndVisibility) {
+  REQUIRE_LOOPBACK();
+  Rng rng(21);
+  const Graph g = make_line(3, {0.0, 0.0}, rng);
+  ClusterConfig cfg;
+  cfg.protocol = ProtocolConfig::fast();
+  cfg.seconds_per_unit = 0.02;
+  cfg.demands = {1.0, 5.0, 9.0};
+  LocalCluster cluster(g, cfg);
+  cluster.start();
+  const LoadReport report = cluster.run_load(0, 100.0, 0.4, 20.0);
+  cluster.stop();
+  EXPECT_GT(report.writes_issued, 10u);
+  EXPECT_EQ(report.writes_confirmed, report.writes_issued);
+  EXPECT_GT(report.achieved_writes_per_sec, 0.0);
+  EXPECT_GT(report.issue_seconds, 0.0);
+  ASSERT_EQ(report.visibility_latency_ms.count(), report.writes_confirmed);
+  EXPECT_GT(report.visibility_latency_ms.quantile(0.5), 0.0);
+  EXPECT_GE(report.visibility_latency_ms.quantile(0.99),
+            report.visibility_latency_ms.quantile(0.5));
+}
+
+TEST(ClusterTest, RunLoadValidatesArguments) {
+  REQUIRE_LOOPBACK();
+  Rng rng(22);
+  const Graph g = make_line(2, {0.0, 0.0}, rng);
+  ClusterConfig cfg;
+  cfg.seconds_per_unit = 0.02;
+  LocalCluster cluster(g, cfg);
+  cluster.start();
+  EXPECT_THROW(cluster.run_load(0, 0.0, 1.0), ConfigError);
+  EXPECT_THROW(cluster.run_load(0, 10.0, 0.0), ConfigError);
+  cluster.stop();
 }
 
 }  // namespace

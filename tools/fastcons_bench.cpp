@@ -34,8 +34,10 @@ int usage(std::FILE* out) {
       "usage: fastcons_bench [options]\n"
       "\n"
       "  --list            list registered scenarios and exit\n"
-      "  --scenario NAME   run one scenario (repeatable)\n"
-      "  --all             run every registered scenario\n"
+      "  --scenario NAME   run one scenario (repeatable); \"live\" runs the\n"
+      "                    real-socket family (wall-clock results, excluded\n"
+      "                    from DIGESTS.txt)\n"
+      "  --all             run every deterministic scenario (not live)\n"
       "  --sweep SUBSTR    only sweep points whose label contains SUBSTR\n"
       "  --trials N        override trials per sweep point\n"
       "  --jobs N          worker threads (default 1; 0 = all cores);\n"
@@ -50,13 +52,22 @@ int usage(std::FILE* out) {
   return out == stdout ? 0 : 2;
 }
 
-void list_scenarios(const ScenarioRegistry& registry) {
+void list_scenarios(const ScenarioRegistry& registry,
+                    const ScenarioRegistry& live) {
   std::size_t width = 0;
   for (const ScenarioSpec& spec : registry.all()) {
     width = std::max(width, spec.name.size());
   }
+  for (const ScenarioSpec& spec : live.all()) {
+    width = std::max(width, spec.name.size());
+  }
   for (const ScenarioSpec& spec : registry.all()) {
     std::printf("%-*s  %3zu points x %5zu trials  [%s] %s\n",
+                static_cast<int>(width), spec.name.c_str(), spec.sweep.size(),
+                spec.trials, spec.paper_ref.c_str(), spec.title.c_str());
+  }
+  for (const ScenarioSpec& spec : live.all()) {
+    std::printf("%-*s  %3zu points x %5zu trials  [%s] %s (live sockets)\n",
                 static_cast<int>(width), spec.name.c_str(), spec.sweep.size(),
                 spec.trials, spec.paper_ref.c_str(), spec.title.c_str());
   }
@@ -114,8 +125,9 @@ int main(int argc, char** argv) {
 
   try {
     const ScenarioRegistry registry = builtin_registry();
+    const ScenarioRegistry live = live_registry();
     if (list) {
-      list_scenarios(registry);
+      list_scenarios(registry, live);
       return 0;
     }
     if (all) {
@@ -127,28 +139,49 @@ int main(int argc, char** argv) {
       return usage(stderr);
     }
 
+    // Deterministic results feed the digest roll-up; live (real-socket)
+    // results are wall-clock measurements and are written as standalone
+    // scenario files so they can never perturb DIGESTS.txt.
     std::vector<ScenarioResult> results;
+    std::vector<ScenarioResult> live_results;
     for (const std::string& name : names) {
-      const ScenarioSpec& spec = registry.get(name);
+      const ScenarioSpec* spec = registry.find(name);
+      const bool is_live = spec == nullptr && live.find(name) != nullptr;
+      if (spec == nullptr) spec = &live.get(name);
       if (!quiet) {
-        std::printf("running %s (%zu sweep points)...\n", spec.name.c_str(),
-                    spec.sweep.size());
+        std::printf("running %s (%zu sweep points)...\n", spec->name.c_str(),
+                    spec->sweep.size());
         std::fflush(stdout);
       }
-      results.push_back(run_scenario(spec, options));
+      (is_live ? live_results : results)
+          .push_back(run_scenario(*spec, options));
+      auto& latest = is_live ? live_results.back() : results.back();
       if (!quiet) {
-        print_scenario(results.back(), std::cout);
+        print_scenario(latest, std::cout);
         std::cout << "\n";
       }
     }
 
     if (!out_dir.empty()) {
-      const std::string digest = write_results(results, out_dir);
-      std::printf("wrote %zu scenario file(s) + BENCH_RESULTS.json + "
-                  "DIGESTS.txt to %s/ (digest %s)\n",
-                  results.size(), out_dir.c_str(), digest.c_str());
+      if (!results.empty()) {
+        const std::string digest = write_results(results, out_dir);
+        std::printf("wrote %zu scenario file(s) + BENCH_RESULTS.json + "
+                    "DIGESTS.txt to %s/ (digest %s)\n",
+                    results.size(), out_dir.c_str(), digest.c_str());
+      }
+      for (const ScenarioResult& result : live_results) {
+        write_scenario_file(result, out_dir);
+        std::printf("wrote %s/%s.json (live: wall-clock results, no digest)\n",
+                    out_dir.c_str(), result.name.c_str());
+      }
     } else {
-      std::printf("digest %s\n", digest_hex(rollup_to_json(results).dump()).c_str());
+      if (!results.empty()) {
+        std::printf("digest %s\n",
+                    digest_hex(rollup_to_json(results).dump()).c_str());
+      }
+      if (!live_results.empty()) {
+        std::printf("live scenarios ran without --out; results not saved\n");
+      }
     }
     return 0;
   } catch (const Error& e) {

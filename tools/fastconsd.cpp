@@ -5,33 +5,38 @@
 // experiments beyond the in-process LocalCluster.
 //
 // Usage:
-//   fastconsd --id 0 --port 7000 --peer 1:127.0.0.1:7001 <more peers...>
-//             --demand 8 [options]
+//   fastconsd --id 0 --port 7000 --peer 1:10.0.0.8:7001 <more peers...>
+//             --bind 0.0.0.0 --demand 8 [options]
 //
 // Options:
 //   --id N                 replica id (required)
 //   --port P               listen port (required; must match what peers use)
+//   --bind ADDR            listen address (default 127.0.0.1; use 0.0.0.0
+//                          or an interface address for a multi-host mesh)
 //   --peer ID:HOST:PORT    repeatable; one per neighbour
 //   --demand D             advertised demand (default 0)
 //   --algorithm A          fast | demand-order | weak  (default fast)
 //   --period-ms M          session period in wall-clock ms (default 1000)
 //   --write KEY=VALUE      repeatable; client writes issued after startup
 //   --run-seconds S        exit after S seconds (default: run forever)
+//   --load-writes-per-sec R  load-generator mode: issue R writes/sec...
+//   --load-seconds S         ...for S seconds, print a latency report, exit
 //   --verbose              info-level logging to stderr
 //
-// The process prints a one-line status (summary size, sessions, offers)
-// every session period.
+// The process prints a one-line status (summary size, sessions, offers,
+// link health) every session period.
+#include <algorithm>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <string>
 #include <thread>
-#include <vector>
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "net/options.hpp"
+#include "net/pacer.hpp"
 #include "net/server.hpp"
+#include "stats/cdf.hpp"
 
 namespace {
 
@@ -39,29 +44,86 @@ volatile std::sig_atomic_t g_stop = 0;
 
 void on_signal(int) { g_stop = 1; }
 
-[[noreturn]] void usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s --id N --port P [--peer ID:HOST:PORT]... "
+[[noreturn]] void usage(const char* argv0, bool error) {
+  std::fprintf(error ? stderr : stdout,
+               "usage: %s --id N --port P [--bind ADDR] "
+               "[--peer ID:HOST:PORT]... "
                "[--demand D] [--algorithm fast|demand-order|weak] "
                "[--period-ms M] [--write K=V]... [--run-seconds S] "
-               "[--verbose]\n",
+               "[--load-writes-per-sec R --load-seconds S] [--verbose]\n",
                argv0);
-  std::exit(2);
+  std::exit(error ? 2 : 0);
 }
 
-fastcons::PeerAddress parse_peer(const std::string& spec) {
-  const auto first = spec.find(':');
-  const auto second = spec.rfind(':');
-  if (first == std::string::npos || second == first) {
-    throw fastcons::ConfigError("bad --peer spec (want ID:HOST:PORT): " + spec);
+void print_status(fastcons::ReplicaServer& server) {
+  const fastcons::EngineStats stats = server.stats();
+  const fastcons::NetStats net = server.net_stats();
+  std::size_t peers_up = 0;
+  for (const auto& peer : net.peers) peers_up += peer.connected ? 1 : 0;
+  std::fprintf(stderr,
+               "replica %u: updates=%llu sessions(i/r)=%llu/%llu "
+               "offers=%llu dups=%llu links=%zu/%zu "
+               "frames(tx/rx/drop)=%llu/%llu/%llu\n",
+               server.self(),
+               static_cast<unsigned long long>(stats.updates_applied),
+               static_cast<unsigned long long>(stats.sessions_completed),
+               static_cast<unsigned long long>(stats.sessions_responded),
+               static_cast<unsigned long long>(stats.offers_sent),
+               static_cast<unsigned long long>(stats.duplicate_updates),
+               peers_up, net.peers.size(),
+               static_cast<unsigned long long>(net.frames_sent),
+               static_cast<unsigned long long>(net.frames_received),
+               static_cast<unsigned long long>(net.frames_dropped));
+}
+
+/// Load-generator mode: sustained writes at a steady rate, sampling the
+/// local write -> readable round trip through the server's command queue
+/// (cross-replica visibility needs an observer on the other replica; the
+/// LocalCluster::run_load helper measures that form in-process).
+int run_load(fastcons::ReplicaServer& server, double rate, double seconds) {
+  using Clock = std::chrono::steady_clock;
+  constexpr std::uint64_t kSampleEvery = 8;
+  fastcons::EmpiricalCdf apply_latency_ms;
+  const auto start = Clock::now();
+  const auto deadline = start + std::chrono::duration<double>(seconds);
+  const fastcons::RatePacer pacer(start, rate);
+  std::uint64_t issued = 0;
+  while (g_stop == 0 && Clock::now() < deadline) {
+    const auto now = Clock::now();
+    if (now < pacer.due(issued)) {
+      std::this_thread::sleep_for(pacer.sleep_toward(issued, now));
+      continue;
+    }
+    const std::string key = "load/" + std::to_string(server.self()) + "/" +
+                            std::to_string(issued);
+    server.write(key, "v");
+    ++issued;
+    if (issued % kSampleEvery == 1) {
+      while (g_stop == 0 && !server.read(key).has_value()) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+      apply_latency_ms.add(
+          std::chrono::duration<double, std::milli>(Clock::now() - now)
+              .count());
+    }
   }
-  fastcons::PeerAddress peer;
-  peer.id = static_cast<fastcons::NodeId>(
-      std::strtoul(spec.substr(0, first).c_str(), nullptr, 10));
-  peer.host = spec.substr(first + 1, second - first - 1);
-  peer.port = static_cast<std::uint16_t>(
-      std::strtoul(spec.substr(second + 1).c_str(), nullptr, 10));
-  return peer;
+  const double window =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  std::fprintf(stderr,
+               "load report: %llu writes in %.2fs (%.1f/s requested, "
+               "%.1f/s achieved)\n",
+               static_cast<unsigned long long>(issued), window, rate,
+               window > 0.0 ? static_cast<double>(issued) / window : 0.0);
+  if (!apply_latency_ms.empty()) {
+    std::fprintf(stderr,
+                 "local apply latency: p50 %.3fms p99 %.3fms max %.3fms "
+                 "(%zu samples)\n",
+                 apply_latency_ms.quantile(0.50),
+                 apply_latency_ms.quantile(0.99), apply_latency_ms.max(),
+                 apply_latency_ms.count());
+  }
+  print_status(server);
+  return 0;
 }
 
 }  // namespace
@@ -70,87 +132,44 @@ int main(int argc, char** argv) {
   using namespace fastcons;
   init_log_from_env();
 
-  ServerConfig config;
-  config.protocol = ProtocolConfig::fast();
-  std::vector<std::pair<std::string, std::string>> writes;
-  double run_seconds = -1.0;
-  double period_ms = 1000.0;
-  long port = -1;
-
-  try {
-    for (int i = 1; i < argc; ++i) {
-      const std::string arg = argv[i];
-      const auto value = [&]() -> std::string {
-        if (i + 1 >= argc) usage(argv[0]);
-        return argv[++i];
-      };
-      if (arg == "--id") {
-        config.self = static_cast<NodeId>(std::stoul(value()));
-      } else if (arg == "--port") {
-        port = std::stol(value());
-      } else if (arg == "--peer") {
-        config.peers.push_back(parse_peer(value()));
-      } else if (arg == "--demand") {
-        config.demand = std::stod(value());
-      } else if (arg == "--algorithm") {
-        const std::string algo = value();
-        if (algo == "fast") config.protocol = ProtocolConfig::fast();
-        else if (algo == "demand-order") config.protocol = ProtocolConfig::demand_order_only();
-        else if (algo == "weak") config.protocol = ProtocolConfig::weak();
-        else usage(argv[0]);
-      } else if (arg == "--period-ms") {
-        period_ms = std::stod(value());
-      } else if (arg == "--write") {
-        const std::string kv = value();
-        const auto eq = kv.find('=');
-        if (eq == std::string::npos) usage(argv[0]);
-        writes.emplace_back(kv.substr(0, eq), kv.substr(eq + 1));
-      } else if (arg == "--run-seconds") {
-        run_seconds = std::stod(value());
-      } else if (arg == "--verbose") {
-        set_log_threshold(LogLevel::info);
-      } else {
-        usage(argv[0]);
-      }
-    }
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "argument error: %s\n", e.what());
-    usage(argv[0]);
+  DaemonOptions options;
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  if (const auto error = parse_daemon_args(args, options)) {
+    if (*error == "help") usage(argv[0], /*error=*/false);
+    std::fprintf(stderr, "argument error: %s\n", error->c_str());
+    usage(argv[0], /*error=*/true);
   }
-  if (config.self == kInvalidNode || port < 0) usage(argv[0]);
-  config.seconds_per_unit = period_ms / 1000.0;
-  config.seed = 0x5eed0000u + config.self;
+  if (options.verbose) set_log_threshold(LogLevel::info);
+  options.server.seed = 0x5eed0000u + options.server.self;
 
   try {
-    config.listen_port = static_cast<std::uint16_t>(port);
-    const std::size_t peer_count = config.peers.size();
-    const double demand = config.demand;
-    ReplicaServer server(std::move(config));
-    std::fprintf(stderr, "fastconsd: replica %u on 127.0.0.1:%u (%zu peers, "
-                 "demand %.1f)\n", server.self(), server.port(), peer_count,
-                 demand);
+    const std::size_t peer_count = options.server.peers.size();
+    const double demand = options.server.demand;
+    const std::string bind_address = options.server.bind_address;
+    ReplicaServer server(std::move(options.server));
+    std::fprintf(stderr, "fastconsd: replica %u on %s:%u (%zu peers, "
+                 "demand %.1f)\n", server.self(), bind_address.c_str(),
+                 server.port(), peer_count, demand);
     std::signal(SIGINT, on_signal);
     std::signal(SIGTERM, on_signal);
     server.start();
-    for (auto& [key, val] : writes) server.write(key, val);
+    for (auto& [key, val] : options.writes) server.write(key, val);
+
+    if (options.load_writes_per_sec > 0.0) {
+      const int rc = run_load(server, options.load_writes_per_sec,
+                              options.load_seconds);
+      server.stop();
+      return rc;
+    }
 
     const auto started = std::chrono::steady_clock::now();
     while (g_stop == 0) {
       std::this_thread::sleep_for(
-          std::chrono::milliseconds(static_cast<long>(period_ms)));
-      const EngineStats stats = server.stats();
-      std::fprintf(stderr,
-                   "replica %u: updates=%llu sessions(i/r)=%llu/%llu "
-                   "offers=%llu dups=%llu\n",
-                   server.self(),
-                   static_cast<unsigned long long>(stats.updates_applied),
-                   static_cast<unsigned long long>(stats.sessions_completed),
-                   static_cast<unsigned long long>(stats.sessions_responded),
-                   static_cast<unsigned long long>(stats.offers_sent),
-                   static_cast<unsigned long long>(stats.duplicate_updates));
-      if (run_seconds >= 0.0 &&
+          std::chrono::milliseconds(static_cast<long>(options.period_ms)));
+      print_status(server);
+      if (options.run_seconds >= 0.0 &&
           std::chrono::steady_clock::now() - started >
-              std::chrono::duration<double>(run_seconds)) {
+              std::chrono::duration<double>(options.run_seconds)) {
         break;
       }
     }
