@@ -3,8 +3,9 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <string>
+
+#include "common/thread_annotations.hpp"
 
 namespace fastcons {
 namespace {
@@ -46,8 +47,8 @@ namespace detail {
 void log_write(LogLevel level, std::string_view component,
                std::string_view message) {
   // One mutex keeps multi-threaded (net runtime) lines from interleaving.
-  static std::mutex mutex;
-  const std::lock_guard<std::mutex> lock(mutex);
+  static Mutex mutex;
+  const MutexLock lock(mutex);
   std::fprintf(stderr, "[%s %.*s] %.*s\n", level_name(level),
                static_cast<int>(component.size()), component.data(),
                static_cast<int>(message.size()), message.data());

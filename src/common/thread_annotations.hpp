@@ -1,0 +1,100 @@
+// Clang thread-safety annotations over a minimal annotated mutex.
+//
+// The net layer's lock discipline ("engine_mutex_ guards the engine and
+// NOTHING else; no socket syscall runs under it", see net/server.hpp) and the
+// guarded NetStats counters were, until this header existed, enforced only by
+// comments. These macros make the discipline machine-checked: on Clang,
+// `-Wthread-safety` (promoted to an error by FASTCONS_WERROR builds and the
+// CI clang job) rejects any access to a GUARDED_BY member without its mutex
+// held and any call into an EXCLUDES(engine_mutex_) I/O path while the engine
+// lock is held. On GCC the macros expand to nothing and the wrappers behave
+// exactly like std::mutex / std::lock_guard.
+//
+// Conventions (see docs/architecture.md "Correctness tooling"):
+//   - every mutex-protected member carries GUARDED_BY(its_mutex_);
+//   - functions that acquire a mutex internally are annotated
+//     EXCLUDES(that_mutex_) so they cannot be called with it already held;
+//   - socket-syscall paths are EXCLUDES(engine_mutex_) — moving I/O under the
+//     engine lock is a compile error, not a review comment;
+//   - state owned by a single thread (e.g. the server loop's PeerLink
+//     transport fields) is deliberately left unannotated and documented as
+//     such; TSan covers it at runtime.
+#ifndef FASTCONS_COMMON_THREAD_ANNOTATIONS_HPP
+#define FASTCONS_COMMON_THREAD_ANNOTATIONS_HPP
+
+#include <mutex>
+
+#if defined(__clang__)
+#define FASTCONS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define FASTCONS_THREAD_ANNOTATION(x)  // no-op on GCC/MSVC
+#endif
+
+/// Marks a type as a lockable capability ("mutex").
+#define FASTCONS_CAPABILITY(x) FASTCONS_THREAD_ANNOTATION(capability(x))
+/// Marks an RAII type whose lifetime equals a critical section.
+#define FASTCONS_SCOPED_CAPABILITY FASTCONS_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member may only be accessed while holding the given mutex.
+#define GUARDED_BY(x) FASTCONS_THREAD_ANNOTATION(guarded_by(x))
+/// Pointer member: the pointee may only be accessed while holding the mutex.
+#define PT_GUARDED_BY(x) FASTCONS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Caller must hold the given mutex(es) when calling.
+#define REQUIRES(...) \
+  FASTCONS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Caller must NOT hold the given mutex(es): the function acquires them
+/// itself (or calls something that must run unlocked, e.g. socket I/O).
+#define EXCLUDES(...) FASTCONS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Function acquires the mutex and returns with it held.
+#define ACQUIRE(...) \
+  FASTCONS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function releases a held mutex.
+#define RELEASE(...) \
+  FASTCONS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function attempts the lock; first argument is the success return value.
+#define TRY_ACQUIRE(...) \
+  FASTCONS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+/// Escape hatch for code the analysis cannot model; always carry a comment.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  FASTCONS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace fastcons {
+
+/// std::mutex with capability annotations; drop-in except that the analysis
+/// now tracks lock/unlock pairing and GUARDED_BY accesses.
+class FASTCONS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { m_.lock(); }
+  void unlock() RELEASE() { m_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+  /// The wrapped handle, for APIs that need a std::mutex (condition
+  /// variables). Accesses through it are invisible to the analysis.
+  std::mutex& native() NO_THREAD_SAFETY_ANALYSIS { return m_; }
+
+ private:
+  std::mutex m_;
+};
+
+/// std::lock_guard over Mutex, visible to the analysis as a scoped
+/// capability: the guarded region is the lexical scope of the lock object.
+class FASTCONS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& m) ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~MutexLock() RELEASE() { m_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+}  // namespace fastcons
+
+#endif  // FASTCONS_COMMON_THREAD_ANNOTATIONS_HPP

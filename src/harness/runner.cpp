@@ -25,6 +25,13 @@ struct Task {
 /// workers finishing adjacent tasks never store into the same line — the
 /// previous four parallel arrays (results / errors / wall / events)
 /// interleaved adjacent 8-byte writes from different workers.
+///
+/// Ownership is lock-free by design, so there is deliberately no mutex
+/// (and no GUARDED_BY) here: exactly one worker claims task i via the
+/// fetch_add on `next` and becomes the sole writer of slots[i]; the main
+/// thread reads the slots only after join() of every worker, which
+/// synchronizes-with all their writes. The CI tsan job runs the harness
+/// at --jobs 4 to keep this claim honest.
 struct alignas(64) TaskSlot {
   TrialResult result;
   std::exception_ptr error;

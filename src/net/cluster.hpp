@@ -45,6 +45,13 @@ struct LoadReport {
 };
 
 /// Owns n servers wired according to a topology graph.
+// Threading: LocalCluster itself holds no mutex on purpose. Its own state
+// (the server vector, port map) is written only during construction and
+// start()/stop(), which are single-caller by contract; all concurrency
+// lives inside the ReplicaServers, whose annotated mutexes (server.hpp)
+// make their public API thread-safe. run_load() spawns its writer thread
+// but joins it before returning, so no LocalCluster member is ever touched
+// from two threads at once.
 class LocalCluster {
  public:
   LocalCluster(const Graph& topology, ClusterConfig config);

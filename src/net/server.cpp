@@ -36,37 +36,48 @@ void ReplicaServer::set_peers(std::vector<PeerAddress> peers) {
 void ReplicaServer::start() {
   FASTCONS_EXPECTS(!running_.load());
   std::vector<NodeId> neighbour_ids;
-  for (const PeerAddress& peer : config_.peers) {
-    neighbour_ids.push_back(peer.id);
-    PeerLink link;
-    link.address = peer;
-    link.backoff_seconds = config_.reconnect_backoff_min;
-    link.next_attempt = std::chrono::steady_clock::now();
-    link.stats.peer = peer.id;
-    peer_links_[peer.id] = std::move(link);
+  {
+    const MutexLock net_lock(net_mutex_);
+    for (const PeerAddress& peer : config_.peers) {
+      neighbour_ids.push_back(peer.id);
+      PeerLink link;
+      link.address = peer;
+      link.backoff_seconds = config_.reconnect_backoff_min;
+      link.next_attempt = std::chrono::steady_clock::now();
+      peer_links_[peer.id] = std::move(link);
+      PeerNetStats stats;
+      stats.peer = peer.id;
+      stats.current_backoff_seconds = config_.reconnect_backoff_min;
+      peer_stats_[peer.id] = stats;
+    }
   }
-  engine_ = std::make_unique<ReplicaEngine>(config_.self,
-                                            std::move(neighbour_ids),
-                                            config_.protocol,
-                                            timer_rng_.next_u64());
-  engine_->set_own_demand(config_.demand);
-  epoch_ = std::chrono::steady_clock::now();
-  next_session_units_ =
-      timer_rng_.exponential(config_.protocol.session_period);
-  next_advert_units_ = config_.protocol.advert_period > 0.0
-                           ? timer_rng_.uniform(0.0, config_.protocol.advert_period)
-                           : -1.0;
+  {
+    const MutexLock lock(engine_mutex_);
+    engine_ = std::make_unique<ReplicaEngine>(config_.self,
+                                              std::move(neighbour_ids),
+                                              config_.protocol,
+                                              timer_rng_.next_u64());
+    engine_->set_own_demand(config_.demand);
+    epoch_ = std::chrono::steady_clock::now();
+    next_session_units_ =
+        timer_rng_.exponential(config_.protocol.session_period);
+    next_advert_units_ =
+        config_.protocol.advert_period > 0.0
+            ? timer_rng_.uniform(0.0, config_.protocol.advert_period)
+            : -1.0;
+  }
   stop_requested_.store(false);
   running_.store(true);
   thread_ = std::thread([this] { loop(); });
 }
 
 void ReplicaServer::stop() {
-  if (!running_.load()) return;
+  // exchange() makes concurrent stop() calls race-free: exactly one caller
+  // observes the true->false transition and joins the loop thread.
+  if (!running_.exchange(false)) return;
   stop_requested_.store(true);
   wake_.wake();
   if (thread_.joinable()) thread_.join();
-  running_.store(false);
 }
 
 double ReplicaServer::now_units() const {
@@ -79,11 +90,11 @@ double ReplicaServer::now_units() const {
 
 void ReplicaServer::write(std::string key, std::string value) {
   {
-    const std::lock_guard<std::mutex> lock(command_mutex_);
-    commands_.push_back([this, key = std::move(key), value = std::move(value)](
+    const MutexLock lock(command_mutex_);
+    commands_.push_back([key = std::move(key), value = std::move(value)](
+                            ReplicaEngine& engine, double now,
                             std::vector<Outbound>& outs) mutable {
-      engine_->local_write(std::move(key), std::move(value), now_units(),
-                           outs);
+      engine.local_write(std::move(key), std::move(value), now, outs);
     });
   }
   wake_.wake();
@@ -91,44 +102,43 @@ void ReplicaServer::write(std::string key, std::string value) {
 
 void ReplicaServer::set_demand(double demand) {
   {
-    const std::lock_guard<std::mutex> lock(command_mutex_);
-    commands_.push_back([this, demand](std::vector<Outbound>&) {
-      engine_->set_own_demand(demand);
-    });
+    const MutexLock lock(command_mutex_);
+    commands_.push_back(
+        [demand](ReplicaEngine& engine, double, std::vector<Outbound>&) {
+          engine.set_own_demand(demand);
+        });
   }
   wake_.wake();
 }
 
 std::optional<std::string> ReplicaServer::read(const std::string& key) const {
-  const std::lock_guard<std::mutex> lock(engine_mutex_);
+  const MutexLock lock(engine_mutex_);
   if (engine_ == nullptr) return std::nullopt;
   return engine_->read(key);
 }
 
 SummaryVector ReplicaServer::summary() const {
-  const std::lock_guard<std::mutex> lock(engine_mutex_);
+  const MutexLock lock(engine_mutex_);
   if (engine_ == nullptr) return SummaryVector{};
   return engine_->summary();
 }
 
 EngineStats ReplicaServer::stats() const {
-  const std::lock_guard<std::mutex> lock(engine_mutex_);
+  const MutexLock lock(engine_mutex_);
   if (engine_ == nullptr) return EngineStats{};
   return engine_->stats();
 }
 
 TrafficCounters ReplicaServer::traffic() const {
-  const std::lock_guard<std::mutex> lock(engine_mutex_);
+  const MutexLock lock(engine_mutex_);
   if (engine_ == nullptr) return TrafficCounters{};
   return engine_->counters();
 }
 
 NetStats ReplicaServer::net_stats() const {
-  const std::lock_guard<std::mutex> lock(net_mutex_);
+  const MutexLock lock(net_mutex_);
   NetStats out = inbound_stats_;
-  for (const auto& [id, link] : peer_links_) {
-    PeerNetStats peer = link.stats;
-    peer.current_backoff_seconds = link.backoff_seconds;
+  for (const auto& [id, peer] : peer_stats_) {
     out.frames_sent += peer.frames_sent;
     out.bytes_sent += peer.bytes_sent;
     out.frames_dropped += peer.frames_dropped;
@@ -136,20 +146,28 @@ NetStats ReplicaServer::net_stats() const {
     out.connect_attempts += peer.connect_attempts;
     out.connect_failures += peer.connect_failures;
     out.disconnects += peer.disconnects;
-    out.peers.push_back(std::move(peer));
+    out.peers.push_back(peer);
   }
   return out;
 }
 
-void ReplicaServer::run_engine_turn(std::vector<Outbound>& outs) {
-  std::vector<std::function<void(std::vector<Outbound>&)>> pending;
+PeerNetStats& ReplicaServer::peer_stats_entry(NodeId peer) {
+  const auto it = peer_stats_.find(peer);
+  FASTCONS_ASSERT(it != peer_stats_.end());
+  return it->second;
+}
+
+double ReplicaServer::run_engine_turn(std::vector<Outbound>& outs) {
+  std::vector<std::function<void(ReplicaEngine&, double, std::vector<Outbound>&)>>
+      pending;
   {
-    const std::lock_guard<std::mutex> lock(command_mutex_);
+    const MutexLock lock(command_mutex_);
     pending.swap(commands_);
   }
   const ProtocolConfig& proto = config_.protocol;
-  const std::lock_guard<std::mutex> lock(engine_mutex_);
-  for (auto& command : pending) command(outs);
+  const MutexLock lock(engine_mutex_);
+  const double command_now = now_units();
+  for (auto& command : pending) command(*engine_, command_now, outs);
 
   const double now = now_units();
   if (now >= next_session_units_) {
@@ -161,45 +179,55 @@ void ReplicaServer::run_engine_turn(std::vector<Outbound>& outs) {
     next_advert_units_ = now + proto.advert_period;
   }
   engine_->expire_inflight(now);
+
+  double next_deadline = next_session_units_;
+  if (next_advert_units_ >= 0.0) {
+    next_deadline = std::min(next_deadline, next_advert_units_);
+  }
+  return next_deadline;
 }
 
 void ReplicaServer::register_connect_failure(PeerLink& link) {
-  const std::lock_guard<std::mutex> lock(net_mutex_);
   link.connecting = false;
-  link.stats.connecting = false;
-  link.stats.connected = false;
-  ++link.stats.connect_failures;
   link.next_attempt = std::chrono::steady_clock::now() +
                       std::chrono::duration_cast<
                           std::chrono::steady_clock::duration>(
                           std::chrono::duration<double>(link.backoff_seconds));
   link.backoff_seconds =
       std::min(link.backoff_seconds * 2.0, config_.reconnect_backoff_max);
+  const MutexLock lock(net_mutex_);
+  PeerNetStats& stats = peer_stats_entry(link.address.id);
+  stats.connecting = false;
+  stats.connected = false;
+  ++stats.connect_failures;
+  stats.current_backoff_seconds = link.backoff_seconds;
 }
 
 void ReplicaServer::drop_connection(PeerLink& link, bool was_established) {
   const std::size_t abandoned = link.connection.pending_output_bytes();
   link.connection.close();
-  const std::lock_guard<std::mutex> lock(net_mutex_);
   link.connecting = false;
-  link.stats.connecting = false;
-  link.stats.connected = false;
-  link.stats.bytes_abandoned += abandoned;
-  if (was_established) ++link.stats.disconnects;
   link.next_attempt = std::chrono::steady_clock::now() +
                       std::chrono::duration_cast<
                           std::chrono::steady_clock::duration>(
                           std::chrono::duration<double>(link.backoff_seconds));
   link.backoff_seconds =
       std::min(link.backoff_seconds * 2.0, config_.reconnect_backoff_max);
+  const MutexLock lock(net_mutex_);
+  PeerNetStats& stats = peer_stats_entry(link.address.id);
+  stats.connecting = false;
+  stats.connected = false;
+  stats.bytes_abandoned += abandoned;
+  if (was_established) ++stats.disconnects;
+  stats.current_backoff_seconds = link.backoff_seconds;
 }
 
 bool ReplicaServer::ensure_connection(PeerLink& link) {
   if (link.connection.valid()) return true;
   if (std::chrono::steady_clock::now() < link.next_attempt) return false;
   {
-    const std::lock_guard<std::mutex> lock(net_mutex_);
-    ++link.stats.connect_attempts;
+    const MutexLock lock(net_mutex_);
+    ++peer_stats_entry(link.address.id).connect_attempts;
   }
   try {
     link.connection =
@@ -210,9 +238,9 @@ bool ReplicaServer::ensure_connection(PeerLink& link) {
     register_connect_failure(link);
     return false;
   }
-  const std::lock_guard<std::mutex> lock(net_mutex_);
   link.connecting = true;
-  link.stats.connecting = true;
+  const MutexLock lock(net_mutex_);
+  peer_stats_entry(link.address.id).connecting = true;
   return true;
 }
 
@@ -225,12 +253,14 @@ void ReplicaServer::finish_connect(PeerLink& link) {
     register_connect_failure(link);
     return;
   }
+  link.connecting = false;
+  link.backoff_seconds = config_.reconnect_backoff_min;
   {
-    const std::lock_guard<std::mutex> lock(net_mutex_);
-    link.connecting = false;
-    link.stats.connecting = false;
-    link.stats.connected = true;
-    link.backoff_seconds = config_.reconnect_backoff_min;
+    const MutexLock lock(net_mutex_);
+    PeerNetStats& stats = peer_stats_entry(link.address.id);
+    stats.connecting = false;
+    stats.connected = true;
+    stats.current_backoff_seconds = link.backoff_seconds;
   }
   if (link.connection.flush() == IoStatus::error) {
     drop_connection(link, /*was_established=*/true);
@@ -246,8 +276,8 @@ void ReplicaServer::enqueue_frame(NodeId peer,
       link.connection.pending_output_bytes() + frame.size() >
           config_.max_peer_outbox_bytes) {
     // Weak consistency tolerates message loss: the next session retries.
-    const std::lock_guard<std::mutex> lock(net_mutex_);
-    ++link.stats.frames_dropped;
+    const MutexLock lock(net_mutex_);
+    ++peer_stats_entry(peer).frames_dropped;
     return;
   }
   if (link.connecting) {
@@ -255,13 +285,14 @@ void ReplicaServer::enqueue_frame(NodeId peer,
     link.connection.queue(frame);
   } else if (link.connection.send(frame) == IoStatus::error) {
     drop_connection(link, /*was_established=*/true);
-    const std::lock_guard<std::mutex> lock(net_mutex_);
-    ++link.stats.frames_dropped;
+    const MutexLock lock(net_mutex_);
+    ++peer_stats_entry(peer).frames_dropped;
     return;
   }
-  const std::lock_guard<std::mutex> lock(net_mutex_);
-  ++link.stats.frames_sent;
-  link.stats.bytes_sent += frame.size();
+  const MutexLock lock(net_mutex_);
+  PeerNetStats& stats = peer_stats_entry(peer);
+  ++stats.frames_sent;
+  stats.bytes_sent += frame.size();
 }
 
 void ReplicaServer::transmit(std::vector<Outbound>& outs) {
@@ -295,10 +326,14 @@ void ReplicaServer::poll_once(int timeout_ms) {
   if ((fds[0].revents & POLLIN) != 0) wake_.drain();
 
   if ((fds[1].revents & POLLIN) != 0) {
+    std::uint64_t accepted = 0;
     while (auto conn = listener_.accept()) {
       inbound_.push_back(Inbound{std::move(*conn), FrameReader{}});
-      const std::lock_guard<std::mutex> lock(net_mutex_);
-      ++inbound_stats_.inbound_accepted;
+      ++accepted;
+    }
+    if (accepted != 0) {
+      const MutexLock lock(net_mutex_);
+      inbound_stats_.inbound_accepted += accepted;
     }
   }
 
@@ -340,7 +375,7 @@ void ReplicaServer::poll_once(int timeout_ms) {
   });
   if (bytes_read != 0 || codec_errors != 0 || closed != 0 ||
       !frames.empty()) {
-    const std::lock_guard<std::mutex> lock(net_mutex_);
+    const MutexLock lock(net_mutex_);
     inbound_stats_.bytes_received += bytes_read;
     inbound_stats_.frames_received += frames.size();
     inbound_stats_.codec_errors += codec_errors;
@@ -365,7 +400,7 @@ void ReplicaServer::poll_once(int timeout_ms) {
   if (!frames.empty()) {
     std::vector<Outbound> outs;
     {
-      const std::lock_guard<std::mutex> lock(engine_mutex_);
+      const MutexLock lock(engine_mutex_);
       const double now = now_units();
       for (WireFrame& frame : frames) {
         engine_->handle(frame.sender, std::move(frame.msg), now, outs);
@@ -378,13 +413,10 @@ void ReplicaServer::poll_once(int timeout_ms) {
 void ReplicaServer::loop() {
   std::vector<Outbound> outs;
   while (!stop_requested_.load()) {
-    run_engine_turn(outs);  // engine work under the lock, no I/O
-    transmit(outs);         // socket I/O, lock released
+    // Engine work under the lock (no I/O), then socket I/O unlocked.
+    const double next_deadline = run_engine_turn(outs);
+    transmit(outs);
 
-    double next_deadline = next_session_units_;
-    if (next_advert_units_ >= 0.0) {
-      next_deadline = std::min(next_deadline, next_advert_units_);
-    }
     const double wait_units = std::max(0.0, next_deadline - now_units());
     const int timeout_ms = static_cast<int>(
         std::ceil(wait_units * config_.seconds_per_unit * 1000.0));

@@ -7,12 +7,21 @@
 // plus a wake pipe; read-only queries copy state under the same mutex the
 // loop holds while touching the engine.
 //
-// Lock discipline: engine_mutex_ guards the engine and NOTHING else. The
-// loop thread takes it to run protocol logic (commands, timers, decoded
-// inbound frames) and collect the resulting Outbound messages, then releases
-// it before any socket syscall — connect/send/recv/flush all run unlocked,
-// so client read()/stats() latency is bounded by engine compute even when a
+// Lock discipline (machine-checked by Clang -Wthread-safety, see
+// common/thread_annotations.hpp): engine_mutex_ guards the engine and its
+// timer state and NOTHING else. The loop thread takes it to run protocol
+// logic (commands, timers, decoded inbound frames) and collect the resulting
+// Outbound messages, then releases it before any socket syscall — every
+// I/O-performing method below is annotated EXCLUDES(engine_mutex_), so
+// connect/send/recv/flush under the engine lock is a compile error, and
+// client read()/stats() latency is bounded by engine compute even when a
 // peer is unreachable or a connection is backpressured.
+//
+// Cross-thread transport counters live in peer_stats_/inbound_stats_ under
+// net_mutex_. Per-link transport state (PeerLink: the connection, the
+// connect-in-progress flag, the backoff clock) is owned by the loop thread
+// alone and deliberately carries no annotation; the loop mirrors the
+// observable bits into peer_stats_ under net_mutex_ whenever they change.
 #ifndef FASTCONS_NET_SERVER_HPP
 #define FASTCONS_NET_SERVER_HPP
 
@@ -22,13 +31,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/thread_annotations.hpp"
 #include "core/engine.hpp"
 #include "net/socket.hpp"
 #include "net/wire.hpp"
@@ -130,81 +139,97 @@ class ReplicaServer {
   /// Replaces the peer table (call before start()).
   void set_peers(std::vector<PeerAddress> peers);
 
-  void start();
+  void start() EXCLUDES(engine_mutex_, net_mutex_);
   void stop();
   bool running() const noexcept { return running_.load(); }
 
   /// Thread-safe client write; applied on the server thread.
-  void write(std::string key, std::string value);
+  void write(std::string key, std::string value) EXCLUDES(command_mutex_);
 
   /// Thread-safe client read of the materialised state.
-  std::optional<std::string> read(const std::string& key) const;
+  std::optional<std::string> read(const std::string& key) const
+      EXCLUDES(engine_mutex_);
 
   /// Thread-safe demand change (advertised from the next advert on).
-  void set_demand(double demand);
+  void set_demand(double demand) EXCLUDES(command_mutex_);
 
   /// Snapshots for convergence checks.
-  SummaryVector summary() const;
-  EngineStats stats() const;
-  TrafficCounters traffic() const;
+  SummaryVector summary() const EXCLUDES(engine_mutex_);
+  EngineStats stats() const EXCLUDES(engine_mutex_);
+  TrafficCounters traffic() const EXCLUDES(engine_mutex_);
 
   /// Transport-layer health snapshot (thread-safe).
-  NetStats net_stats() const;
+  NetStats net_stats() const EXCLUDES(net_mutex_);
 
  private:
+  /// Loop-thread-only transport state for one outbound link. The
+  /// cross-thread view of this link lives in peer_stats_ (guarded by
+  /// net_mutex_); helpers below mirror changes into it.
   struct PeerLink {
     PeerAddress address;
     TcpConnection connection;  // lazily (re)established outbound channel
     bool connecting = false;   // non-blocking connect awaiting writability
     double backoff_seconds = 0.0;
     std::chrono::steady_clock::time_point next_attempt{};  // epoch = "now"
-    PeerNetStats stats;
   };
   struct Inbound {
     TcpConnection connection;
     FrameReader reader;
   };
 
-  void loop();
+  void loop() EXCLUDES(engine_mutex_, command_mutex_, net_mutex_);
   /// Runs queued commands and due timers under engine_mutex_, appending
-  /// the engine's outbound messages to `outs`. No I/O.
-  void run_engine_turn(std::vector<Outbound>& outs);
+  /// the engine's outbound messages to `outs`. No I/O. Returns the next
+  /// timer deadline in protocol units (for the poll timeout).
+  double run_engine_turn(std::vector<Outbound>& outs)
+      EXCLUDES(engine_mutex_, command_mutex_);
   double now_units() const;
   /// Encodes and enqueues `outs` onto peer connections; performs socket
-  /// I/O. Must be called WITHOUT engine_mutex_ held.
-  void transmit(std::vector<Outbound>& outs);
-  void enqueue_frame(NodeId peer, const std::vector<std::uint8_t>& frame);
+  /// I/O, so it must not (and cannot, per the annotation) be called with
+  /// engine_mutex_ held.
+  void transmit(std::vector<Outbound>& outs) EXCLUDES(engine_mutex_, net_mutex_);
+  void enqueue_frame(NodeId peer, const std::vector<std::uint8_t>& frame)
+      EXCLUDES(engine_mutex_, net_mutex_);
   /// Starts a non-blocking connect if the link is down and its backoff
   /// window has elapsed. Returns true when the link has a usable
   /// (established or connecting) connection afterwards.
-  bool ensure_connection(PeerLink& link);
-  void register_connect_failure(PeerLink& link);
-  void drop_connection(PeerLink& link, bool was_established);
+  bool ensure_connection(PeerLink& link) EXCLUDES(engine_mutex_, net_mutex_);
+  void register_connect_failure(PeerLink& link)
+      EXCLUDES(engine_mutex_, net_mutex_);
+  void drop_connection(PeerLink& link, bool was_established)
+      EXCLUDES(engine_mutex_, net_mutex_);
   /// Resolves a connecting link whose socket turned writable.
-  void finish_connect(PeerLink& link);
-  void poll_once(int timeout_ms);
+  void finish_connect(PeerLink& link) EXCLUDES(engine_mutex_, net_mutex_);
+  void poll_once(int timeout_ms) EXCLUDES(engine_mutex_, net_mutex_);
+  /// The guarded stats record for one configured peer (created in start()).
+  PeerNetStats& peer_stats_entry(NodeId peer) REQUIRES(net_mutex_);
 
   ServerConfig config_;
   TcpListener listener_;
-  std::unique_ptr<ReplicaEngine> engine_;
-  mutable std::mutex engine_mutex_;
+
+  // Engine state: protocol logic, timers and the timer RNG all advance
+  // together under one lock, never across a socket syscall.
+  mutable Mutex engine_mutex_;
+  std::unique_ptr<ReplicaEngine> engine_ GUARDED_BY(engine_mutex_);
+  Rng timer_rng_ GUARDED_BY(engine_mutex_);
+  double next_session_units_ GUARDED_BY(engine_mutex_) = 0.0;
+  double next_advert_units_ GUARDED_BY(engine_mutex_) = 0.0;
 
   WakePipe wake_;
-  std::mutex command_mutex_;
-  std::vector<std::function<void(std::vector<Outbound>&)>> commands_;
+  Mutex command_mutex_;
+  std::vector<std::function<void(ReplicaEngine&, double, std::vector<Outbound>&)>>
+      commands_ GUARDED_BY(command_mutex_);
 
   // Counters shared between the loop thread (writer) and net_stats()
-  // (reader). PeerLink::stats is guarded by the same mutex.
-  mutable std::mutex net_mutex_;
-  NetStats inbound_stats_;  // only the inbound/codec totals are maintained
+  // (reader): inbound/codec totals plus the per-peer link mirror.
+  mutable Mutex net_mutex_;
+  NetStats inbound_stats_ GUARDED_BY(net_mutex_);
+  std::map<NodeId, PeerNetStats> peer_stats_ GUARDED_BY(net_mutex_);
 
-  std::map<NodeId, PeerLink> peer_links_;
-  std::vector<Inbound> inbound_;
+  std::map<NodeId, PeerLink> peer_links_;  // loop thread only; keys fixed at start()
+  std::vector<Inbound> inbound_;           // loop thread only
 
-  Rng timer_rng_;
-  double next_session_units_ = 0.0;
-  double next_advert_units_ = 0.0;
-  std::chrono::steady_clock::time_point epoch_;
+  std::chrono::steady_clock::time_point epoch_;  // immutable after start()
 
   std::thread thread_;
   std::atomic<bool> running_{false};

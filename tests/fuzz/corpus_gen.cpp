@@ -1,0 +1,252 @@
+// Regenerates the committed seed corpus under tests/fuzz/corpus/. The seeds
+// give both fuzzers one well-formed input per message/shape plus the classic
+// malformed edges (truncation, bad tag, oversized length, trailing bytes) so
+// even a short CI fuzz-smoke run starts from every decoder branch. Run:
+//   corpus_gen <repo>/tests/fuzz/corpus
+// Output file names describe the seed; regeneration is deterministic, so a
+// re-run only changes the corpus when the wire format itself changes.
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/messages.hpp"
+#include "net/wire.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+void write_file(const fs::path& dir, const std::string& name,
+                const std::vector<std::uint8_t>& bytes) {
+  fs::create_directories(dir);
+  std::ofstream out(dir / name, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) { out.push_back(v); }
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+fastcons::SummaryVector sample_summary() {
+  fastcons::SummaryVector sv;
+  for (fastcons::SeqNo s = 1; s <= 3; ++s) sv.add({1, s});
+  sv.add({2, 1});
+  sv.add({2, 5});  // out-of-order extra
+  sv.add({7, 9});  // extras-only origin
+  return sv;
+}
+
+std::vector<fastcons::Update> sample_updates() {
+  std::vector<fastcons::Update> updates;
+  fastcons::Update u;
+  u.id = {1, 1};
+  u.created_at = 0.25;
+  u.key = "k/alpha";
+  u.value = "v1";
+  updates.push_back(u);
+  u.id = {2, 5};
+  u.created_at = 1.5;
+  u.key = "";
+  u.value = std::string(64, 'x');
+  updates.push_back(u);
+  return updates;
+}
+
+void generate_wire(const fs::path& dir) {
+  using namespace fastcons;
+  const auto frame = [](const Message& msg) { return encode_frame(3, msg); };
+
+  write_file(dir, "session_request", frame(SessionRequest{42}));
+  {
+    SessionSummary m;
+    m.session_id = 7;
+    m.summary = sample_summary();
+    write_file(dir, "session_summary", frame(m));
+  }
+  {
+    SessionPush m;
+    m.session_id = 7;
+    m.summary = sample_summary();
+    m.updates = sample_updates();
+    write_file(dir, "session_push", frame(m));
+  }
+  {
+    SessionReply m;
+    m.session_id = 7;
+    m.updates = sample_updates();
+    write_file(dir, "session_reply", frame(m));
+  }
+  {
+    FastOffer m;
+    m.offer_id = 99;
+    m.offered.push_back({{1, 4}, 0.5});
+    m.offered.push_back({{2, 6}, 1.25});
+    write_file(dir, "fast_offer", frame(m));
+  }
+  {
+    FastAck m;
+    m.offer_id = 99;
+    m.yes = true;
+    m.wanted.push_back({1, 4});
+    write_file(dir, "fast_ack", frame(m));
+  }
+  {
+    FastData m;
+    m.offer_id = 99;
+    m.updates = sample_updates();
+    write_file(dir, "fast_data", frame(m));
+  }
+  write_file(dir, "demand_advert", frame(DemandAdvert{2.5}));
+
+  // Two frames back to back: exercises FrameReader's multi-frame drain.
+  {
+    std::vector<std::uint8_t> two = frame(SessionRequest{1});
+    const std::vector<std::uint8_t> second = frame(DemandAdvert{0.125});
+    two.insert(two.end(), second.begin(), second.end());
+    write_file(dir, "two_frames", two);
+  }
+
+  // Malformed edges the decoder must reject (not crash on).
+  {
+    std::vector<std::uint8_t> truncated = frame(SessionRequest{42});
+    truncated.resize(truncated.size() - 3);
+    write_file(dir, "truncated_body", truncated);
+  }
+  {
+    std::vector<std::uint8_t> bad_tag = frame(SessionRequest{42});
+    bad_tag[4] = 0xEE;
+    write_file(dir, "bad_tag", bad_tag);
+  }
+  {
+    std::vector<std::uint8_t> huge;
+    put_u32(huge, 0x7FFFFFFF);  // announced length far beyond kMaxFrameBody
+    put_u8(huge, 1);
+    write_file(dir, "oversized_length", huge);
+  }
+  {
+    std::vector<std::uint8_t> zero;
+    put_u32(zero, 0);  // empty body is a protocol violation
+    write_file(dir, "zero_length", zero);
+  }
+  {
+    std::vector<std::uint8_t> trailing = frame(DemandAdvert{1.0});
+    // Grow the announced length and append garbage the payload reader
+    // leaves unconsumed -> "trailing bytes in frame body".
+    trailing.push_back(0xAB);
+    trailing.push_back(0xCD);
+    const std::uint32_t body_len =
+        static_cast<std::uint32_t>(trailing.size() - 4);
+    for (int i = 0; i < 4; ++i) {
+      trailing[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(body_len >> (8 * i));
+    }
+    write_file(dir, "trailing_bytes", trailing);
+  }
+  {
+    // Implausible element count: FastAck announcing 2^31 wanted ids in a
+    // 30-byte frame (the PR 1 bad_alloc regression shape).
+    std::vector<std::uint8_t> body;
+    put_u8(body, 6);  // kTagFastAck
+    put_u32(body, 3);
+    put_u64(body, 99);
+    put_u8(body, 1);
+    put_u32(body, 0x80000000u);
+    std::vector<std::uint8_t> framed;
+    put_u32(framed, static_cast<std::uint32_t>(body.size()));
+    framed.insert(framed.end(), body.begin(), body.end());
+    write_file(dir, "implausible_count", framed);
+  }
+}
+
+void generate_summary(const fs::path& dir) {
+  // The summary fuzzer's input format (see fuzz_summary.cpp): u8 watermark
+  // count, then (u32 origin, u64 mark) pairs; u8 group count, then per group
+  // u32 origin, u8 seq count, u64 seqs.
+  {
+    std::vector<std::uint8_t> empty;
+    put_u8(empty, 0);
+    put_u8(empty, 0);
+    write_file(dir, "empty", empty);
+  }
+  {
+    std::vector<std::uint8_t> marks_only;
+    put_u8(marks_only, 2);
+    put_u32(marks_only, 1);
+    put_u64(marks_only, 5);
+    put_u32(marks_only, 9);
+    put_u64(marks_only, 1);
+    put_u8(marks_only, 0);
+    write_file(dir, "watermarks_only", marks_only);
+  }
+  {
+    // Extra at watermark+1: must be absorbed into the watermark.
+    std::vector<std::uint8_t> absorb;
+    put_u8(absorb, 1);
+    put_u32(absorb, 1);
+    put_u64(absorb, 3);
+    put_u8(absorb, 1);
+    put_u32(absorb, 1);
+    put_u8(absorb, 2);
+    put_u64(absorb, 4);
+    put_u64(absorb, 5);
+    write_file(dir, "absorbing_extras", absorb);
+  }
+  {
+    // Extras at and below the watermark: already covered, must be dropped.
+    std::vector<std::uint8_t> covered;
+    put_u8(covered, 1);
+    put_u32(covered, 2);
+    put_u64(covered, 7);
+    put_u8(covered, 1);
+    put_u32(covered, 2);
+    put_u8(covered, 3);
+    put_u64(covered, 1);
+    put_u64(covered, 7);
+    put_u64(covered, 9);
+    write_file(dir, "covered_extras", covered);
+  }
+  {
+    // Extras-only origin with gaps, plus a zero watermark (dropped).
+    std::vector<std::uint8_t> gaps;
+    put_u8(gaps, 1);
+    put_u32(gaps, 5);
+    put_u64(gaps, 0);
+    put_u8(gaps, 1);
+    put_u32(gaps, 8);
+    put_u8(gaps, 3);
+    put_u64(gaps, 2);
+    put_u64(gaps, 4);
+    put_u64(gaps, 100);
+    write_file(dir, "extras_only_gaps", gaps);
+  }
+  {
+    // Truncated mid-pair: the bounded reader must stop cleanly.
+    std::vector<std::uint8_t> truncated;
+    put_u8(truncated, 4);
+    put_u32(truncated, 1);
+    write_file(dir, "truncated", truncated);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <corpus-output-dir>\n", argv[0]);
+    return 2;
+  }
+  const fs::path root(argv[1]);
+  generate_wire(root / "wire");
+  generate_summary(root / "summary");
+  std::printf("corpus written under %s\n", root.string().c_str());
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Standalone replay driver: gives the fuzz targets a plain main() on
+// toolchains without libFuzzer (GCC, or FASTCONS_FUZZ=OFF). Each argument is
+// a corpus file or a directory of corpus files; every input is run through
+// LLVMFuzzerTestOneInput exactly as the fuzzer would. Exit 0 when every
+// input was handled cleanly (property violations abort, like a fuzzer
+// finding), 2 on usage/I/O errors.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool run_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.string().c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string bytes = buffer.str();
+  LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                         bytes.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <corpus-file-or-dir>...\n", argv[0]);
+    return 2;
+  }
+  std::size_t ran = 0;
+  for (int i = 1; i < argc; ++i) {
+    const fs::path arg(argv[i]);
+    if (fs::is_directory(arg)) {
+      std::vector<fs::path> files;
+      for (const auto& entry : fs::directory_iterator(arg)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+      std::sort(files.begin(), files.end());
+      for (const fs::path& file : files) {
+        if (!run_file(file)) return 2;
+        ++ran;
+      }
+    } else {
+      if (!run_file(arg)) return 2;
+      ++ran;
+    }
+  }
+  std::printf("replayed %zu corpus inputs cleanly\n", ran);
+  return 0;
+}

@@ -1,0 +1,14 @@
+// libFuzzer entry point. Compiled once per target with FASTCONS_FUZZ_ENTRY
+// defined to the target function (see tests/fuzz/CMakeLists.txt); linked
+// with -fsanitize=fuzzer under FASTCONS_FUZZ=ON, or with driver_main.cpp
+// (corpus replay) everywhere else.
+#include "tests/fuzz/fuzz_targets.hpp"
+
+#ifndef FASTCONS_FUZZ_ENTRY
+#error "define FASTCONS_FUZZ_ENTRY to the target function"
+#endif
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return fastcons::fuzz::FASTCONS_FUZZ_ENTRY(data, size);
+}

@@ -1,0 +1,160 @@
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+
+#include "replication/summary_vector.hpp"
+#include "tests/fuzz/fuzz_targets.hpp"
+
+namespace fastcons::fuzz {
+namespace {
+
+[[noreturn]] void property_fail(const char* what) {
+  std::fprintf(stderr, "fuzz_summary property violated: %s\n", what);
+  std::abort();
+}
+
+/// Bounded little-endian reader over the raw input; returns false once the
+/// bytes run out, so any prefix of a valid input is itself a valid input.
+struct ByteReader {
+  const std::uint8_t* data;
+  std::size_t size;
+  std::size_t pos = 0;
+
+  bool u8(std::uint8_t& out) {
+    if (pos + 1 > size) return false;
+    out = data[pos++];
+    return true;
+  }
+  bool u32(std::uint32_t& out) {
+    if (pos + 4 > size) return false;
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      out |= static_cast<std::uint32_t>(data[pos++]) << (8 * i);
+    }
+    return true;
+  }
+  bool u64(std::uint64_t& out) {
+    if (pos + 8 > size) return false;
+    out = 0;
+    for (int i = 0; i < 8; ++i) {
+      out |= static_cast<std::uint64_t>(data[pos++]) << (8 * i);
+    }
+    return true;
+  }
+};
+
+void check_canonical(const SummaryVector& sv) {
+  const auto& marks = sv.watermarks();
+  for (std::size_t i = 0; i < marks.size(); ++i) {
+    if (marks[i].second == 0) property_fail("zero watermark survived");
+    if (i > 0 && marks[i - 1].first >= marks[i].first) {
+      property_fail("watermarks not sorted by origin");
+    }
+  }
+  const auto& extras = sv.extras();
+  for (std::size_t i = 0; i < extras.size(); ++i) {
+    if (i > 0 && !(extras[i - 1] < extras[i])) {
+      property_fail("extras not sorted/unique");
+    }
+    // A seq at watermark+1 must have been absorbed; at or below the
+    // watermark it is already covered and must have been dropped.
+    if (extras[i].seq <= sv.watermark(extras[i].origin) + 1) {
+      property_fail("extra not above watermark+1");
+    }
+  }
+}
+
+}  // namespace
+
+int summary_input(const std::uint8_t* data, std::size_t size) {
+  ByteReader r{data, size};
+
+  // Deserialise arbitrary bytes into the from_parts argument shape. Counts
+  // are capped so one input cannot allocate unbounded memory; the maps
+  // deduplicate and sort exactly as a decoded wire summary would.
+  std::map<NodeId, SeqNo> watermarks;
+  std::map<NodeId, std::set<SeqNo>> extras;
+  std::uint8_t n_marks = 0;
+  r.u8(n_marks);
+  for (std::uint8_t i = 0; i < n_marks % 16; ++i) {
+    std::uint32_t origin = 0;
+    std::uint64_t mark = 0;
+    if (!r.u32(origin) || !r.u64(mark)) break;
+    watermarks[origin] = mark;
+  }
+  std::uint8_t n_groups = 0;
+  r.u8(n_groups);
+  for (std::uint8_t g = 0; g < n_groups % 16; ++g) {
+    std::uint32_t origin = 0;
+    std::uint8_t count = 0;
+    if (!r.u32(origin) || !r.u8(count)) break;
+    auto& set = extras[origin];
+    for (std::uint8_t i = 0; i < count % 32; ++i) {
+      std::uint64_t seq = 0;
+      if (!r.u64(seq)) break;
+      set.insert(seq);
+    }
+  }
+
+  const std::map<NodeId, SeqNo> in_marks = watermarks;
+  const std::map<NodeId, std::set<SeqNo>> in_extras = extras;
+  const SummaryVector sv =
+      SummaryVector::from_parts(std::move(watermarks), std::move(extras));
+
+  // 1. Canonical-form invariants every merge/covers/missing_from caller
+  //    relies on.
+  check_canonical(sv);
+
+  // 2. Coverage: everything the parts described is covered (extras with
+  //    seq 0 are meaningless and from_parts may drop them — seqs start at
+  //    1 — so skip them), and the total matches an independent count.
+  std::uint64_t expect_total = 0;
+  for (const auto& [origin, mark] : in_marks) {
+    expect_total += mark;
+    if (mark > 0 && !sv.contains(UpdateId{origin, mark})) {
+      property_fail("watermark head not covered");
+    }
+    if (!sv.contains(UpdateId{origin, 1}) && mark > 0) {
+      property_fail("watermark base not covered");
+    }
+  }
+  for (const auto& [origin, seqs] : in_extras) {
+    const SeqNo mark = [&] {
+      const auto it = in_marks.find(origin);
+      return it == in_marks.end() ? SeqNo{0} : it->second;
+    }();
+    for (const SeqNo seq : seqs) {
+      if (seq == 0) continue;
+      if (seq > mark) ++expect_total;  // not already inside the watermark
+      if (!sv.contains(UpdateId{origin, seq})) {
+        property_fail("extra id not covered");
+      }
+    }
+  }
+  if (sv.total() != expect_total) property_fail("total() mismatch");
+
+  // 3. Lattice laws on the canonicalised value.
+  if (!sv.covers(sv)) property_fail("covers() not reflexive");
+  SummaryVector merged = sv;
+  merged.merge(sv);
+  if (!(merged == sv)) property_fail("merge() not idempotent");
+  if (!(SummaryVector::meet(sv, sv) == sv)) property_fail("meet() not idempotent");
+  if (!sv.missing_from(sv).empty()) property_fail("missing_from(self) nonempty");
+
+  // 4. Parts round-trip: rebuilding from the canonical representation must
+  //    reproduce the value exactly (this is what the wire codec does on
+  //    every received summary).
+  std::map<NodeId, SeqNo> rt_marks(sv.watermarks().begin(),
+                                   sv.watermarks().end());
+  std::map<NodeId, std::set<SeqNo>> rt_extras;
+  for (const UpdateId& id : sv.extras()) rt_extras[id.origin].insert(id.seq);
+  if (!(SummaryVector::from_parts(std::move(rt_marks), std::move(rt_extras)) ==
+        sv)) {
+    property_fail("from_parts round-trip changed the value");
+  }
+  return 0;
+}
+
+}  // namespace fastcons::fuzz

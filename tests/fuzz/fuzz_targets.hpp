@@ -1,0 +1,34 @@
+// The two fuzz targets over the untrusted-input paths, exposed as plain
+// functions so three harnesses can share them:
+//   - libFuzzer entry points (entry.cpp, FASTCONS_FUZZ=ON Clang builds);
+//   - the standalone corpus-replay driver (driver_main.cpp, any compiler);
+//   - the fuzz_corpus gtest, which replays the committed corpus as ordinary
+//     ctest cases in every build.
+//
+// Both functions must tolerate ARBITRARY bytes: the only acceptable outcomes
+// are clean handling or a thrown CodecError. Any other exception, crash or
+// property violation aborts (under the fuzzer: a reported finding; under
+// ctest: a test failure).
+#ifndef FASTCONS_TESTS_FUZZ_FUZZ_TARGETS_HPP
+#define FASTCONS_TESTS_FUZZ_FUZZ_TARGETS_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fastcons::fuzz {
+
+/// Wire-codec target: interprets `data` as (a) a raw TCP byte stream fed
+/// incrementally through FrameReader and (b) a bare frame body for
+/// decode_body. Checks decode/encode round-trip stability and the
+/// estimated_wire_size contract on every frame the decoder accepts.
+int wire_input(const std::uint8_t* data, std::size_t size);
+
+/// SummaryVector::from_parts target: deserialises `data` into arbitrary
+/// (watermarks, extras) maps and checks every canonical-form invariant the
+/// rest of the codebase relies on (sorted/unique/absorbed, coverage,
+/// lattice idempotence, parts round-trip).
+int summary_input(const std::uint8_t* data, std::size_t size);
+
+}  // namespace fastcons::fuzz
+
+#endif  // FASTCONS_TESTS_FUZZ_FUZZ_TARGETS_HPP

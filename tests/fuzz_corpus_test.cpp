@@ -1,0 +1,86 @@
+// Replays the committed fuzz seed corpus through the fuzz targets as plain
+// ctest cases, so the corpus inputs — including every fuzzer-found crash
+// committed as a regression — are exercised even in builds without a fuzzer
+// (GCC, sanitizer tiers, the primary CI matrix).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tests/fuzz/fuzz_targets.hpp"
+
+namespace fastcons {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Set by tests/CMakeLists.txt to <repo>/tests/fuzz/corpus.
+const fs::path kCorpusRoot = FASTCONS_FUZZ_CORPUS_DIR;
+
+std::vector<fs::path> corpus_files(const std::string& target) {
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(kCorpusRoot / target)) {
+    if (entry.is_regular_file()) files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::vector<std::uint8_t> read_bytes(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string s = buffer.str();
+  return {s.begin(), s.end()};
+}
+
+using FuzzTarget = int (*)(const std::uint8_t*, std::size_t);
+
+void replay_all(const std::string& name, FuzzTarget target) {
+  const std::vector<fs::path> files = corpus_files(name);
+  // A missing or empty corpus means the committed seeds were lost, which
+  // would silently turn the CI fuzz-smoke into a from-scratch run.
+  ASSERT_GE(files.size(), 5u) << "seed corpus " << name << " missing";
+  for (const fs::path& file : files) {
+    SCOPED_TRACE(file.filename().string());
+    const std::vector<std::uint8_t> bytes = read_bytes(file);
+    // The target aborts on any property violation and lets non-CodecError
+    // exceptions escape; reaching the return is the assertion.
+    EXPECT_EQ(0, target(bytes.data(), bytes.size()));
+  }
+}
+
+TEST(FuzzCorpus, WireSeedsReplayCleanly) {
+  replay_all("wire", &fuzz::wire_input);
+}
+
+TEST(FuzzCorpus, SummarySeedsReplayCleanly) {
+  replay_all("summary", &fuzz::summary_input);
+}
+
+// The corpus regenerator (corpus_gen.cpp) encodes one seed per message tag;
+// if a new Message alternative is added without a seed, the fuzzers start
+// blind on it. Count enforced here instead of in corpus_gen so the failure
+// appears in ctest, next to the code change that caused it.
+TEST(FuzzCorpus, WireCorpusCoversEveryMessageTag) {
+  std::vector<std::uint8_t> tags;
+  for (const fs::path& file : corpus_files("wire")) {
+    const std::vector<std::uint8_t> bytes = read_bytes(file);
+    if (bytes.size() >= 5) tags.push_back(bytes[4]);  // tag follows the u32 length
+  }
+  std::sort(tags.begin(), tags.end());
+  tags.erase(std::unique(tags.begin(), tags.end()), tags.end());
+  std::size_t known = 0;
+  for (const std::uint8_t tag : tags) {
+    if (tag >= 1 && tag <= 8) ++known;
+  }
+  EXPECT_EQ(known, 8u) << "corpus lacks a seed for some message tag";
+}
+
+}  // namespace
+}  // namespace fastcons

@@ -83,6 +83,29 @@ TEST(SocketTest, WakePipeWakesAndDrains) {
   EXPECT_LE(::read(pipe.read_fd(), buf, sizeof(buf)), 0);
 }
 
+TEST(ServerTest, ConcurrentStopIsIdempotent) {
+  // Regression: stop() used to check running_ with a plain load before
+  // joining, so two concurrent callers could both reach thread_.join().
+  // The exchange(false) guarantees exactly one caller performs the join;
+  // the rest return immediately.
+  REQUIRE_LOOPBACK();
+  ServerConfig cfg;
+  cfg.self = 0;
+  cfg.protocol = ProtocolConfig::fast();
+  cfg.seconds_per_unit = 0.02;
+  ReplicaServer server(std::move(cfg));
+  server.start();
+  server.write("k", "v");
+  std::vector<std::thread> stoppers;
+  for (int i = 0; i < 4; ++i) {
+    stoppers.emplace_back([&server] { server.stop(); });
+  }
+  for (std::thread& t : stoppers) t.join();
+  EXPECT_FALSE(server.running());
+  server.stop();  // and again after it is already stopped
+  EXPECT_FALSE(server.running());
+}
+
 TEST(ServerTest, LocalWriteIsReadable) {
   REQUIRE_LOOPBACK();
   ServerConfig cfg;
