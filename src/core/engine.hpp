@@ -168,6 +168,17 @@ class ReplicaEngine {
   /// Installs observer callbacks (replacing any previous hooks).
   void set_hooks(EngineHooks hooks) { hooks_ = std::move(hooks); }
 
+  /// The origin write counter: sequence numbers 1..write_seq() have been
+  /// issued by this replica's local writes.
+  SeqNo write_seq() const noexcept { return next_seq_; }
+
+  /// Restores the origin write counter after a reset. A crash that wipes a
+  /// replica's data must NOT reset this counter: origin sequence numbers
+  /// are durable (think a fsync'd counter beside the log), because a reborn
+  /// origin reissuing seq numbers would forge ids that collide with its own
+  /// pre-crash writes still circulating at peers.
+  void restore_write_seq(SeqNo next) noexcept { next_seq_ = next; }
+
   /// Sessions this engine initiated that have not completed or expired.
   std::size_t inflight_sessions() const noexcept { return sessions_.size(); }
   /// Fast offers this engine sent that are awaiting an ack.

@@ -54,6 +54,8 @@ const PropagationTrial& run_propagation_trial(
   trial.traffic = TrafficCounters{};
   trial.converged = false;
   trial.censored_samples = 0;
+  trial.faults = FaultStats{};
+  trial.consistent = false;
 
   // Construction phase: topology + demand + (re)wiring the pooled network.
   // Scoped so the harness can report the construction tax separately from
@@ -85,6 +87,13 @@ const PropagationTrial& run_propagation_trial(
 
   trial.converged =
       net.run_until_update_everywhere(id, write_at + config.deadline);
+  if (net.faults().enabled()) {
+    // First-seen coverage survives a state wipe, so under churn it is not
+    // yet consistency; keep running until the summaries actually agree.
+    trial.consistent = net.run_until_consistent(write_at + config.deadline);
+  } else {
+    trial.consistent = trial.converged;
+  }
 
   ctx.demands.resize(net.size());
   for (NodeId node = 0; node < net.size(); ++node) {
@@ -110,6 +119,7 @@ const PropagationTrial& run_propagation_trial(
   }
   trial.time_to_full = last;
   trial.traffic.merge(net.total_traffic());
+  trial.faults = net.fault_stats();
   return trial;
 }
 

@@ -94,6 +94,17 @@ struct PropagationTrial {
 
   bool converged = false;
   std::uint64_t censored_samples = 0;
+
+  /// Faults actually injected (all zero when config.sim.faults is disabled).
+  FaultStats faults;
+
+  /// Every summary equal by the deadline. With faults disabled this is
+  /// exactly `converged` (one write, no way to diverge); with faults
+  /// enabled the trial keeps running after first-seen coverage until the
+  /// summaries agree or the deadline passes — the metric that catches a
+  /// wiped node that has not finished catching up, or a partition that
+  /// never healed.
+  bool consistent = false;
 };
 
 /// Pooled state one worker reuses across propagation repetitions: the

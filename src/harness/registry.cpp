@@ -54,6 +54,9 @@ ScenarioRegistry builtin_registry() {
   register_scaling_scenarios(registry);
   register_extension_scenarios(registry);
   register_large_scale_scenarios(registry);
+  // Registered last on purpose: --all runs scenarios in registration order,
+  // so the pre-fault golden digest lines keep their positions.
+  register_fault_scenarios(registry);
   return registry;
 }
 

@@ -6,6 +6,7 @@
 #define FASTCONS_HARNESS_SCENARIOS_HPP
 
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "core/config.hpp"
@@ -32,6 +33,12 @@ void register_extension_scenarios(ScenarioRegistry& registry);
 /// now that trial construction is pooled and deterministic topologies are
 /// shared across trials.
 void register_large_scale_scenarios(ScenarioRegistry& registry);
+
+/// Seeded fault injection ("faults"): lossy/duplicating/reordering links,
+/// crash/restart churn with state wipe, and partition/heal events, weak vs
+/// fast on identical seeds (seed_group common random numbers). Digest-
+/// stable: all fault decisions come from the FaultPlan's own RNG stream.
+void register_fault_scenarios(ScenarioRegistry& registry);
 
 /// Real-socket scenarios ("live"): LocalCluster meshes over TCP, weak vs
 /// fast, measuring wall-clock convergence, sustained write throughput and
@@ -76,6 +83,20 @@ TrialResult propagation_trial(const SweepPoint& point, std::uint64_t seed,
 
 /// Appends `trial`'s observations to `out` under the standard metric names.
 void record_propagation(TrialResult& out, const PropagationTrial& trial);
+
+/// The fault configuration a sweep point asks for, or nullopt when the
+/// point has no `fault_*` params at all — pre-existing scenarios take the
+/// nullopt path and their trial behaviour (and digests) cannot change.
+/// Params: fault_loss, fault_dup, fault_reorder, fault_reorder_delay,
+/// fault_crash_rate, fault_downtime, fault_wipe (0/1), fault_churn_until
+/// (< 0 = unbounded), fault_partition_groups (>= 2 enables a partition),
+/// fault_partition_at, fault_heal_at (< 0 = never heals).
+std::optional<FaultConfig> fault_config_from_point(const SweepPoint& point);
+
+/// Appends `trial`'s fault telemetry (faults_* counters, trials_consistent)
+/// to `out`. Called only for points with fault params so the standard
+/// scenarios' result schema stays untouched.
+void record_fault_stats(TrialResult& out, const PropagationTrial& trial);
 
 /// Appends `traffic` to `out` as messages_total/bytes_total plus one
 /// messages_<class>/bytes_<class> counter pair per TrafficClass — the one

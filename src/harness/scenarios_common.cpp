@@ -91,6 +91,52 @@ void record_traffic(TrialResult& out, const TrafficCounters& traffic) {
   }
 }
 
+std::optional<FaultConfig> fault_config_from_point(const SweepPoint& point) {
+  bool any = false;
+  for (const auto& [name, value] : point.params) {
+    if (name.rfind("fault_", 0) == 0) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) return std::nullopt;
+  FaultConfig f;
+  f.loss = param_or(point.params, "fault_loss", 0.0);
+  f.duplicate = param_or(point.params, "fault_dup", 0.0);
+  f.reorder = param_or(point.params, "fault_reorder", 0.0);
+  f.reorder_delay_max =
+      param_or(point.params, "fault_reorder_delay", f.reorder_delay_max);
+  f.crash_rate = param_or(point.params, "fault_crash_rate", 0.0);
+  f.downtime_mean = param_or(point.params, "fault_downtime", f.downtime_mean);
+  f.wipe_on_restart = param_or(point.params, "fault_wipe", 1.0) != 0.0;
+  const double churn_until = param_or(point.params, "fault_churn_until", -1.0);
+  if (churn_until >= 0.0) f.churn_until = churn_until;
+  const double groups = param_or(point.params, "fault_partition_groups", 0.0);
+  if (groups >= 2.0) {
+    PartitionEvent partition;
+    partition.groups = static_cast<std::size_t>(groups);
+    partition.at = param_or(point.params, "fault_partition_at", 0.0);
+    const double heal = param_or(point.params, "fault_heal_at", -1.0);
+    if (heal >= 0.0) partition.heal_at = heal;
+    f.partitions.push_back(partition);
+  }
+  return f;
+}
+
+void record_fault_stats(TrialResult& out, const PropagationTrial& trial) {
+  const FaultStats& s = trial.faults;
+  out.counter("trials_consistent", trial.consistent ? 1 : 0);
+  out.counter("faults_messages_lost", s.messages_lost);
+  out.counter("faults_messages_duplicated", s.messages_duplicated);
+  out.counter("faults_messages_delayed", s.messages_delayed);
+  out.counter("faults_partition_drops", s.partition_drops);
+  out.counter("faults_crash_drops", s.crash_drops);
+  out.counter("faults_crashes", s.crashes);
+  out.counter("faults_restarts", s.restarts);
+  out.counter("faults_wipes", s.wipes);
+  out.counter("faults_writes_deferred", s.writes_deferred);
+}
+
 void record_propagation(TrialResult& out, const PropagationTrial& trial) {
   out.value("time_to_full", trial.time_to_full);
   out.sample("sessions_all", trial.sessions_all);
@@ -163,12 +209,17 @@ TrialResult propagation_trial(const SweepPoint& point, std::uint64_t seed,
   exp.deadline = param_or(point.params, "deadline", exp.deadline);
   exp.high_demand_fraction =
       param_or(point.params, "high_demand_fraction", exp.high_demand_fraction);
+  const std::optional<FaultConfig> faults = fault_config_from_point(point);
+  if (faults) exp.sim.faults = *faults;
 
   Rng rng(seed);
   const PropagationTrial& trial =
       run_propagation_trial(exp, rng, ctx.state<PropagationContext>());
   TrialResult out;
   record_propagation(out, trial);
+  // Fault telemetry only for fault points — including the zero-probability
+  // control point, whose counters then read all-zero on purpose.
+  if (faults) record_fault_stats(out, trial);
   return out;
 }
 

@@ -31,7 +31,15 @@ LocalCluster::LocalCluster(const Graph& topology, ClusterConfig config)
     sc.bind_address = config.bind_address;
     sc.demand = config.demands.empty() ? 0.0 : config.demands[n];
     sc.seed = rng.next_u64();
+    if (config.outbound_fault) {
+      sc.outbound_fault = [fault = config.outbound_fault, n](NodeId to) {
+        return fault(n, to);
+      };
+    }
+    configs_.push_back(sc);
     servers_.push_back(std::make_unique<ReplicaServer>(std::move(sc)));
+    // Pin the learned ephemeral port so restart(n) rebinds the same one.
+    configs_.back().listen_port = servers_.back()->port();
   }
   // Phase 2: wire peer addresses along topology edges.
   for (NodeId n = 0; n < topology.size(); ++n) {
@@ -40,6 +48,7 @@ LocalCluster::LocalCluster(const Graph& topology, ClusterConfig config)
       peers.push_back(PeerAddress{e.peer, connect_host,
                                   servers_[e.peer]->port()});
     }
+    peer_tables_.push_back(peers);
     servers_[n]->set_peers(std::move(peers));
   }
 }
@@ -48,23 +57,57 @@ LocalCluster::~LocalCluster() { stop(); }
 
 ReplicaServer& LocalCluster::server(NodeId n) {
   FASTCONS_EXPECTS(n < servers_.size());
+  FASTCONS_EXPECTS(servers_[n] != nullptr);
   return *servers_[n];
 }
 
 void LocalCluster::start() {
-  for (auto& server : servers_) server->start();
+  for (auto& server : servers_) {
+    if (server != nullptr) server->start();
+  }
+  started_ = true;
 }
 
 void LocalCluster::stop() {
-  for (auto& server : servers_) server->stop();
+  for (auto& server : servers_) {
+    if (server != nullptr) server->stop();
+  }
+  started_ = false;
+}
+
+bool LocalCluster::alive(NodeId n) const {
+  return n < servers_.size() && servers_[n] != nullptr;
+}
+
+void LocalCluster::kill(NodeId n) {
+  FASTCONS_EXPECTS(n < servers_.size() && servers_[n] != nullptr);
+  servers_[n]->stop();
+  servers_[n].reset();
+}
+
+void LocalCluster::restart(NodeId n) {
+  FASTCONS_EXPECTS(n < servers_.size() && servers_[n] == nullptr);
+  servers_[n] = std::make_unique<ReplicaServer>(configs_[n]);
+  servers_[n]->set_peers(peer_tables_[n]);
+  if (started_) servers_[n]->start();
 }
 
 bool LocalCluster::converged(std::uint64_t min_updates) const {
-  if (servers_.empty()) return min_updates == 0;
-  const SummaryVector reference = servers_.front()->summary();
+  // Killed servers are skipped: convergence is a statement about the
+  // replicas that exist. An all-killed cluster has no summaries to compare.
+  const ReplicaServer* first = nullptr;
+  for (const auto& server : servers_) {
+    if (server != nullptr) {
+      first = server.get();
+      break;
+    }
+  }
+  if (first == nullptr) return min_updates == 0;
+  const SummaryVector reference = first->summary();
   if (reference.total() < min_updates) return false;
-  for (std::size_t n = 1; n < servers_.size(); ++n) {
-    if (!(servers_[n]->summary() == reference)) return false;
+  for (const auto& server : servers_) {
+    if (server == nullptr || server.get() == first) continue;
+    if (!(server->summary() == reference)) return false;
   }
   return true;
 }

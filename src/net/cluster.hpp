@@ -25,6 +25,11 @@ struct ClusterConfig {
   /// cluster on one host; "0.0.0.0" also accepts non-local peers (peers
   /// inside the cluster still connect over loopback).
   std::string bind_address = "127.0.0.1";
+
+  /// Test transport shim applied to every server: return true to drop the
+  /// outbound frame `from` -> `to` (the live mirror of FaultPlan link
+  /// loss). Runs on server loop threads; must be thread-safe.
+  std::function<bool(NodeId from, NodeId to)> outbound_fault;
 };
 
 /// What one run_load() call observed.
@@ -66,6 +71,22 @@ class LocalCluster {
   void start();
   void stop();
 
+  /// Fault hook: stops and destroys server `n` — its TCP connections drop,
+  /// peers fall into reconnect backoff, and all its in-memory replica state
+  /// is gone (a live crash is always a wipe). The slot stays reserved;
+  /// server(n) must not be called until restart(n).
+  void kill(NodeId n);
+
+  /// Rebuilds server `n` from its original config on its original port
+  /// (SO_REUSEADDR makes the rebind immediate) with an empty engine, and
+  /// starts it if the cluster is running — anti-entropy then repopulates it
+  /// from its peers. No-op fodder for double restarts is not supported:
+  /// the node must currently be killed.
+  void restart(NodeId n);
+
+  /// True while server `n` exists (not killed).
+  bool alive(NodeId n) const;
+
   /// True when every server's summary equals every other's and at least
   /// `min_updates` updates exist. Pass the number of writes you issued:
   /// with the default of 1, a cluster that has fully spread the first write
@@ -91,7 +112,13 @@ class LocalCluster {
 
  private:
   std::vector<std::unique_ptr<ReplicaServer>> servers_;
+  /// Per-node construction inputs, kept so restart(n) can rebuild a killed
+  /// server exactly: the ServerConfig (listen_port pinned to the port the
+  /// node originally learned) and its peer table.
+  std::vector<ServerConfig> configs_;
+  std::vector<std::vector<PeerAddress>> peer_tables_;
   double seconds_per_unit_ = 0.05;
+  bool started_ = false;
 };
 
 }  // namespace fastcons

@@ -271,6 +271,13 @@ void ReplicaServer::enqueue_frame(NodeId peer,
                                   const std::vector<std::uint8_t>& frame) {
   const auto it = peer_links_.find(peer);
   if (it == peer_links_.end()) return;
+  if (config_.outbound_fault && config_.outbound_fault(peer)) {
+    // Injected loss: drop before the link ever sees the frame, so the shim
+    // exercises the same recovery path as a genuinely lossy network.
+    const MutexLock lock(net_mutex_);
+    ++peer_stats_entry(peer).frames_dropped;
+    return;
+  }
   PeerLink& link = it->second;
   if (!ensure_connection(link) ||
       link.connection.pending_output_bytes() + frame.size() >

@@ -119,6 +119,14 @@ struct ServerConfig {
   /// peer is unreachable or stalled.
   std::size_t max_peer_outbox_bytes = 4 * 1024 * 1024;
 
+  /// Test transport shim: when set, every outbound frame to `to` is offered
+  /// to this predicate before transmission and silently dropped (counted in
+  /// NetStats::frames_dropped) when it returns true — the live-path mirror
+  /// of the simulator's FaultPlan link loss. Called from the loop thread
+  /// only, with no server lock held; the callable must be thread-safe if it
+  /// shares state across servers and must not call back into this server.
+  std::function<bool(NodeId to)> outbound_fault;
+
   std::uint64_t seed = 1;
 };
 

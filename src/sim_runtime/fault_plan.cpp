@@ -1,0 +1,111 @@
+#include "sim_runtime/fault_plan.hpp"
+
+#include "common/assert.hpp"
+#include "common/error.hpp"
+
+namespace fastcons {
+namespace {
+
+void check_probability(double p, const char* name) {
+  if (p < 0.0 || p >= 1.0) {
+    throw ConfigError(std::string("fault ") + name + " must be in [0, 1)");
+  }
+}
+
+}  // namespace
+
+void FaultPlan::reset(const FaultConfig& config, std::size_t nodes,
+                      std::uint64_t seed) {
+  check_probability(config.loss, "loss");
+  check_probability(config.duplicate, "duplicate");
+  check_probability(config.reorder, "reorder");
+  if (config.reorder > 0.0 && config.reorder_delay_max <= 0.0) {
+    throw ConfigError("fault reorder_delay_max must be > 0 when reordering");
+  }
+  if (config.crash_rate < 0.0) {
+    throw ConfigError("fault crash_rate must be >= 0");
+  }
+  if (config.crash_rate > 0.0 && config.downtime_mean <= 0.0) {
+    throw ConfigError("fault downtime_mean must be > 0 under churn");
+  }
+  for (const PartitionEvent& p : config.partitions) {
+    if (p.groups < 2) throw ConfigError("partition needs >= 2 groups");
+    if (p.heal_at && *p.heal_at < p.at) {
+      throw ConfigError("partition heal_at must be >= at");
+    }
+  }
+  config_ = config;
+  nodes_ = nodes;
+  rng_ = Rng(seed);
+  down_until_.assign(nodes, std::nullopt);
+  stats_ = FaultStats{};
+}
+
+FaultPlan::LinkFate FaultPlan::link_fate() {
+  LinkFate fate;
+  if (config_.loss > 0.0 && rng_.bernoulli(config_.loss)) {
+    ++stats_.messages_lost;
+    fate.lost = true;
+    return fate;  // a lost message draws nothing further
+  }
+  if (config_.duplicate > 0.0 && rng_.bernoulli(config_.duplicate)) {
+    ++stats_.messages_duplicated;
+    fate.duplicated = true;
+  }
+  if (config_.reorder > 0.0) {
+    if (rng_.bernoulli(config_.reorder)) {
+      ++stats_.messages_delayed;
+      fate.extra_delay = rng_.uniform(0.0, config_.reorder_delay_max);
+    }
+    if (fate.duplicated && rng_.bernoulli(config_.reorder)) {
+      ++stats_.messages_delayed;
+      fate.dup_extra_delay = rng_.uniform(0.0, config_.reorder_delay_max);
+    }
+  }
+  return fate;
+}
+
+std::optional<std::size_t> FaultPlan::group_of(NodeId node,
+                                               SimTime now) const {
+  FASTCONS_EXPECTS(node < nodes_);
+  // Later events win when windows overlap; in practice scenarios schedule
+  // disjoint windows.
+  for (auto it = config_.partitions.rbegin(); it != config_.partitions.rend();
+       ++it) {
+    if (now >= it->at && (!it->heal_at || now < *it->heal_at)) {
+      return node * it->groups / nodes_;
+    }
+  }
+  return std::nullopt;
+}
+
+bool FaultPlan::crossing_partition(NodeId a, NodeId b, SimTime now) const {
+  if (config_.partitions.empty()) return false;
+  const auto ga = group_of(a, now);
+  if (!ga) return false;
+  return *ga != *group_of(b, now);
+}
+
+FaultPlan::CrashOutcome FaultPlan::on_crash(NodeId node, SimTime now) {
+  FASTCONS_EXPECTS(node < nodes_ && !node_down(node));
+  ++stats_.crashes;
+  CrashOutcome outcome;
+  outcome.downtime = rng_.exponential(config_.downtime_mean);
+  outcome.wipe = config_.wipe_on_restart;
+  if (outcome.wipe) {
+    ++stats_.wipes;
+    outcome.wipe_seed = rng_.next_u64();
+  }
+  down_until_[node] = now + outcome.downtime;
+  return outcome;
+}
+
+std::optional<double> FaultPlan::on_restart(NodeId node, SimTime now) {
+  FASTCONS_EXPECTS(node < nodes_ && node_down(node));
+  ++stats_.restarts;
+  down_until_[node] = std::nullopt;
+  if (!churn_active(now)) return std::nullopt;
+  return rng_.exponential(1.0 / config_.crash_rate);
+}
+
+}  // namespace fastcons

@@ -1,0 +1,185 @@
+// FaultPlan: seeded fault injection for the simulated network — per-link
+// message loss/duplication/bounded-reordering, node crash/restart churn
+// (state wipe or retention), and scheduled partition/heal events.
+//
+// Determinism contract: every fault decision draws from the plan's OWN
+// derived RNG stream, never from SimNetwork's driver or per-node streams,
+// and a decision is only drawn when the corresponding fault class is
+// enabled. A configuration with every probability at zero and no scheduled
+// events therefore consumes ZERO draws and schedules ZERO events — the
+// no-fault path is bit-identical to a build without this layer, which is
+// what keeps every pre-existing scenario digest byte-stable (pinned by
+// bench_results/smoke-digests.golden in CI).
+#ifndef FASTCONS_SIM_RUNTIME_FAULT_PLAN_HPP
+#define FASTCONS_SIM_RUNTIME_FAULT_PLAN_HPP
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace fastcons {
+
+/// One scheduled partition: at `at` the nodes split into `groups` contiguous
+/// id blocks (node's group = node * groups / n); messages crossing a group
+/// boundary are dropped at send time until `heal_at`. `heal_at` unset means
+/// the partition never heals (the negative-control configuration the
+/// convergence-tracker tests use).
+struct PartitionEvent {
+  std::size_t groups = 2;
+  SimTime at = 0.0;
+  std::optional<SimTime> heal_at;
+};
+
+/// Fault-injection knobs. All probabilities are per-message and independent;
+/// churn rates are per-node. Defaults disable everything.
+struct FaultConfig {
+  /// Probability a sent message is silently dropped. [0, 1).
+  double loss = 0.0;
+
+  /// Probability a sent (non-lost) message is delivered twice. The copy
+  /// takes an independent reorder delay when reordering is on. [0, 1).
+  double duplicate = 0.0;
+
+  /// Probability a delivery is delayed by an extra uniform(0, reorder_delay_max)
+  /// on top of the link latency — bounded reordering, not starvation. [0, 1).
+  double reorder = 0.0;
+
+  /// Upper bound on the extra reordering delay, in simulated time units.
+  double reorder_delay_max = 0.25;
+
+  /// Node crash arrivals per node per unit of UP time (exponential gaps);
+  /// 0 disables churn.
+  double crash_rate = 0.0;
+
+  /// Mean crash duration (exponential), simulated time units.
+  double downtime_mean = 1.0;
+
+  /// On restart after a crash: true wipes the replica's state (the engine
+  /// restarts empty and must anti-entropy its way back); false retains it
+  /// (the node was merely unreachable).
+  bool wipe_on_restart = true;
+
+  /// Crashes are only generated before this time; nodes already down still
+  /// restart. Lets scenarios measure catch-up after churn subsides (and
+  /// makes convergence reachable at all under heavy churn).
+  std::optional<SimTime> churn_until;
+
+  /// Scheduled partition/heal events.
+  std::vector<PartitionEvent> partitions;
+
+  /// Any per-message fault enabled?
+  bool link_faults() const noexcept {
+    return loss > 0.0 || duplicate > 0.0 || reorder > 0.0;
+  }
+  /// Node churn enabled?
+  bool churn() const noexcept { return crash_rate > 0.0; }
+  /// Anything at all enabled?
+  bool enabled() const noexcept {
+    return link_faults() || churn() || !partitions.empty();
+  }
+};
+
+/// Monotone counters of the faults actually injected (telemetry; surfaced
+/// as TrialResult counters by the faults scenario family).
+struct FaultStats {
+  std::uint64_t messages_lost = 0;        ///< dropped by the loss coin
+  std::uint64_t messages_duplicated = 0;  ///< extra copies delivered
+  std::uint64_t messages_delayed = 0;     ///< reorder delays applied
+  std::uint64_t partition_drops = 0;      ///< dropped crossing a partition
+  std::uint64_t crash_drops = 0;          ///< dropped at a down node
+  std::uint64_t crashes = 0;              ///< crash events fired
+  std::uint64_t restarts = 0;             ///< restart events fired
+  std::uint64_t wipes = 0;                ///< restarts that wiped state
+  std::uint64_t writes_deferred = 0;      ///< client writes deferred past a crash
+
+  friend bool operator==(const FaultStats&, const FaultStats&) = default;
+};
+
+/// Seeded fault state machine for one simulated network. SimNetwork owns
+/// one, resets it in wire() (pooled trials replay fresh trials exactly:
+/// all state including the RNG is rebuilt from the config and seed), asks
+/// it for per-message fates at send time, and drives the crash/restart
+/// transitions from simulator events.
+class FaultPlan {
+ public:
+  /// What happens to one sent message (drawn at send time).
+  struct LinkFate {
+    bool lost = false;
+    bool duplicated = false;
+    double extra_delay = 0.0;      ///< added to the primary delivery
+    double dup_extra_delay = 0.0;  ///< added to the duplicate copy
+  };
+
+  /// Validates `config` (throws ConfigError) and rebuilds all state —
+  /// per-node up/down flags, counters and the fault RNG — as if freshly
+  /// constructed. `seed` must already be derived from the network seed
+  /// (SimNetwork salts it) so fault draws never collide with driver or
+  /// per-node streams.
+  void reset(const FaultConfig& config, std::size_t nodes,
+             std::uint64_t seed);
+
+  const FaultConfig& config() const noexcept { return config_; }
+  bool enabled() const noexcept { return config_.enabled(); }
+
+  /// Draws the fate of one message sent now. Only consults the RNG for
+  /// fault classes with non-zero probability, so the draw sequence of a
+  /// given configuration is stable under unrelated config extensions.
+  LinkFate link_fate();
+
+  /// True when `a` and `b` are separated by an active partition at `now`.
+  /// Draw-free.
+  bool crossing_partition(NodeId a, NodeId b, SimTime now) const;
+
+  /// The partition group of `node` under the partition active at `now`, or
+  /// nullopt when no partition is active. Draw-free; the invariant tests
+  /// use it to assert no cross-group contamination.
+  std::optional<std::size_t> group_of(NodeId node, SimTime now) const;
+
+  // --- churn state machine (driven by SimNetwork's crash/restart events) --
+
+  bool node_down(NodeId node) const {
+    return node < down_until_.size() && down_until_[node].has_value();
+  }
+  /// Restart time of a down node (meaningless for up nodes).
+  SimTime down_until(NodeId node) const { return *down_until_[node]; }
+
+  /// Gap until a node's first crash (exponential in the crash rate).
+  double first_crash_gap() { return rng_.exponential(1.0 / config_.crash_rate); }
+
+  struct CrashOutcome {
+    double downtime = 0.0;        ///< restart fires this much later
+    bool wipe = false;            ///< reset the engine's state
+    std::uint64_t wipe_seed = 0;  ///< engine reseed when wiping
+  };
+  /// Marks `node` down and draws its downtime (and wipe seed when state is
+  /// wiped). The caller schedules the restart event at now + downtime.
+  CrashOutcome on_crash(NodeId node, SimTime now);
+
+  /// Marks `node` up again. Returns the gap until its next crash, or
+  /// nullopt when churn has ended (now >= churn_until).
+  std::optional<double> on_restart(NodeId node, SimTime now);
+
+  /// True when a crash may still be scheduled at `at`.
+  bool churn_active(SimTime at) const {
+    return config_.churn() &&
+           (!config_.churn_until || at < *config_.churn_until);
+  }
+
+  FaultStats& stats() noexcept { return stats_; }
+  const FaultStats& stats() const noexcept { return stats_; }
+
+ private:
+  FaultConfig config_;
+  std::size_t nodes_ = 0;
+  Rng rng_;
+  // down_until_[n]: restart time while n is crashed, nullopt while up.
+  std::vector<std::optional<SimTime>> down_until_;
+  FaultStats stats_;
+};
+
+}  // namespace fastcons
+
+#endif  // FASTCONS_SIM_RUNTIME_FAULT_PLAN_HPP

@@ -6,6 +6,13 @@
 #include "common/error.hpp"
 
 namespace fastcons {
+namespace {
+
+// XOR-salt for the fault stream's seed so it can never coincide with the
+// driver stream Rng(config_.seed) or any per-node stream split from it.
+constexpr std::uint64_t kFaultSeedSalt = 0xFA171F1A57C0FFEEull;
+
+}  // namespace
 
 SimNetwork::SimNetwork(Graph graph, std::shared_ptr<const DemandModel> demand,
                        SimConfig config) {
@@ -37,6 +44,8 @@ void SimNetwork::reset(std::shared_ptr<const Graph> graph,
   consistent_revision_ = ~std::uint64_t{0};
   consistent_cache_ = false;
   on_delivery = nullptr;
+  on_crash = nullptr;
+  on_restart = nullptr;
   // first_seen_ inner vectors keep their capacity for the surviving nodes;
   // wire() resizes the outer vector to the new node count.
   for (auto& seen : first_seen_) seen.clear();
@@ -60,6 +69,9 @@ void SimNetwork::wire(std::shared_ptr<const Graph> graph,
   rng_ = Rng(config_.seed);
 
   const std::size_t n = graph_->size();
+  // Rebuilding the plan every wire() is what makes pooled reset exact: all
+  // fault state (including its RNG position) restarts from the config.
+  faults_.reset(config_.faults, n, config_.seed ^ kFaultSeedSalt);
   engines_.reserve(n);
   node_rngs_.reserve(n);
   node_rngs_.clear();
@@ -101,32 +113,50 @@ void SimNetwork::wire(std::shared_ptr<const Graph> graph,
             e.peer, demand_->demand_at(e.peer, 0.0), 0.0);
       }
     }
-    EngineHooks hooks;
-    hooks.on_delivery = [this, node](const Update& u, DeliveryPath path,
-                                     SimTime now) {
-      auto& seen = first_seen_[node];
-      const auto it = std::lower_bound(
-          seen.begin(), seen.end(), u.id,
-          [](const auto& entry, UpdateId id) { return entry.first < id; });
-      if (it == seen.end() || it->first != u.id) {
-        seen.emplace(it, u.id, now);
-        const auto hold = std::lower_bound(
-            holding_count_.begin(), holding_count_.end(), u.id,
-            [](const auto& entry, UpdateId id) { return entry.first < id; });
-        if (hold != holding_count_.end() && hold->first == u.id) {
-          ++hold->second;
-        } else {
-          holding_count_.emplace(hold, u.id, 1);
-        }
-        ++node_applied_[node];
-        node_digest_[node] ^= UpdateIdHash{}(u.id);
-        ++summary_revision_;
-        if (on_delivery) on_delivery(node, u, path, now);
-      }
-    };
-    engines_[node].set_hooks(std::move(hooks));
+    install_delivery_hook(node);
   }
   start_timers();
+  // Seed the churn schedule: each node's first crash, in node order so the
+  // fault-stream draw order is fixed. Gaps past churn_until fire crash_tick
+  // but crash nothing (it re-checks the window).
+  if (faults_.churn_active(0.0)) {
+    for (NodeId node = 0; node < n; ++node) {
+      sim_.schedule_at(faults_.first_crash_gap(),
+                       [this, node] { crash_tick(node); });
+    }
+  }
+}
+
+void SimNetwork::install_delivery_hook(NodeId node) {
+  EngineHooks hooks;
+  hooks.on_delivery = [this, node](const Update& u, DeliveryPath path,
+                                   SimTime now) {
+    // Any application may change this node's summary — including one the
+    // tracker already counted before a crash wiped the node. The revision
+    // only keys the all_consistent() cache, so bumping it unconditionally
+    // is digest-neutral; skipping it would leave a stale "inconsistent"
+    // verdict cached while a wiped node re-applies old updates.
+    ++summary_revision_;
+    auto& seen = first_seen_[node];
+    const auto it = std::lower_bound(
+        seen.begin(), seen.end(), u.id,
+        [](const auto& entry, UpdateId id) { return entry.first < id; });
+    if (it == seen.end() || it->first != u.id) {
+      seen.emplace(it, u.id, now);
+      const auto hold = std::lower_bound(
+          holding_count_.begin(), holding_count_.end(), u.id,
+          [](const auto& entry, UpdateId id) { return entry.first < id; });
+      if (hold != holding_count_.end() && hold->first == u.id) {
+        ++hold->second;
+      } else {
+        holding_count_.emplace(hold, u.id, 1);
+      }
+      ++node_applied_[node];
+      node_digest_[node] ^= UpdateIdHash{}(u.id);
+      if (on_delivery) on_delivery(node, u, path, now);
+    }
+  };
+  engines_[node].set_hooks(std::move(hooks));
 }
 
 ReplicaEngine& SimNetwork::engine(NodeId n) {
@@ -168,10 +198,15 @@ void SimNetwork::start_timers() {
 }
 
 void SimNetwork::session_tick(NodeId node) {
-  refresh_own_demand(node);
-  scratch_out_.clear();
-  engines_[node].on_session_timer(sim_.now(), scratch_out_);
-  dispatch(node, scratch_out_);
+  // A crashed node skips its timer body but still reschedules (and still
+  // draws its gap below): its RNG stream keeps the exact positions it has
+  // in a fault-free run, so enabling churn perturbs no other stream.
+  if (!faults_.node_down(node)) {
+    refresh_own_demand(node);
+    scratch_out_.clear();
+    engines_[node].on_session_timer(sim_.now(), scratch_out_);
+    dispatch(node, scratch_out_);
+  }
   // Draw the next gap after dispatching, exactly where the retired closure
   // version drew it, so per-node RNG streams are reproduced draw-for-draw.
   const SimTime gap =
@@ -182,12 +217,62 @@ void SimNetwork::session_tick(NodeId node) {
 }
 
 void SimNetwork::advert_tick(NodeId node) {
-  refresh_own_demand(node);
-  scratch_out_.clear();
-  engines_[node].on_advert_timer(sim_.now(), scratch_out_);
-  dispatch(node, scratch_out_);
+  if (!faults_.node_down(node)) {
+    refresh_own_demand(node);
+    scratch_out_.clear();
+    engines_[node].on_advert_timer(sim_.now(), scratch_out_);
+    dispatch(node, scratch_out_);
+  }
   sim_.schedule_in(config_.protocol.advert_period,
                    [this, node] { advert_tick(node); });
+}
+
+void SimNetwork::crash_tick(NodeId node) {
+  // Re-check the window: the scheduled gap may have landed past churn_until
+  // (or churn may have been meant to end while this event was in flight).
+  if (!faults_.churn_active(sim_.now())) return;
+  const FaultPlan::CrashOutcome outcome = faults_.on_crash(node, sim_.now());
+  if (outcome.wipe) {
+    scratch_neighbours_.clear();
+    for (const Edge& e : graph_->neighbours(node)) {
+      scratch_neighbours_.push_back(e.peer);
+    }
+    // The wipe loses data, not identity: the origin write counter survives
+    // (see restore_write_seq) so post-restart writes keep the sequence ids
+    // schedule_write promised and never collide with pre-crash writes that
+    // peers still hold.
+    const SeqNo write_seq = engines_[node].write_seq();
+    engines_[node].reset(node, scratch_neighbours_, config_.protocol,
+                         outcome.wipe_seed);
+    engines_[node].restore_write_seq(write_seq);
+    install_delivery_hook(node);
+    // The wiped summary changed without a delivery; drop the cached
+    // all_consistent() verdict. (Overlay neighbours are graph-external and
+    // are not restored — the faults family runs on plain topologies.)
+    ++summary_revision_;
+  }
+  if (on_crash) on_crash(node, outcome.wipe, sim_.now());
+  sim_.schedule_in(outcome.downtime, [this, node] { restart_tick(node); });
+}
+
+void SimNetwork::restart_tick(NodeId node) {
+  const bool wiped = config_.faults.wipe_on_restart;
+  const std::optional<double> next_gap = faults_.on_restart(node, sim_.now());
+  if (wiped) {
+    // Re-prime the reborn engine's demand knowledge like wire() does at
+    // t=0; a retained engine kept its tables.
+    refresh_own_demand(node);
+    if (config_.prime_tables) {
+      for (const Edge& e : graph_->neighbours(node)) {
+        engines_[node].prime_neighbour_demand(
+            e.peer, demand_->demand_at(e.peer, sim_.now()), sim_.now());
+      }
+    }
+  }
+  if (on_restart) on_restart(node, wiped, sim_.now());
+  if (next_gap) {
+    sim_.schedule_in(*next_gap, [this, node] { crash_tick(node); });
+  }
 }
 
 UpdateId SimNetwork::schedule_write(NodeId node, std::string key,
@@ -196,13 +281,31 @@ UpdateId SimNetwork::schedule_write(NodeId node, std::string key,
   const UpdateId id{node, ++planned_writes_[node]};
   sim_.schedule_at(at, [this, node, key = std::move(key),
                         value = std::move(value)]() mutable {
-    refresh_own_demand(node);
-    scratch_out_.clear();
-    engines_[node].local_write(std::move(key), std::move(value), sim_.now(),
-                               scratch_out_);
-    dispatch(node, scratch_out_);
+    perform_write(node, std::move(key), std::move(value));
   });
   return id;
+}
+
+void SimNetwork::perform_write(NodeId node, std::string key,
+                               std::string value) {
+  if (faults_.node_down(node)) {
+    // The client retries as soon as the node is back. At equal timestamps
+    // the restart event wins: it was inserted when the crash fired, before
+    // this deferral, and the simulator runs same-time events in insertion
+    // order. perform_write re-checks anyway in case of a back-to-back crash.
+    ++faults_.stats().writes_deferred;
+    sim_.schedule_at(faults_.down_until(node),
+                     [this, node, key = std::move(key),
+                      value = std::move(value)]() mutable {
+                       perform_write(node, std::move(key), std::move(value));
+                     });
+    return;
+  }
+  refresh_own_demand(node);
+  scratch_out_.clear();
+  engines_[node].local_write(std::move(key), std::move(value), sim_.now(),
+                             scratch_out_);
+  dispatch(node, scratch_out_);
 }
 
 void SimNetwork::add_overlay_link(NodeId a, NodeId b, double latency) {
@@ -254,6 +357,36 @@ void SimNetwork::dispatch(NodeId from, std::vector<Outbound>& outs) {
       ++dropped_;
       continue;
     }
+    if (faults_.enabled()) {
+      // All per-message fault decisions happen here, at send time, from the
+      // fault plan's own stream. Messages already in flight when a
+      // partition starts still arrive (send-time semantics).
+      if (faults_.crossing_partition(from, out.to, sim_.now())) {
+        ++dropped_;
+        ++faults_.stats().partition_drops;
+        continue;
+      }
+      const FaultPlan::LinkFate fate = faults_.link_fate();
+      if (fate.lost) {
+        ++dropped_;
+        continue;
+      }
+      const double latency = link_latency(from, out.to);
+      if (fate.duplicated) {
+        // The copy pays for the one Message copy in the layer; it only
+        // happens on the duplicate path.
+        sim_.schedule_in(latency + fate.dup_extra_delay,
+                         [this, from, to = out.to, msg = out.msg]() mutable {
+                           deliver(from, to, std::move(msg));
+                         });
+      }
+      sim_.schedule_in(latency + fate.extra_delay,
+                       [this, from, to = out.to,
+                        msg = std::move(out.msg)]() mutable {
+                         deliver(from, to, std::move(msg));
+                       });
+      continue;
+    }
     const double latency = link_latency(from, out.to);
     sim_.schedule_in(latency, [this, from, to = out.to,
                                msg = std::move(out.msg)]() mutable {
@@ -263,6 +396,14 @@ void SimNetwork::dispatch(NodeId from, std::vector<Outbound>& outs) {
 }
 
 void SimNetwork::deliver(NodeId from, NodeId to, Message&& msg) {
+  if (faults_.node_down(to)) {
+    // The receiver is crashed: the message is lost at its doorstep. Checked
+    // at delivery (not send) time so a message racing a crash behaves like
+    // the real network — and the check is draw-free either way.
+    ++dropped_;
+    ++faults_.stats().crash_drops;
+    return;
+  }
   refresh_own_demand(to);  // gradient decisions use current demand
   scratch_out_.clear();
   engines_[to].handle(from, std::move(msg), sim_.now(), scratch_out_);

@@ -17,6 +17,7 @@
 #include "core/engine.hpp"
 #include "demand/demand_model.hpp"
 #include "sim/simulator.hpp"
+#include "sim_runtime/fault_plan.hpp"
 #include "topology/graph.hpp"
 
 namespace fastcons {
@@ -31,7 +32,17 @@ struct SimConfig {
   enum class Timing { exponential, periodic } timing = Timing::exponential;
 
   /// Probability that any individual message is silently dropped.
+  ///
+  /// Historical knob, drawn from the network driver RNG — changing it moves
+  /// every later draw and therefore every digest. New fault work should use
+  /// `faults.loss` instead, which draws from the FaultPlan's own stream.
   double loss_rate = 0.0;
+
+  /// Seeded fault injection: per-link loss/duplication/reordering, node
+  /// crash/restart churn, scheduled partitions (fault_plan.hpp). The
+  /// default (everything disabled) consumes no RNG draws and schedules no
+  /// events, so it is bit-identical to the pre-fault-layer behaviour.
+  FaultConfig faults;
 
   /// Master seed; every node and the network driver derive independent
   /// streams from it.
@@ -129,8 +140,20 @@ class SimNetwork {
 
   std::uint64_t messages_dropped() const noexcept { return dropped_; }
 
+  /// The fault-injection state machine (config, node up/down, counters).
+  const FaultPlan& faults() const noexcept { return faults_; }
+
+  /// Counters of the faults injected so far this trial.
+  const FaultStats& fault_stats() const noexcept { return faults_.stats(); }
+
   /// Optional observer invoked on every first-time delivery at any node.
   std::function<void(NodeId, const Update&, DeliveryPath, SimTime)> on_delivery;
+
+  /// Optional observer invoked when a node crashes (`wiped` = its state was
+  /// reset at that instant) and when it restarts. Cleared by reset(), like
+  /// on_delivery.
+  std::function<void(NodeId, bool wiped, SimTime)> on_crash;
+  std::function<void(NodeId, bool wiped, SimTime)> on_restart;
 
  private:
   /// Shared tail of construction and reset(): validates the arguments,
@@ -146,6 +169,17 @@ class SimNetwork {
   /// pattern external workloads still use).
   void session_tick(NodeId node);
   void advert_tick(NodeId node);
+  /// Fault churn: crash `node` now (possibly wiping its engine) and
+  /// schedule its restart; restart it and schedule the next crash while the
+  /// churn window is open.
+  void crash_tick(NodeId node);
+  void restart_tick(NodeId node);
+  /// Applies a client write at `node`, deferring past any crash the node is
+  /// currently in (re-scheduled for the restart instant).
+  void perform_write(NodeId node, std::string key, std::string value);
+  /// (Re)installs the delivery hook that feeds first_seen_/holding_count_
+  /// and the convergence tracker; also used after a crash wipes an engine.
+  void install_delivery_hook(NodeId node);
   /// Schedules deliveries for `outs`, moving each message into its event;
   /// the vector's elements are consumed but the vector itself is the
   /// caller's (the hot paths pass scratch_out_ and reuse its capacity).
@@ -161,6 +195,7 @@ class SimNetwork {
   SimConfig config_;
   Simulator sim_;
   Rng rng_;
+  FaultPlan faults_;
   std::vector<ReplicaEngine> engines_;
   std::vector<Rng> node_rngs_;
 

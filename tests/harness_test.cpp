@@ -21,9 +21,9 @@ TEST(ScenarioRegistry, ContainsAllRegisteredScenarios) {
       "fig5",        "fig6",          "uniform-topologies",
       "diameter-ba", "diameter-grid", "overhead",
       "islands",     "ablation",      "ablation-staleness",
-      "freshness",   "large-scale"};
+      "freshness",   "large-scale",   "faults"};
   EXPECT_EQ(registry.names(), expected);
-  EXPECT_EQ(registry.all().size(), 14u);
+  EXPECT_EQ(registry.all().size(), 15u);
 }
 
 TEST(ScenarioRegistry, FindRoundTripsEveryRegisteredName) {

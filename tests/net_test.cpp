@@ -2,6 +2,7 @@
 // skip gracefully (GTEST_SKIP on bind failure).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <thread>
 
@@ -641,6 +642,72 @@ TEST(ClusterTest, RunLoadValidatesArguments) {
   EXPECT_THROW(cluster.run_load(0, 0.0, 1.0), ConfigError);
   EXPECT_THROW(cluster.run_load(0, 10.0, 0.0), ConfigError);
   cluster.stop();
+}
+
+// ----------------------------------------------------------- fault hooks ----
+// Live mirror of the simulator's FaultPlan: kill/restart a server (crash
+// with state wipe — live state is in-memory only) and drop outbound frames
+// through the transport shim. The TSan CI leg runs the crash/restart test
+// specifically, so keep its name stable.
+
+TEST(ClusterTest, KillRestartRecoversAcknowledgedWrites) {
+  REQUIRE_LOOPBACK();
+  Rng rng(31);
+  const Graph g = make_ring(3, {0.0, 0.0}, rng);
+  ClusterConfig cfg;
+  cfg.protocol = ProtocolConfig::fast();
+  cfg.seconds_per_unit = 0.02;
+  cfg.demands = {2.0, 5.0, 3.0};
+  LocalCluster cluster(g, cfg);
+  cluster.start();
+  cluster.server(0).write("before", "crash");
+  ASSERT_TRUE(cluster.wait_for_convergence(10.0));
+
+  cluster.kill(1);
+  EXPECT_FALSE(cluster.alive(1));
+  // A write acknowledged while the node is down must reach it after the
+  // restart all the same.
+  cluster.server(0).write("during", "crash");
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  cluster.restart(1);
+  EXPECT_TRUE(cluster.alive(1));
+  // The reborn node starts empty (a live crash is always a wipe) and must
+  // anti-entropy both writes back from its peers.
+  const bool converged = cluster.wait_for_convergence(15.0, 2);
+  const auto before = cluster.server(1).read("before");
+  const auto during = cluster.server(1).read("during");
+  cluster.stop();
+  ASSERT_TRUE(converged);
+  EXPECT_EQ(before, "crash");
+  EXPECT_EQ(during, "crash");
+}
+
+TEST(ClusterTest, OutboundFaultShimDropsAndRecovers) {
+  REQUIRE_LOOPBACK();
+  Rng rng(32);
+  const Graph g = make_line(2, {0.0, 0.0}, rng);
+  auto drop_all = std::make_shared<std::atomic<bool>>(true);
+  ClusterConfig cfg;
+  cfg.protocol = ProtocolConfig::fast();
+  cfg.seconds_per_unit = 0.02;
+  cfg.demands = {1.0, 5.0};
+  cfg.outbound_fault = [drop_all](NodeId, NodeId) { return drop_all->load(); };
+  LocalCluster cluster(g, cfg);
+  cluster.start();
+  cluster.server(0).write("k", "v");
+  // With every frame dropped on both servers, nothing can spread.
+  EXPECT_FALSE(cluster.wait_for_convergence(0.4));
+  const NetStats lossy = cluster.server(0).net_stats();
+  EXPECT_GT(lossy.frames_dropped, 0u);
+  EXPECT_FALSE(cluster.server(1).read("k").has_value());
+
+  drop_all->store(false);  // the network heals
+  const bool converged = cluster.wait_for_convergence(10.0);
+  const auto value = cluster.server(1).read("k");
+  cluster.stop();
+  ASSERT_TRUE(converged);
+  EXPECT_EQ(value, "v");
 }
 
 }  // namespace

@@ -239,6 +239,67 @@ TEST(SimNetworkReset, GrowsAndShrinksAcrossTopologySizes) {
   }
 }
 
+SimConfig faulty_config(std::uint64_t seed) {
+  SimConfig cfg;
+  cfg.protocol = ProtocolConfig::fast();
+  cfg.protocol.advert_period = 0.0;
+  cfg.seed = seed;
+  cfg.faults.loss = 0.15;
+  cfg.faults.duplicate = 0.1;
+  cfg.faults.reorder = 0.25;
+  cfg.faults.reorder_delay_max = 0.4;
+  cfg.faults.crash_rate = 0.05;
+  cfg.faults.downtime_mean = 0.5;
+  cfg.faults.churn_until = 4.0;
+  cfg.faults.partitions.push_back(PartitionEvent{2, 1.0, 3.0});
+  return cfg;
+}
+
+TEST(SimNetworkReset, FaultConfigReplaysFreshNetworkExactly) {
+  // Every fault class at once — link faults, churn with wipes, a healing
+  // partition. The FaultPlan's RNG and node up/down state are rebuilt by
+  // reset(), so a pooled network must replay a fresh one draw-for-draw,
+  // injected fault counts included.
+  const SimConfig cfg = faulty_config(55);
+  SimNetwork fresh(test_graph(5), test_demand(6), cfg);
+  const NetObservation expected = observe(fresh);
+  const FaultStats expected_faults = fresh.fault_stats();
+  // Non-vacuous: the config really injected faults during the observation.
+  EXPECT_GT(expected_faults.messages_lost, 0u);
+
+  SimNetwork pooled(test_graph(42, 10), test_demand(43, 10), faulty_config(7));
+  observe(pooled);  // dirty: different size, seed, fault trajectory
+
+  pooled.reset(test_graph(5), test_demand(6), cfg);
+  EXPECT_EQ(observe(pooled), expected);
+  EXPECT_EQ(pooled.fault_stats(), expected_faults);
+
+  pooled.reset(test_graph(5), test_demand(6), cfg);
+  EXPECT_EQ(observe(pooled), expected);
+  EXPECT_EQ(pooled.fault_stats(), expected_faults);
+}
+
+TEST(SimNetworkReset, FaultStateDoesNotLeakIntoQuietConfig) {
+  // Reset from a fault-heavy run to a no-fault config must be
+  // indistinguishable from a network that never had faults at all: zero
+  // counters, no lingering down nodes or partitions, identical replay.
+  SimConfig quiet;
+  quiet.protocol = ProtocolConfig::fast();
+  quiet.protocol.advert_period = 0.0;
+  quiet.seed = 99;
+  SimNetwork fresh(test_graph(5), test_demand(6), quiet);
+  const NetObservation expected = observe(fresh);
+
+  SimNetwork pooled(test_graph(5), test_demand(6), faulty_config(55));
+  observe(pooled);
+  EXPECT_GT(pooled.fault_stats().messages_lost, 0u);  // genuinely dirty
+
+  pooled.reset(test_graph(5), test_demand(6), quiet);
+  EXPECT_FALSE(pooled.faults().enabled());
+  EXPECT_EQ(observe(pooled), expected);
+  EXPECT_EQ(pooled.fault_stats(), FaultStats{});
+}
+
 TEST(SimNetworkReset, SharedTopologyIsNeverMutated) {
   SimConfig cfg;
   cfg.protocol = ProtocolConfig::fast();
