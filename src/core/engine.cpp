@@ -151,6 +151,11 @@ void ReplicaEngine::on_session_timer(SimTime now, std::vector<Outbound>& out) {
   maybe_auto_truncate();
   const NodeId peer = policy_->choose(table_, now, rng_);
   if (peer == kInvalidNode) return;
+  start_session_with(peer, now, out);
+}
+
+void ReplicaEngine::start_session_with(NodeId peer, SimTime now,
+                                       std::vector<Outbound>& out) {
   const std::uint64_t session_id =
       (static_cast<std::uint64_t>(self_) << 32) | ++next_session_;
   sessions_.emplace_back(session_id,
@@ -382,6 +387,48 @@ void ReplicaEngine::on_advert_timer(SimTime now, std::vector<Outbound>& out) {
 void ReplicaEngine::on_demand_advert(NodeId from, const DemandAdvert& m,
                                      SimTime now, std::vector<Outbound>&) {
   table_.update(from, m.demand, now);
+}
+
+// --------------------------------------------------------------------------
+// Durability hooks
+
+EngineSnapshot ReplicaEngine::snapshot() const {
+  EngineSnapshot s;
+  s.self = self_;
+  s.write_seq = next_seq_;
+  s.next_session = next_session_;
+  s.next_offer = next_offer_;
+  s.own_demand = own_demand_;
+  s.summary = log_.summary();
+  s.updates = log_.all_retained();
+  s.neighbour_demand.reserve(table_.entries().size());
+  for (const DemandEntry& entry : table_.entries()) {
+    s.neighbour_demand.emplace_back(entry.peer, entry.demand);
+  }
+  return s;
+}
+
+void ReplicaEngine::restore(EngineSnapshot snapshot, SimTime now) {
+  FASTCONS_EXPECTS(snapshot.self == self_);
+  // The write counter must resume past every sequence number this origin
+  // ever issued: the checkpointed counter covers checkpointed (and
+  // truncated) writes, and self-origin updates in the image cover the WAL
+  // suffix appended after the checkpoint.
+  SeqNo next_seq = snapshot.write_seq;
+  for (const Update& u : snapshot.updates) {
+    if (u.id.origin == self_ && u.id.seq > next_seq) next_seq = u.id.seq;
+  }
+  log_.restore(std::move(snapshot.updates), snapshot.summary);
+  next_seq_ = next_seq;
+  next_session_ = snapshot.next_session;
+  next_offer_ = snapshot.next_offer;
+  own_demand_ = snapshot.own_demand;
+  // Demand figures are stale by exactly the downtime; restoring them stamped
+  // `now` keeps the neighbours usable for demand-ordered catch-up until the
+  // first fresh adverts overwrite them.
+  for (const auto& [peer, demand] : snapshot.neighbour_demand) {
+    table_.update(peer, demand, now);
+  }
 }
 
 // --------------------------------------------------------------------------

@@ -43,6 +43,27 @@ struct EngineHooks {
   std::function<void(NodeId peer, SimTime)> on_session_complete;
 };
 
+/// A serialisable image of one replica's durable state: everything a
+/// restarted node needs to resume as *the same replica*. In-flight sessions
+/// and offers are deliberately excluded (peers time them out and retry), as
+/// is peer knowledge (conservatively forgotten; the next summary exchange
+/// rebuilds it — forgetting can only cause redundant sends, never loss).
+/// next_session/next_offer persist so a reborn node never reuses an id a
+/// pre-crash in-flight exchange may still be circulating under.
+struct EngineSnapshot {
+  NodeId self = kInvalidNode;
+  SeqNo write_seq = 0;
+  std::uint64_t next_session = 0;
+  std::uint64_t next_offer = 0;
+  double own_demand = 0.0;
+  SummaryVector summary;        ///< everything ever applied (incl. truncated)
+  std::vector<Update> updates;  ///< retained payloads, (origin, seq) order
+  /// Last advertised demand per neighbour, registration order. Restored as
+  /// a priming hint so post-recovery catch-up can walk neighbours
+  /// demand-hot-first before fresh adverts arrive.
+  std::vector<std::pair<NodeId, double>> neighbour_demand;
+};
+
 /// Protocol statistics one engine accumulates over its lifetime.
 struct EngineStats {
   std::uint64_t sessions_initiated = 0;  ///< anti-entropy sessions we started
@@ -103,6 +124,12 @@ class ReplicaEngine {
   /// The per-replica anti-entropy timer fired: start one session.
   std::vector<Outbound> on_session_timer(SimTime now);
   void on_session_timer(SimTime now, std::vector<Outbound>& out);
+
+  /// Starts an anti-entropy session with a specific peer, bypassing the
+  /// partner policy — the recovery path uses this to drain catch-up sessions
+  /// in demand order. The caller is responsible for picking an alive peer;
+  /// a dead one simply times out like any other expired session.
+  void start_session_with(NodeId peer, SimTime now, std::vector<Outbound>& out);
 
   /// The advert timer fired: broadcast DemandAdvert to all neighbours.
   std::vector<Outbound> on_advert_timer(SimTime now);
@@ -178,6 +205,20 @@ class ReplicaEngine {
   /// origin reissuing seq numbers would forge ids that collide with its own
   /// pre-crash writes still circulating at peers.
   void restore_write_seq(SeqNo next) noexcept { next_seq_ = next; }
+
+  // --- durability hooks -------------------------------------------------
+
+  /// Captures the durable state image (see EngineSnapshot for what is and
+  /// is not included). Pure read; the engine is unchanged.
+  EngineSnapshot snapshot() const;
+
+  /// Restores a snapshot into a freshly constructed/reset engine for the
+  /// same node id. Updates are re-applied idempotently (the WAL suffix may
+  /// overlap the checkpoint), the summary is merged on top so coverage of
+  /// truncated payloads survives, and the write counter resumes past both
+  /// the snapshot's counter and any replayed self-origin write. Hooks do NOT
+  /// fire for restored updates — they were delivered before the crash.
+  void restore(EngineSnapshot snapshot, SimTime now);
 
   /// Sessions this engine initiated that have not completed or expired.
   std::size_t inflight_sessions() const noexcept { return sessions_.size(); }

@@ -1,0 +1,143 @@
+#include "durability/checkpoint.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "durability/crc32.hpp"
+#include "replication/codec.hpp"
+
+namespace fastcons {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x314B4346;  // "FCK1"
+constexpr std::uint32_t kVersion = 1;
+
+[[noreturn]] void throw_errno(const char* what, const std::string& path) {
+  throw TransportError(std::string(what) + " " + path + ": " +
+                       std::strerror(errno));
+}
+
+/// Directory part of `path` ("" when none). Avoids std::filesystem so the
+/// checkpoint writer has no dependency beyond POSIX.
+std::string dir_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+void fsync_path(const std::string& path, int open_flags) {
+  const int fd = ::open(path.c_str(), open_flags | O_CLOEXEC);
+  if (fd < 0) throw_errno("open for fsync", path);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) throw_errno("fsync", path);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_checkpoint(const EngineSnapshot& snapshot) {
+  std::vector<std::uint8_t> out;
+  codec::put_u32(out, kMagic);
+  codec::put_u32(out, kVersion);
+  codec::put_u32(out, snapshot.self);
+  codec::put_u64(out, snapshot.write_seq);
+  codec::put_u64(out, snapshot.next_session);
+  codec::put_u64(out, snapshot.next_offer);
+  codec::put_f64(out, snapshot.own_demand);
+  codec::put_summary(out, snapshot.summary);
+  codec::put_updates(out, snapshot.updates);
+  codec::put_u32(out, static_cast<std::uint32_t>(snapshot.neighbour_demand.size()));
+  for (const auto& [peer, demand] : snapshot.neighbour_demand) {
+    codec::put_u32(out, peer);
+    codec::put_f64(out, demand);
+  }
+  codec::put_u32(out, crc32(out));
+  return out;
+}
+
+std::optional<EngineSnapshot> decode_checkpoint(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 4) return std::nullopt;
+  const std::span<const std::uint8_t> body = bytes.first(bytes.size() - 4);
+  codec::Reader crc_reader(bytes.subspan(bytes.size() - 4));
+  if (crc32(body) != crc_reader.u32()) return std::nullopt;
+  try {
+    codec::Reader r(body);
+    if (r.u32() != kMagic) return std::nullopt;
+    if (r.u32() != kVersion) return std::nullopt;
+    EngineSnapshot s;
+    s.self = r.u32();
+    s.write_seq = r.u64();
+    s.next_session = r.u64();
+    s.next_offer = r.u64();
+    s.own_demand = r.f64();
+    s.summary = codec::read_summary(r);
+    s.updates = codec::read_updates(r);
+    const std::uint32_t neighbours = r.count(4 + 8);
+    s.neighbour_demand.reserve(neighbours);
+    for (std::uint32_t i = 0; i < neighbours; ++i) {
+      const NodeId peer = r.u32();
+      const double demand = r.f64();
+      s.neighbour_demand.emplace_back(peer, demand);
+    }
+    if (!r.exhausted()) return std::nullopt;
+    return s;
+  } catch (const CodecError&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<EngineSnapshot> load_checkpoint(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return std::nullopt;  // missing counts as "no checkpoint"
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return std::nullopt;
+    }
+    if (n == 0) break;
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  ::close(fd);
+  return decode_checkpoint(bytes);
+}
+
+void write_checkpoint_atomic(const std::string& path,
+                             const EngineSnapshot& snapshot) {
+  const std::vector<std::uint8_t> bytes = encode_checkpoint(snapshot);
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) throw_errno("open checkpoint tmp", tmp);
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + done, bytes.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      throw_errno("write checkpoint", tmp);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    throw_errno("fsync checkpoint", tmp);
+  }
+  ::close(fd);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    throw_errno("rename checkpoint", path);
+  // The rename itself must survive a crash: sync the containing directory.
+  fsync_path(dir_of(path), O_RDONLY | O_DIRECTORY);
+}
+
+}  // namespace fastcons

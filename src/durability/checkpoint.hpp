@@ -1,0 +1,54 @@
+// Checkpoint file: one atomic snapshot of a replica's durable state.
+//
+// File layout (little-endian, built on replication/codec):
+//   u32  magic "FCK1" (0x314B4346)
+//   u32  version (1)
+//   u32  self NodeId
+//   u64  write_seq
+//   u64  next_session
+//   u64  next_offer
+//   f64  own_demand
+//   ...  summary (codec::put_summary)
+//   ...  updates (codec::put_updates)
+//   u32  neighbour count, then per neighbour: u32 peer | f64 demand
+//   u32  crc32 of everything above
+//
+// Atomicity comes from the writer, not the format: the snapshot is written
+// to `<path>.tmp`, fsynced, then renamed over `<path>` (and the directory
+// fsynced), so a crash leaves either the old checkpoint or the new one,
+// never a blend. The trailing CRC catches the remaining failure mode — a
+// torn tmp file renamed by a buggy filesystem or truncated by disk death —
+// by making load_checkpoint() reject it instead of restoring garbage.
+#ifndef FASTCONS_DURABILITY_CHECKPOINT_HPP
+#define FASTCONS_DURABILITY_CHECKPOINT_HPP
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+
+namespace fastcons {
+
+/// Serialises a snapshot (full file image, CRC included).
+std::vector<std::uint8_t> encode_checkpoint(const EngineSnapshot& snapshot);
+
+/// Decodes a checkpoint image. Returns nullopt — never throws — on any
+/// corruption: bad magic, unsupported version, CRC mismatch, short file.
+std::optional<EngineSnapshot> decode_checkpoint(
+    std::span<const std::uint8_t> bytes);
+
+/// Loads the checkpoint at `path`; nullopt when missing or corrupt (both
+/// mean the same thing to recovery: start from an empty image).
+std::optional<EngineSnapshot> load_checkpoint(const std::string& path);
+
+/// Writes `snapshot` to `path` via temp-file + fsync + rename + dir-fsync.
+/// Throws TransportError on I/O failure.
+void write_checkpoint_atomic(const std::string& path,
+                             const EngineSnapshot& snapshot);
+
+}  // namespace fastcons
+
+#endif  // FASTCONS_DURABILITY_CHECKPOINT_HPP

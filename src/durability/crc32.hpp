@@ -1,0 +1,20 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for WAL record and
+// checkpoint integrity. Detection only — a mismatch means "stop trusting
+// these bytes", never "try to repair them".
+#ifndef FASTCONS_DURABILITY_CRC32_HPP
+#define FASTCONS_DURABILITY_CRC32_HPP
+
+#include <cstdint>
+#include <span>
+
+namespace fastcons {
+
+/// CRC of `data` continuing from `seed` (pass the previous return value to
+/// checksum discontiguous regions as one stream). The default seed yields
+/// the standard one-shot CRC-32.
+std::uint32_t crc32(std::span<const std::uint8_t> data,
+                    std::uint32_t seed = 0) noexcept;
+
+}  // namespace fastcons
+
+#endif  // FASTCONS_DURABILITY_CRC32_HPP

@@ -1,0 +1,105 @@
+#include "durability/store.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/assert.hpp"
+#include "common/error.hpp"
+#include "durability/checkpoint.hpp"
+
+namespace fastcons {
+namespace {
+
+void make_dirs(const std::string& dir) {
+  // mkdir -p without std::filesystem: create each prefix, tolerating
+  // already-exists at every step.
+  std::string prefix;
+  prefix.reserve(dir.size());
+  for (std::size_t i = 0; i <= dir.size(); ++i) {
+    if (i < dir.size() && dir[i] != '/') {
+      prefix.push_back(dir[i]);
+      continue;
+    }
+    if (i < dir.size()) prefix.push_back('/');
+    if (prefix.empty() || prefix == "/") continue;
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      throw TransportError("mkdir " + prefix + ": " + std::strerror(errno));
+    }
+  }
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::vector<std::uint8_t> bytes;
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return bytes;  // missing file == empty log
+  std::uint8_t buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      throw TransportError("read " + path + ": " + std::strerror(errno));
+    }
+    if (n == 0) break;
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  ::close(fd);
+  return bytes;
+}
+
+}  // namespace
+
+DurableStore::DurableStore(DurabilityConfig config)
+    : config_(std::move(config)) {
+  FASTCONS_EXPECTS(config_.enabled());
+  make_dirs(config_.dir);
+  wal_ = std::make_unique<WalWriter>(wal_path());
+}
+
+EngineSnapshot DurableStore::recover(NodeId self, RecoveryStats& stats) {
+  stats = RecoveryStats{};
+  EngineSnapshot snapshot;
+  snapshot.self = self;
+  if (std::optional<EngineSnapshot> cp = load_checkpoint(checkpoint_path());
+      cp.has_value() && cp->self == self) {
+    stats.had_checkpoint = true;
+    stats.checkpoint_updates = cp->updates.size();
+    snapshot = std::move(*cp);
+  }
+  const std::vector<std::uint8_t> image = read_file(wal_path());
+  WalScanResult scan = scan_wal(image);
+  stats.wal_records = scan.records;
+  stats.wal_bytes = scan.valid_bytes;
+  stats.wal_torn_tail = scan.torn_tail;
+  if (scan.torn_tail) {
+    // Drop the corrupt tail on disk too, so the next append extends the
+    // valid prefix instead of landing after garbage a future replay would
+    // stop at (orphaning everything written from now on).
+    wal_->truncate(scan.valid_bytes);
+  }
+  records_since_checkpoint_ = scan.records;
+  snapshot.updates.reserve(snapshot.updates.size() + scan.updates.size());
+  for (Update& u : scan.updates) snapshot.updates.push_back(std::move(u));
+  return snapshot;
+}
+
+void DurableStore::append(const std::vector<Update>& updates) {
+  if (updates.empty()) return;
+  scratch_.clear();
+  for (const Update& u : updates) encode_wal_record(scratch_, u);
+  wal_->append(scratch_);
+  if (config_.fsync == FsyncPolicy::always) wal_->sync();
+  records_since_checkpoint_ += updates.size();
+}
+
+void DurableStore::write_checkpoint(const EngineSnapshot& snapshot) {
+  write_checkpoint_atomic(checkpoint_path(), snapshot);
+  wal_->truncate(0);
+  records_since_checkpoint_ = 0;
+}
+
+}  // namespace fastcons

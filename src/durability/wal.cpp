@@ -1,0 +1,120 @@
+#include "durability/wal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "durability/crc32.hpp"
+#include "replication/codec.hpp"
+
+namespace fastcons {
+namespace {
+
+std::uint32_t read_u32_le(const std::uint8_t* p) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+[[noreturn]] void throw_errno(const char* what, const std::string& path) {
+  throw TransportError(std::string(what) + " " + path + ": " +
+                       std::strerror(errno));
+}
+
+}  // namespace
+
+void encode_wal_record(std::vector<std::uint8_t>& out, const Update& update) {
+  const std::size_t header_at = out.size();
+  codec::put_u32(out, 0);  // payload length placeholder
+  codec::put_u32(out, 0);  // crc placeholder
+  const std::size_t payload_at = out.size();
+  codec::put_u8(out, kWalRecordUpdate);
+  codec::put_update(out, update);
+  const auto payload_len = static_cast<std::uint32_t>(out.size() - payload_at);
+  const std::uint32_t crc =
+      crc32(std::span(out.data() + payload_at, payload_len));
+  for (int i = 0; i < 4; ++i) {
+    out[header_at + i] = static_cast<std::uint8_t>(payload_len >> (8 * i));
+    out[header_at + 4 + i] = static_cast<std::uint8_t>(crc >> (8 * i));
+  }
+}
+
+WalScanResult scan_wal(std::span<const std::uint8_t> bytes) {
+  WalScanResult result;
+  std::size_t pos = 0;
+  while (pos + kWalHeaderBytes <= bytes.size()) {
+    const std::uint32_t payload_len = read_u32_le(bytes.data() + pos);
+    const std::uint32_t stored_crc = read_u32_le(bytes.data() + pos + 4);
+    if (payload_len == 0 || payload_len > kWalMaxPayload) break;
+    if (pos + kWalHeaderBytes + payload_len > bytes.size()) break;  // torn
+    const std::span<const std::uint8_t> payload(
+        bytes.data() + pos + kWalHeaderBytes, payload_len);
+    if (crc32(payload) != stored_crc) break;
+    // CRC holds: the record was fully written. Decode failures past this
+    // point mean an unknown-but-valid record (skip) — the update body codec
+    // itself cannot fail on bytes the CRC vouches for unless a newer writer
+    // extended the format, which the type byte namespaces.
+    codec::Reader r(payload);
+    const std::uint8_t type = r.u8();
+    if (type == kWalRecordUpdate) {
+      try {
+        Update u = codec::read_update(r);
+        if (!r.exhausted()) break;  // valid CRC but wrong shape: corruption
+        result.updates.push_back(std::move(u));
+      } catch (const CodecError&) {
+        break;
+      }
+    }
+    ++result.records;
+    pos += kWalHeaderBytes + payload_len;
+    result.valid_bytes = pos;
+  }
+  result.torn_tail = result.valid_bytes != bytes.size();
+  return result;
+}
+
+WalWriter::WalWriter(const std::string& path) {
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd_ < 0) throw_errno("open WAL", path);
+  const off_t end = ::lseek(fd_, 0, SEEK_END);
+  if (end < 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw_errno("seek WAL", path);
+  }
+  size_ = static_cast<std::uint64_t>(end);
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void WalWriter::append(std::span<const std::uint8_t> bytes) {
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t n = ::write(fd_, bytes.data() + done, bytes.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("write WAL", "");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  size_ += bytes.size();
+}
+
+void WalWriter::sync() {
+  if (::fdatasync(fd_) != 0) throw_errno("fdatasync WAL", "");
+}
+
+void WalWriter::truncate(std::uint64_t size) {
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0)
+    throw_errno("ftruncate WAL", "");
+  if (::lseek(fd_, 0, SEEK_END) < 0) throw_errno("seek WAL", "");
+  size_ = size;
+  sync();
+}
+
+}  // namespace fastcons

@@ -1,0 +1,89 @@
+// Append-only write-ahead log.
+//
+// Record layout (all integers little-endian, matching replication/codec):
+//   u32  payload_length
+//   u32  crc32(payload)
+//   ...  payload
+// Payload layout:
+//   u8   record type (kWalRecordUpdate)
+//   ...  body (for updates: the replication/codec Update encoding — the
+//        exact bytes a SessionPush would carry on the wire)
+//
+// Replay is torn-tail tolerant: a crash mid-append leaves a truncated or
+// CRC-broken final record, and scan_wal() stops at the last fully valid
+// record instead of failing. Anything *before* the torn tail is trusted
+// (CRC-verified); anything at or after it is discarded, and recovery
+// truncates the file back to the valid prefix so future appends never land
+// after a corrupt region.
+#ifndef FASTCONS_DURABILITY_WAL_HPP
+#define FASTCONS_DURABILITY_WAL_HPP
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "replication/update.hpp"
+
+namespace fastcons {
+
+/// WAL record types. Append only, never renumber (the log is on-disk ABI).
+inline constexpr std::uint8_t kWalRecordUpdate = 1;
+
+/// Upper bound on one record's payload. Same 16 MiB bound as the wire codec:
+/// larger announced lengths mean corruption, not a real record.
+inline constexpr std::uint32_t kWalMaxPayload = 16u << 20;
+
+/// Bytes of framing per record (length + crc).
+inline constexpr std::size_t kWalHeaderBytes = 8;
+
+/// Appends one framed update record to `out`.
+void encode_wal_record(std::vector<std::uint8_t>& out, const Update& update);
+
+/// Result of replaying a WAL byte image.
+struct WalScanResult {
+  std::vector<Update> updates;   ///< decoded update records, log order
+  std::size_t records = 0;       ///< valid records seen (incl. skipped types)
+  std::size_t valid_bytes = 0;   ///< prefix length covered by valid records
+  bool torn_tail = false;        ///< trailing bytes were truncated/corrupt
+};
+
+/// Scans a WAL image, decoding every valid record and stopping at the first
+/// torn or corrupt one. Never throws: arbitrary bytes are a valid (possibly
+/// empty, possibly torn) log. CRC-valid records of unknown type are skipped,
+/// so older binaries replay logs written by newer ones.
+WalScanResult scan_wal(std::span<const std::uint8_t> bytes);
+
+/// Appending writer over a POSIX fd. Open/write/fsync failures throw
+/// TransportError (durability is only as good as the syscalls beneath it,
+/// so errors surface instead of being swallowed).
+class WalWriter {
+ public:
+  /// Opens (creating if needed) `path` for appending.
+  explicit WalWriter(const std::string& path);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends raw bytes (already-framed records).
+  void append(std::span<const std::uint8_t> bytes);
+
+  /// fdatasync the log.
+  void sync();
+
+  /// Truncates the log to `size` bytes (0 after a checkpoint; the valid
+  /// prefix after a torn-tail recovery) and syncs.
+  void truncate(std::uint64_t size);
+
+  /// Current size in bytes.
+  std::uint64_t size() const noexcept { return size_; }
+
+ private:
+  int fd_ = -1;
+  std::uint64_t size_ = 0;
+};
+
+}  // namespace fastcons
+
+#endif  // FASTCONS_DURABILITY_WAL_HPP

@@ -46,6 +46,13 @@ void register_fault_scenarios(ScenarioRegistry& registry);
 /// are wall-clock measurements, not deterministic functions of the seed.
 void register_live_scenarios(ScenarioRegistry& registry);
 
+/// Durable crash-recovery benchmark ("recovery"): a demand-asymmetric line
+/// cluster whose middle node is killed and restarted in recover mode,
+/// measuring local WAL/checkpoint replay time against log size and
+/// demand-ordered catch-up time against the downtime write rate. Registered
+/// only in live_registry(): wall-clock and disk measurements.
+void register_recovery_scenarios(ScenarioRegistry& registry);
+
 /// Maps an "algo" tag ("weak", "demand-order", "fast") to the protocol
 /// preset with adverts disabled — the static-demand experiment setup every
 /// figure uses. Throws ConfigError on unknown names.

@@ -158,10 +158,4 @@ void register_live_scenarios(ScenarioRegistry& registry) {
   registry.add(std::move(spec));
 }
 
-ScenarioRegistry live_registry() {
-  ScenarioRegistry registry;
-  register_live_scenarios(registry);
-  return registry;
-}
-
 }  // namespace fastcons::harness

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <deque>
 #include <thread>
 
@@ -31,6 +32,12 @@ LocalCluster::LocalCluster(const Graph& topology, ClusterConfig config)
     sc.bind_address = config.bind_address;
     sc.demand = config.demands.empty() ? 0.0 : config.demands[n];
     sc.seed = rng.next_u64();
+    if (!config.durability_dir.empty()) {
+      sc.durability.dir =
+          config.durability_dir + "/node-" + std::to_string(n);
+      sc.durability.fsync = config.fsync;
+      sc.durability.checkpoint_every = config.checkpoint_every;
+    }
     if (config.outbound_fault) {
       sc.outbound_fault = [fault = config.outbound_fault, n](NodeId to) {
         return fault(n, to);
@@ -85,8 +92,16 @@ void LocalCluster::kill(NodeId n) {
   servers_[n].reset();
 }
 
-void LocalCluster::restart(NodeId n) {
+void LocalCluster::restart(NodeId n, RestartMode mode) {
   FASTCONS_EXPECTS(n < servers_.size() && servers_[n] == nullptr);
+  const std::string& dir = configs_[n].durability.dir;
+  if (mode == RestartMode::wipe && !dir.empty()) {
+    // A wipe restart models losing the disk along with the process: the
+    // reborn node must not find its old checkpoint or WAL.
+    ::remove((dir + "/wal.log").c_str());
+    ::remove((dir + "/checkpoint.bin").c_str());
+    ::remove((dir + "/checkpoint.bin.tmp").c_str());
+  }
   servers_[n] = std::make_unique<ReplicaServer>(configs_[n]);
   servers_[n]->set_peers(peer_tables_[n]);
   if (started_) servers_[n]->start();

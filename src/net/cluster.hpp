@@ -30,6 +30,25 @@ struct ClusterConfig {
   /// outbound frame `from` -> `to` (the live mirror of FaultPlan link
   /// loss). Runs on server loop threads; must be thread-safe.
   std::function<bool(NodeId from, NodeId to)> outbound_fault;
+
+  /// Durable mode for every node: when non-empty, node n persists under
+  /// `<durability_dir>/node-<n>` and restart(n, RestartMode::recover)
+  /// reloads checkpoint + WAL instead of starting empty. Empty (default)
+  /// keeps the cluster fully in-memory.
+  std::string durability_dir;
+  FsyncPolicy fsync = FsyncPolicy::none;
+  std::uint64_t checkpoint_every = 4096;
+};
+
+/// What restart(n) does with the killed node's on-disk state.
+enum class RestartMode : std::uint8_t {
+  /// Reload checkpoint + WAL (a no-op recovery when the cluster is not
+  /// durable — the node comes back empty, as before).
+  recover,
+  /// Delete the node's durable directory first: the reborn node has
+  /// nothing and must full-resync. This is the pre-durability behaviour,
+  /// kept for wipe-recovery experiments and as the recover-mode control.
+  wipe,
 };
 
 /// What one run_load() call observed.
@@ -78,11 +97,13 @@ class LocalCluster {
   void kill(NodeId n);
 
   /// Rebuilds server `n` from its original config on its original port
-  /// (SO_REUSEADDR makes the rebind immediate) with an empty engine, and
-  /// starts it if the cluster is running — anti-entropy then repopulates it
-  /// from its peers. No-op fodder for double restarts is not supported:
-  /// the node must currently be killed.
-  void restart(NodeId n);
+  /// (SO_REUSEADDR makes the rebind immediate) and starts it if the
+  /// cluster is running. In a durable cluster the default mode recovers
+  /// the node's pre-kill state from its checkpoint + WAL and catches up
+  /// the rest via demand-ordered anti-entropy; RestartMode::wipe (or a
+  /// non-durable cluster) brings it back empty for peers to repopulate.
+  /// The node must currently be killed.
+  void restart(NodeId n, RestartMode mode = RestartMode::recover);
 
   /// True while server `n` exists (not killed).
   bool alive(NodeId n) const;

@@ -148,6 +148,27 @@ std::optional<std::string> parse_daemon_args(
       const auto s = parse_double(*v);
       if (!s || *s <= 0.0) return "bad --load-seconds (want > 0): " + *v;
       out.load_seconds = *s;
+    } else if (arg == "--data-dir") {
+      const auto v = value();
+      if (!v) return missing();
+      if (v->empty()) return "bad --data-dir (empty path)";
+      out.server.durability.dir = *v;
+    } else if (arg == "--fsync") {
+      const auto v = value();
+      if (!v) return missing();
+      if (*v == "none") {
+        out.server.durability.fsync = FsyncPolicy::none;
+      } else if (*v == "always") {
+        out.server.durability.fsync = FsyncPolicy::always;
+      } else {
+        return "bad --fsync (want none|always): " + *v;
+      }
+    } else if (arg == "--checkpoint-every") {
+      const auto v = value();
+      if (!v) return missing();
+      const auto n = parse_u64(*v, std::uint64_t{1} << 32);
+      if (!n) return "bad --checkpoint-every (want a record count): " + *v;
+      out.server.durability.checkpoint_every = *n;
     } else if (arg == "--verbose") {
       out.verbose = true;
     } else {

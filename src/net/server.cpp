@@ -51,6 +51,9 @@ void ReplicaServer::start() {
       peer_stats_[peer.id] = stats;
     }
   }
+  if (config_.durability.enabled() && store_ == nullptr) {
+    store_ = std::make_unique<DurableStore>(config_.durability);
+  }
   {
     const MutexLock lock(engine_mutex_);
     engine_ = std::make_unique<ReplicaEngine>(config_.self,
@@ -58,6 +61,54 @@ void ReplicaServer::start() {
                                               config_.protocol,
                                               timer_rng_.next_u64());
     engine_->set_own_demand(config_.demand);
+    recovery_ = RecoveryInfo{};
+    catchup_queue_.clear();
+    catchup_pending_ = false;
+    if (store_ != nullptr) {
+      recovery_.attempted = true;
+      const auto t0 = std::chrono::steady_clock::now();
+      RecoveryStats rs;
+      EngineSnapshot snapshot = store_->recover(config_.self, rs);
+      recovery_.had_checkpoint = rs.had_checkpoint;
+      recovery_.wal_torn_tail = rs.wal_torn_tail;
+      recovery_.checkpoint_updates = rs.checkpoint_updates;
+      recovery_.wal_records = rs.wal_records;
+      recovery_.wal_bytes = rs.wal_bytes;
+      if (rs.recovered_anything()) {
+        recovery_.recovered_from_disk = true;
+        engine_->restore(std::move(snapshot), 0.0);
+        // The configured demand wins over the (stale) checkpointed one.
+        engine_->set_own_demand(config_.demand);
+        recovery_.restored_updates = engine_->summary().total();
+        // Catch up what we missed while down, hottest neighbour first —
+        // the paper's demand ordering applied to the recovery path. The
+        // queue drains one session at a time (see run_engine_turn).
+        catchup_queue_ = engine_->demand_table().by_demand_desc(0.0);
+        recovery_.catchup_peers = catchup_queue_.size();
+        if (catchup_queue_.empty() && !config_.peers.empty()) {
+          // WAL-only recovery: the checkpoint (and with it the remembered
+          // neighbour demands) is missing, so a demand order cannot be
+          // computed yet. Defer seeding until the first advert round has
+          // filled the table (run_engine_turn), bounded by a deadline so a
+          // neighbour that is itself down cannot stall catch-up forever.
+          catchup_pending_ = true;
+          const double period = config_.protocol.advert_period > 0.0
+                                    ? config_.protocol.advert_period
+                                    : config_.protocol.session_period;
+          catchup_seed_deadline_ = 4.0 * period;
+        }
+      }
+      recovery_.load_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+      // Every update applied from here on is logged before the next loop
+      // turn's socket I/O. Restored updates were not re-logged: they are
+      // already on disk.
+      EngineHooks hooks;
+      hooks.on_delivery = [this](const Update& update, DeliveryPath,
+                                 SimTime) { wal_buffer_.pending.push_back(update); };
+      engine_->set_hooks(std::move(hooks));
+    }
     epoch_ = std::chrono::steady_clock::now();
     next_session_units_ =
         timer_rng_.exponential(config_.protocol.session_period);
@@ -135,6 +186,24 @@ TrafficCounters ReplicaServer::traffic() const {
   return engine_->counters();
 }
 
+std::size_t ReplicaServer::catchup_remaining() const {
+  const MutexLock lock(engine_mutex_);
+  std::size_t remaining = catchup_queue_.size();
+  // Before deferred seeding resolves, every configured peer still counts as
+  // unqueued catch-up work; and a session still in flight counts too —
+  // catch-up is done when the queue is empty AND nothing we initiated is
+  // pending.
+  if (catchup_pending_) remaining += config_.peers.size();
+  if (engine_ != nullptr) remaining += engine_->inflight_sessions();
+  return remaining;
+}
+
+std::uint64_t ReplicaServer::kv_digest() const {
+  const MutexLock lock(engine_mutex_);
+  if (engine_ == nullptr) return 0;
+  return engine_->log().kv_digest();
+}
+
 NetStats ReplicaServer::net_stats() const {
   const MutexLock lock(net_mutex_);
   NetStats out = inbound_stats_;
@@ -179,6 +248,39 @@ double ReplicaServer::run_engine_turn(std::vector<Outbound>& outs) {
     next_advert_units_ = now + proto.advert_period;
   }
   engine_->expire_inflight(now);
+
+  // Deferred catch-up seeding (WAL-only recovery, see start()): hold out
+  // for an advert from every configured peer so the order reflects their
+  // real demands, but never past the deadline.
+  if (catchup_pending_) {
+    std::vector<NodeId> known = engine_->demand_table().by_demand_desc(now);
+    if (known.size() >= config_.peers.size()) {
+      catchup_queue_ = std::move(known);
+      catchup_pending_ = false;
+    } else if (now >= catchup_seed_deadline_) {
+      // Deadline: go with what we have — demand-known peers first, the
+      // still-silent rest (possibly down themselves) in configured order.
+      catchup_queue_ = std::move(known);
+      for (const PeerAddress& peer : config_.peers) {
+        if (std::find(catchup_queue_.begin(), catchup_queue_.end(),
+                      peer.id) == catchup_queue_.end()) {
+          catchup_queue_.push_back(peer.id);
+        }
+      }
+      catchup_pending_ = false;
+    }
+  }
+
+  // Post-recovery catch-up: one demand-ordered session at a time, advancing
+  // when the previous one completed or expired. Sequencing (instead of
+  // blasting every neighbour at once) keeps the recovered node from
+  // self-inflicting a thundering herd, and the demand order means the keys
+  // hot-side clients are asking for come back first.
+  if (!catchup_queue_.empty() && engine_->inflight_sessions() == 0) {
+    const NodeId peer = catchup_queue_.front();
+    catchup_queue_.erase(catchup_queue_.begin());
+    engine_->start_session_with(peer, now, outs);
+  }
 
   double next_deadline = next_session_units_;
   if (next_advert_units_ >= 0.0) {
@@ -402,6 +504,18 @@ void ReplicaServer::poll_once(int timeout_ms) {
     }
   }
 
+  // A frame from a peer proves it is back up: cancel any reconnect backoff
+  // on our outbound link to it, so replies are not dropped while a stale
+  // backoff window (accumulated during the peer's downtime) runs out.
+  // Without this, a recovered node's catch-up requests arrive instantly but
+  // every response waits for the responder's backoff to expire.
+  for (const WireFrame& frame : frames) {
+    const auto it = peer_links_.find(frame.sender);
+    if (it == peer_links_.end() || it->second.connection.valid()) continue;
+    it->second.backoff_seconds = config_.reconnect_backoff_min;
+    it->second.next_attempt = std::chrono::steady_clock::now();
+  }
+
   // Decoded frames -> engine, in one lock scope; the replies go out after
   // the lock is released.
   if (!frames.empty()) {
@@ -417,11 +531,37 @@ void ReplicaServer::poll_once(int timeout_ms) {
   }
 }
 
+void ReplicaServer::flush_durability() {
+  if (store_ == nullptr) return;
+  wal_batch_.clear();
+  {
+    const MutexLock lock(engine_mutex_);
+    wal_batch_.swap(wal_buffer_.pending);
+  }
+  // Group commit: everything the last turn applied goes down in one write
+  // (and at most one fsync). A crash inside this window loses only updates
+  // peers still hold — the catch-up sessions re-fetch them.
+  store_->append(wal_batch_);
+  if (store_->checkpoint_due()) {
+    EngineSnapshot snapshot;
+    {
+      const MutexLock lock(engine_mutex_);
+      snapshot = engine_->snapshot();
+    }
+    store_->write_checkpoint(snapshot);
+  }
+}
+
 void ReplicaServer::loop() {
   std::vector<Outbound> outs;
   while (!stop_requested_.load()) {
-    // Engine work under the lock (no I/O), then socket I/O unlocked.
+    // Engine work under the lock (no I/O), then disk and socket I/O
+    // unlocked. Updates applied by poll_once's frame dispatch are logged
+    // here, at most one turn after their replies went out — a bounded
+    // group-commit window whose loss a crash recovery re-fetches from the
+    // peers that sent them.
     const double next_deadline = run_engine_turn(outs);
+    flush_durability();
     transmit(outs);
 
     const double wait_units = std::max(0.0, next_deadline - now_units());
@@ -429,6 +569,9 @@ void ReplicaServer::loop() {
         std::ceil(wait_units * config_.seconds_per_unit * 1000.0));
     poll_once(std::min(timeout_ms, 50));
   }
+  // Graceful shutdown: persist the tail so a stop/start cycle (as opposed
+  // to a crash) recovers byte-exactly.
+  flush_durability();
 }
 
 }  // namespace fastcons

@@ -39,6 +39,7 @@
 #include "common/rng.hpp"
 #include "common/thread_annotations.hpp"
 #include "core/engine.hpp"
+#include "durability/store.hpp"
 #include "net/socket.hpp"
 #include "net/wire.hpp"
 
@@ -128,6 +129,34 @@ struct ServerConfig {
   std::function<bool(NodeId to)> outbound_fault;
 
   std::uint64_t seed = 1;
+
+  /// Durable mode (off by default: durability.dir empty). When enabled the
+  /// server opens `durability.dir` at start(), recovers checkpoint + WAL
+  /// into the engine before serving, appends every newly applied update to
+  /// the WAL (group-committed once per loop turn, fsynced per
+  /// durability.fsync), and rewrites the checkpoint every
+  /// durability.checkpoint_every records.
+  DurabilityConfig durability;
+};
+
+/// What a durable server found on disk at start(). Immutable once start()
+/// returns (except catchup_remaining, queried separately).
+struct RecoveryInfo {
+  bool attempted = false;            ///< durable mode was on
+  bool recovered_from_disk = false;  ///< checkpoint and/or WAL had state
+  bool had_checkpoint = false;
+  bool wal_torn_tail = false;  ///< corrupt tail discarded (crash mid-append)
+  std::uint64_t checkpoint_updates = 0;  ///< payloads in the checkpoint
+  std::uint64_t wal_records = 0;         ///< WAL records replayed
+  std::uint64_t wal_bytes = 0;           ///< valid WAL prefix bytes
+  std::uint64_t restored_updates = 0;    ///< distinct updates in the engine
+  /// Wall-clock ms to read, verify and apply checkpoint + WAL (local
+  /// recovery only; network catch-up is measured by the caller).
+  double load_ms = 0.0;
+  /// Peers queued for demand-ordered catch-up sessions at start. 0 after a
+  /// WAL-only recovery (no checkpointed neighbour demands): seeding is then
+  /// deferred to the first advert round — see catchup_remaining().
+  std::size_t catchup_peers = 0;
 };
 
 /// A replica server bound to a TCP port.
@@ -169,6 +198,20 @@ class ReplicaServer {
   /// Transport-layer health snapshot (thread-safe).
   NetStats net_stats() const EXCLUDES(net_mutex_);
 
+  /// What recovery found on disk. Filled during start() before the loop
+  /// thread exists, immutable afterwards — safe to read once start()
+  /// returned. Default (attempted=false) when durability is off.
+  const RecoveryInfo& recovery_info() const noexcept { return recovery_; }
+
+  /// Peers still queued for demand-ordered catch-up sessions (0 once the
+  /// recovered node has drained its queue; always 0 for non-durable or
+  /// fresh-start servers).
+  std::size_t catchup_remaining() const EXCLUDES(engine_mutex_);
+
+  /// Order-independent digest of the materialised key-value state — equal
+  /// digests mean equal recovered state (crash-consistency checks).
+  std::uint64_t kv_digest() const EXCLUDES(engine_mutex_);
+
  private:
   /// Loop-thread-only transport state for one outbound link. The
   /// cross-thread view of this link lives in peer_stats_ (guarded by
@@ -209,6 +252,10 @@ class ReplicaServer {
   /// Resolves a connecting link whose socket turned writable.
   void finish_connect(PeerLink& link) EXCLUDES(engine_mutex_, net_mutex_);
   void poll_once(int timeout_ms) EXCLUDES(engine_mutex_, net_mutex_);
+  /// Drains buffered WAL appends to disk and rewrites the checkpoint when
+  /// due. File I/O — runs on the loop thread with no lock held (the engine
+  /// lock is taken only briefly to swap the buffer / copy the snapshot).
+  void flush_durability() EXCLUDES(engine_mutex_);
   /// The guarded stats record for one configured peer (created in start()).
   PeerNetStats& peer_stats_entry(NodeId peer) REQUIRES(net_mutex_);
 
@@ -222,6 +269,32 @@ class ReplicaServer {
   Rng timer_rng_ GUARDED_BY(engine_mutex_);
   double next_session_units_ GUARDED_BY(engine_mutex_) = 0.0;
   double next_advert_units_ GUARDED_BY(engine_mutex_) = 0.0;
+  /// Demand-ordered peers awaiting a catch-up session after recovery; the
+  /// loop starts the next one whenever no initiated session is in flight.
+  std::vector<NodeId> catchup_queue_ GUARDED_BY(engine_mutex_);
+  /// Set after a WAL-only recovery (no checkpoint, so no remembered
+  /// neighbour demands): the queue is seeded on the loop thread once the
+  /// first advert round has filled the demand table, or at the deadline
+  /// below if some neighbours stay silent (they may be down too).
+  bool catchup_pending_ GUARDED_BY(engine_mutex_) = false;
+  double catchup_seed_deadline_ GUARDED_BY(engine_mutex_) = 0.0;
+
+  /// Updates applied since the last WAL flush. Filled by the engine's
+  /// on_delivery hook, which only ever fires inside engine_->... calls made
+  /// under engine_mutex_; kept in an unannotated struct because the hook
+  /// lambda body is analyzed outside any lock scope (same deliberate gap as
+  /// PeerLink). flush_durability() swaps it out under the lock.
+  struct WalBuffer {
+    std::vector<Update> pending;
+  };
+  WalBuffer wal_buffer_;
+
+  // Durable storage: owned by start() (recovery) and then the loop thread
+  // alone (appends/checkpoints). recovery_ is written before the loop
+  // thread starts and immutable after.
+  std::unique_ptr<DurableStore> store_;
+  RecoveryInfo recovery_;
+  std::vector<Update> wal_batch_;  ///< loop-thread scratch for flushes
 
   WakePipe wake_;
   Mutex command_mutex_;

@@ -1,162 +1,26 @@
 #include "net/wire.hpp"
 
-#include <bit>
-#include <cstring>
-
 #include "common/error.hpp"
+#include "replication/codec.hpp"
 
 namespace fastcons {
 namespace {
 
-// --- primitive writers -----------------------------------------------------
-
-void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) { out.push_back(v); }
-
-void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-}
-
-void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-}
-
-void put_f64(std::vector<std::uint8_t>& out, double v) {
-  put_u64(out, std::bit_cast<std::uint64_t>(v));
-}
-
-void put_string(std::vector<std::uint8_t>& out, const std::string& s) {
-  put_u32(out, static_cast<std::uint32_t>(s.size()));
-  out.insert(out.end(), s.begin(), s.end());
-}
-
-// --- primitive readers -----------------------------------------------------
-
-class Reader {
- public:
-  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
-
-  std::uint8_t u8() {
-    need(1);
-    return data_[pos_++];
-  }
-
-  std::uint32_t u32() {
-    need(4);
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
-    return v;
-  }
-
-  std::uint64_t u64() {
-    need(8);
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
-    return v;
-  }
-
-  double f64() { return std::bit_cast<double>(u64()); }
-
-  std::string string() {
-    const std::uint32_t len = u32();
-    need(len);
-    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len);
-    pos_ += len;
-    return s;
-  }
-
-  bool exhausted() const noexcept { return pos_ == data_.size(); }
-
-  std::size_t remaining() const noexcept { return data_.size() - pos_; }
-
-  // Rejects element counts that could not possibly fit in the remaining
-  // bytes, so untrusted counts never reach an allocator.
-  std::uint32_t count(std::size_t min_element_bytes) {
-    const std::uint32_t n = u32();
-    if (n > remaining() / min_element_bytes) throw CodecError("implausible element count");
-    return n;
-  }
-
- private:
-  void need(std::size_t n) const {
-    if (pos_ + n > data_.size()) throw CodecError("truncated frame body");
-  }
-
-  std::span<const std::uint8_t> data_;
-  std::size_t pos_ = 0;
-};
-
-// --- composite writers/readers ----------------------------------------------
-
-void put_summary(std::vector<std::uint8_t>& out, const SummaryVector& sv) {
-  put_u32(out, static_cast<std::uint32_t>(sv.watermarks().size()));
-  for (const auto& [origin, mark] : sv.watermarks()) {
-    put_u32(out, origin);
-    put_u64(out, mark);
-  }
-  // Extras are (origin, seq) sorted; encode each per-origin run as one
-  // group — byte-identical to the former map<origin, set<seq>> layout.
-  const auto& extras = sv.extras();
-  put_u32(out, static_cast<std::uint32_t>(sv.distinct_extra_origins()));
-  for (std::size_t i = 0; i < extras.size();) {
-    const NodeId origin = extras[i].origin;
-    std::size_t end = i;
-    while (end < extras.size() && extras[end].origin == origin) ++end;
-    put_u32(out, origin);
-    put_u32(out, static_cast<std::uint32_t>(end - i));
-    for (; i < end; ++i) put_u64(out, extras[i].seq);
-  }
-}
-
-SummaryVector read_summary(Reader& r) {
-  std::map<NodeId, SeqNo> watermarks;
-  const std::uint32_t n_marks = r.u32();
-  for (std::uint32_t i = 0; i < n_marks; ++i) {
-    const NodeId origin = r.u32();
-    watermarks[origin] = r.u64();
-  }
-  std::map<NodeId, std::set<SeqNo>> extras;
-  const std::uint32_t n_extra_origins = r.u32();
-  for (std::uint32_t i = 0; i < n_extra_origins; ++i) {
-    const NodeId origin = r.u32();
-    const std::uint32_t count = r.u32();
-    auto& set = extras[origin];
-    for (std::uint32_t j = 0; j < count; ++j) set.insert(r.u64());
-  }
-  return SummaryVector::from_parts(std::move(watermarks), std::move(extras));
-}
-
-void put_update(std::vector<std::uint8_t>& out, const Update& u) {
-  put_u32(out, u.id.origin);
-  put_u64(out, u.id.seq);
-  put_f64(out, u.created_at);
-  put_string(out, u.key);
-  put_string(out, u.value);
-}
-
-Update read_update(Reader& r) {
-  Update u;
-  u.id.origin = r.u32();
-  u.id.seq = r.u64();
-  u.created_at = r.f64();
-  u.key = r.string();
-  u.value = r.string();
-  return u;
-}
-
-void put_updates(std::vector<std::uint8_t>& out, const std::vector<Update>& v) {
-  put_u32(out, static_cast<std::uint32_t>(v.size()));
-  for (const Update& u : v) put_update(out, u);
-}
-
-std::vector<Update> read_updates(Reader& r) {
-  // Minimum wire size of an Update: origin + seq + created_at + two
-  // empty length-prefixed strings.
-  const std::uint32_t count = r.count(4 + 8 + 8 + 4 + 4);
-  std::vector<Update> v;
-  v.reserve(count);
-  for (std::uint32_t i = 0; i < count; ++i) v.push_back(read_update(r));
-  return v;
-}
+// Byte primitives and the update/summary codec live in replication/codec so
+// the durability WAL can frame records identically; this file only owns the
+// frame envelope and per-message-tag layouts.
+using codec::put_f64;
+using codec::put_string;
+using codec::put_summary;
+using codec::put_u32;
+using codec::put_u64;
+using codec::put_u8;
+using codec::put_update;
+using codec::put_updates;
+using codec::read_summary;
+using codec::read_update;
+using codec::read_updates;
+using codec::Reader;
 
 // Tags are wire ABI; append only, never renumber.
 enum : std::uint8_t {

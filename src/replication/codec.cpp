@@ -1,0 +1,119 @@
+#include "replication/codec.hpp"
+
+#include <bit>
+#include <map>
+#include <set>
+
+namespace fastcons::codec {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void put_string(std::vector<std::uint8_t>& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+std::uint32_t Reader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+  return v;
+}
+
+double Reader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string Reader::string() {
+  const std::uint32_t len = u32();
+  need(len);
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len);
+  pos_ += len;
+  return s;
+}
+
+void put_summary(std::vector<std::uint8_t>& out, const SummaryVector& sv) {
+  put_u32(out, static_cast<std::uint32_t>(sv.watermarks().size()));
+  for (const auto& [origin, mark] : sv.watermarks()) {
+    put_u32(out, origin);
+    put_u64(out, mark);
+  }
+  // Extras are (origin, seq) sorted; encode each per-origin run as one
+  // group — byte-identical to the former map<origin, set<seq>> layout.
+  const auto& extras = sv.extras();
+  put_u32(out, static_cast<std::uint32_t>(sv.distinct_extra_origins()));
+  for (std::size_t i = 0; i < extras.size();) {
+    const NodeId origin = extras[i].origin;
+    std::size_t end = i;
+    while (end < extras.size() && extras[end].origin == origin) ++end;
+    put_u32(out, origin);
+    put_u32(out, static_cast<std::uint32_t>(end - i));
+    for (; i < end; ++i) put_u64(out, extras[i].seq);
+  }
+}
+
+SummaryVector read_summary(Reader& r) {
+  std::map<NodeId, SeqNo> watermarks;
+  const std::uint32_t n_marks = r.u32();
+  for (std::uint32_t i = 0; i < n_marks; ++i) {
+    const NodeId origin = r.u32();
+    watermarks[origin] = r.u64();
+  }
+  std::map<NodeId, std::set<SeqNo>> extras;
+  const std::uint32_t n_extra_origins = r.u32();
+  for (std::uint32_t i = 0; i < n_extra_origins; ++i) {
+    const NodeId origin = r.u32();
+    const std::uint32_t count = r.u32();
+    auto& set = extras[origin];
+    for (std::uint32_t j = 0; j < count; ++j) set.insert(r.u64());
+  }
+  return SummaryVector::from_parts(std::move(watermarks), std::move(extras));
+}
+
+void put_update(std::vector<std::uint8_t>& out, const Update& u) {
+  put_u32(out, u.id.origin);
+  put_u64(out, u.id.seq);
+  put_f64(out, u.created_at);
+  put_string(out, u.key);
+  put_string(out, u.value);
+}
+
+Update read_update(Reader& r) {
+  Update u;
+  u.id.origin = r.u32();
+  u.id.seq = r.u64();
+  u.created_at = r.f64();
+  u.key = r.string();
+  u.value = r.string();
+  return u;
+}
+
+void put_updates(std::vector<std::uint8_t>& out, const std::vector<Update>& v) {
+  put_u32(out, static_cast<std::uint32_t>(v.size()));
+  for (const Update& u : v) put_update(out, u);
+}
+
+std::vector<Update> read_updates(Reader& r) {
+  const std::uint32_t count = r.count(kMinUpdateBytes);
+  std::vector<Update> v;
+  v.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) v.push_back(read_update(r));
+  return v;
+}
+
+}  // namespace fastcons::codec

@@ -1,0 +1,92 @@
+// Byte-level codec primitives shared by the TCP wire format (net/wire.cpp)
+// and the durability layer (durability/wal.cpp, durability/checkpoint.cpp).
+//
+// All integers are little-endian; doubles are bit_cast through u64; strings
+// are u32-length-prefixed. The update and summary-vector encodings here ARE
+// the wire ABI for SessionPush/SessionReply payloads — append-only, never
+// reorder fields — and the WAL/checkpoint formats reuse them verbatim so a
+// log record is decodable with the same plausibility checks as a frame.
+#ifndef FASTCONS_REPLICATION_CODEC_HPP
+#define FASTCONS_REPLICATION_CODEC_HPP
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "replication/summary_vector.hpp"
+#include "replication/update.hpp"
+
+namespace fastcons::codec {
+
+// --- primitive writers -----------------------------------------------------
+
+inline void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v);
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v);
+void put_f64(std::vector<std::uint8_t>& out, double v);
+void put_string(std::vector<std::uint8_t>& out, const std::string& s);
+
+// --- primitive reader ------------------------------------------------------
+
+/// Bounds-checked cursor over an untrusted byte span. Every accessor throws
+/// CodecError instead of reading past the end, so decoders need no manual
+/// size arithmetic.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+
+  std::uint32_t u32();
+  std::uint64_t u64();
+  double f64();
+  std::string string();
+
+  bool exhausted() const noexcept { return pos_ == data_.size(); }
+
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+
+  // Rejects element counts that could not possibly fit in the remaining
+  // bytes, so untrusted counts never reach an allocator.
+  std::uint32_t count(std::size_t min_element_bytes) {
+    const std::uint32_t n = u32();
+    if (n > remaining() / min_element_bytes)
+      throw CodecError("implausible element count");
+    return n;
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (pos_ + n > data_.size()) throw CodecError("truncated frame body");
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+// --- composite writers/readers ---------------------------------------------
+
+void put_summary(std::vector<std::uint8_t>& out, const SummaryVector& sv);
+SummaryVector read_summary(Reader& r);
+
+void put_update(std::vector<std::uint8_t>& out, const Update& u);
+Update read_update(Reader& r);
+
+void put_updates(std::vector<std::uint8_t>& out, const std::vector<Update>& v);
+std::vector<Update> read_updates(Reader& r);
+
+/// Minimum wire size of an Update: origin + seq + created_at + two empty
+/// length-prefixed strings. Used as the plausibility divisor for counts.
+inline constexpr std::size_t kMinUpdateBytes = 4 + 8 + 8 + 4 + 4;
+
+}  // namespace fastcons::codec
+
+#endif  // FASTCONS_REPLICATION_CODEC_HPP

@@ -113,4 +113,29 @@ std::vector<Update> WriteLog::all_retained() const {
   return updates_;  // already (origin, seq) sorted
 }
 
+void WriteLog::restore(std::vector<Update> updates, const SummaryVector& cover) {
+  for (Update& update : updates) {
+    apply_moved(std::move(update));
+  }
+  summary_.merge(cover);
+}
+
+std::uint64_t WriteLog::kv_digest() const noexcept {
+  // FNV-1a over (key, 0, value, 0) in key order. kv_ is sorted by key, so
+  // the digest depends only on the materialised state, not insertion order.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](const std::string& s) {
+    for (const char c : s) {
+      h ^= static_cast<std::uint8_t>(c);
+      h *= 1099511628211ull;
+    }
+    h *= 1099511628211ull;  // NUL separator step
+  };
+  for (const auto& [key, state] : kv_) {
+    mix(key);
+    mix(state.value);
+  }
+  return h;
+}
+
 }  // namespace fastcons

@@ -77,6 +77,18 @@ class WriteLog {
   /// Updates currently retained, in (origin, seq) order.
   std::vector<Update> all_retained() const;
 
+  /// Bulk-load for recovery: applies `updates` idempotently (a WAL suffix
+  /// may overlap the checkpoint image) and then merges `cover` into the
+  /// summary, so updates that were truncated before the checkpoint stay
+  /// covered even though their payloads are gone.
+  void restore(std::vector<Update> updates, const SummaryVector& cover);
+
+  /// Order-independent FNV-1a digest of the materialised key-value state
+  /// (keys iterated in sorted order). Two replicas that have applied the
+  /// same update set — by any route, including crash recovery — produce the
+  /// same digest.
+  std::uint64_t kv_digest() const noexcept;
+
   /// Forgets every update, value and summary entry, retaining the vector
   /// capacity — the pooled-engine reset path (ReplicaEngine::reset).
   void clear() noexcept {

@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "core/messages.hpp"
+#include "durability/crc32.hpp"
+#include "durability/wal.hpp"
 #include "net/wire.hpp"
 
 namespace {
@@ -237,6 +239,59 @@ void generate_summary(const fs::path& dir) {
   }
 }
 
+void generate_wal(const fs::path& dir) {
+  using namespace fastcons;
+  const std::vector<Update> updates = sample_updates();
+
+  std::vector<std::uint8_t> one;
+  encode_wal_record(one, updates[0]);
+  write_file(dir, "one_record", one);
+
+  std::vector<std::uint8_t> many;
+  for (const Update& u : updates) encode_wal_record(many, u);
+  encode_wal_record(many, updates[0]);  // duplicate id: replay keeps both
+  write_file(dir, "multi_record", many);
+
+  {
+    // Torn tail: the classic crash-mid-append image.
+    std::vector<std::uint8_t> torn = many;
+    torn.resize(torn.size() - 5);
+    write_file(dir, "torn_tail", torn);
+  }
+  {
+    // Payload bit flip: CRC must stop replay at the damaged record.
+    std::vector<std::uint8_t> flipped = many;
+    flipped[one.size() + kWalHeaderBytes + 1] ^= 0x20;
+    write_file(dir, "bad_crc", flipped);
+  }
+  {
+    // CRC-valid record of an unknown type, then a real one: skip-and-go.
+    std::vector<std::uint8_t> mixed;
+    const std::vector<std::uint8_t> payload = {0x7F, 0xDE, 0xAD};
+    put_u32(mixed, static_cast<std::uint32_t>(payload.size()));
+    put_u32(mixed, crc32(payload));
+    mixed.insert(mixed.end(), payload.begin(), payload.end());
+    encode_wal_record(mixed, updates[1]);
+    write_file(dir, "unknown_type", mixed);
+  }
+  {
+    // Implausible announced length: corruption, not a 4 GiB record.
+    std::vector<std::uint8_t> huge;
+    put_u32(huge, 0xFFFFFFFFu);
+    put_u32(huge, 0);
+    huge.resize(huge.size() + 32, 0x55);
+    write_file(dir, "oversized_length", huge);
+  }
+  {
+    // Zero announced length: likewise corruption (records are non-empty).
+    std::vector<std::uint8_t> zero;
+    put_u32(zero, 0);
+    put_u32(zero, 0);
+    write_file(dir, "zero_length", zero);
+  }
+  write_file(dir, "empty", {});
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -247,6 +302,7 @@ int main(int argc, char** argv) {
   const fs::path root(argv[1]);
   generate_wire(root / "wire");
   generate_summary(root / "summary");
+  generate_wal(root / "wal");
   std::printf("corpus written under %s\n", root.string().c_str());
   return 0;
 }

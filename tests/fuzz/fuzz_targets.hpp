@@ -1,11 +1,11 @@
-// The two fuzz targets over the untrusted-input paths, exposed as plain
+// The fuzz targets over the untrusted-input paths, exposed as plain
 // functions so three harnesses can share them:
 //   - libFuzzer entry points (entry.cpp, FASTCONS_FUZZ=ON Clang builds);
 //   - the standalone corpus-replay driver (driver_main.cpp, any compiler);
 //   - the fuzz_corpus gtest, which replays the committed corpus as ordinary
 //     ctest cases in every build.
 //
-// Both functions must tolerate ARBITRARY bytes: the only acceptable outcomes
+// All of them must tolerate ARBITRARY bytes: the only acceptable outcomes
 // are clean handling or a thrown CodecError. Any other exception, crash or
 // property violation aborts (under the fuzzer: a reported finding; under
 // ctest: a test failure).
@@ -28,6 +28,12 @@ int wire_input(const std::uint8_t* data, std::size_t size);
 /// rest of the codebase relies on (sorted/unique/absorbed, coverage,
 /// lattice idempotence, parts round-trip).
 int summary_input(const std::uint8_t* data, std::size_t size);
+
+/// WAL replay target: interprets `data` as an on-disk log image. scan_wal
+/// must never throw, the torn-tail/valid-prefix bookkeeping must be
+/// consistent, the valid prefix must re-scan identically (the truncation
+/// contract), and decoded updates must survive an encode/scan round-trip.
+int wal_input(const std::uint8_t* data, std::size_t size);
 
 }  // namespace fastcons::fuzz
 

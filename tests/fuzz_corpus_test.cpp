@@ -63,6 +63,10 @@ TEST(FuzzCorpus, SummarySeedsReplayCleanly) {
   replay_all("summary", &fuzz::summary_input);
 }
 
+TEST(FuzzCorpus, WalSeedsReplayCleanly) {
+  replay_all("wal", &fuzz::wal_input);
+}
+
 // The corpus regenerator (corpus_gen.cpp) encodes one seed per message tag;
 // if a new Message alternative is added without a seed, the fuzzers start
 // blind on it. Count enforced here instead of in corpus_gen so the failure

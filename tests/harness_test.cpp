@@ -51,10 +51,13 @@ TEST(ScenarioRegistry, LiveFamilyIsSeparateFromBuiltins) {
   // and the reset-equivalence sweeps all iterate the builtins only.
   const ScenarioRegistry builtin = builtin_registry();
   EXPECT_EQ(builtin.find("live"), nullptr);
+  EXPECT_EQ(builtin.find("recovery"), nullptr);
   const ScenarioRegistry live = live_registry();
   const ScenarioSpec* spec = live.find("live");
   ASSERT_NE(spec, nullptr);
-  EXPECT_EQ(live.all().size(), 1u);
+  // "live" plus the durable crash-recovery family, both wall-clock.
+  EXPECT_NE(live.find("recovery"), nullptr);
+  EXPECT_EQ(live.all().size(), 2u);
   // >= 3 topologies x weak vs fast, per the live results contract.
   EXPECT_GE(spec->sweep.size(), 6u);
   std::size_t weak = 0;

@@ -257,7 +257,7 @@ bool allowed(const std::vector<AllowEntry>& allow, const Violation& v) {
 const char* const kScannedLayers[] = {
     "src/common",   "src/core",     "src/sim",        "src/sim_runtime",
     "src/replication", "src/demand", "src/experiment", "src/topology",
-    "src/islands",  "src/harness",  "src/stats",
+    "src/islands",  "src/harness",  "src/stats",      "src/durability",
 };
 
 int run_tree_scan(const fs::path& root, const fs::path& allowlist_path) {

@@ -21,6 +21,13 @@
 //   --run-seconds S        exit after S seconds (default: run forever)
 //   --load-writes-per-sec R  load-generator mode: issue R writes/sec...
 //   --load-seconds S         ...for S seconds, print a latency report, exit
+//   --data-dir DIR         durable mode: persist a write-ahead log and
+//                          periodic checkpoints under DIR and recover them
+//                          on startup (default: in-memory only)
+//   --fsync none|always    WAL fsync policy in durable mode (default none:
+//                          group-committed to the OS, synced by the kernel)
+//   --checkpoint-every N   rewrite the checkpoint every N WAL records
+//                          (default 4096; 0 = never)
 //   --verbose              info-level logging to stderr
 //
 // The process prints a one-line status (summary size, sessions, offers,
@@ -50,7 +57,9 @@ void on_signal(int) { g_stop = 1; }
                "[--peer ID:HOST:PORT]... "
                "[--demand D] [--algorithm fast|demand-order|weak] "
                "[--period-ms M] [--write K=V]... [--run-seconds S] "
-               "[--load-writes-per-sec R --load-seconds S] [--verbose]\n",
+               "[--load-writes-per-sec R --load-seconds S] "
+               "[--data-dir DIR] [--fsync none|always] "
+               "[--checkpoint-every N] [--verbose]\n",
                argv0);
   std::exit(error ? 2 : 0);
 }
@@ -153,6 +162,16 @@ int main(int argc, char** argv) {
     std::signal(SIGINT, on_signal);
     std::signal(SIGTERM, on_signal);
     server.start();
+    if (const RecoveryInfo& rec = server.recovery_info(); rec.attempted) {
+      std::fprintf(stderr,
+                   "durable: %s (checkpoint=%llu updates, wal=%llu records"
+                   "%s) in %.1fms, %zu catch-up peers\n",
+                   rec.recovered_from_disk ? "recovered" : "fresh start",
+                   static_cast<unsigned long long>(rec.checkpoint_updates),
+                   static_cast<unsigned long long>(rec.wal_records),
+                   rec.wal_torn_tail ? ", torn tail truncated" : "",
+                   rec.load_ms, rec.catchup_peers);
+    }
     for (auto& [key, val] : options.writes) server.write(key, val);
 
     if (options.load_writes_per_sec > 0.0) {
