@@ -7,6 +7,7 @@
 #include <string_view>
 
 #include "common/types.hpp"
+#include "health/peer_health.hpp"
 
 namespace fastcons {
 
@@ -84,6 +85,12 @@ struct ProtocolConfig {
   /// overlay) might need updates that were already discarded everywhere
   /// near it.
   bool auto_truncate = false;
+
+  /// Peer-health tracking (src/health): up -> suspect -> down per
+  /// neighbour, driven by message recency. Default-off so the golden sim
+  /// digests are unaffected; when enabled, suspect peers' demand decays in
+  /// push-target selection and down peers are excluded until re-contact.
+  HealthConfig health;
 
   /// --- Named presets: the three curves of Figs. 5/6. ---
 

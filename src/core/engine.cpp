@@ -37,6 +37,10 @@ ReplicaEngine::ReplicaEngine(NodeId self, std::vector<NodeId> neighbours,
       policy_(make_policy(config.selection)) {
   FASTCONS_EXPECTS(config_.session_period > 0.0);
   FASTCONS_EXPECTS(config_.fast_fanout >= 1);
+  health_.reset(config_.health);
+  for (const DemandEntry& entry : table_.entries()) {
+    health_.add_peer(entry.peer, 0.0);
+  }
 }
 
 void ReplicaEngine::reset(NodeId self, const std::vector<NodeId>& neighbours,
@@ -56,6 +60,10 @@ void ReplicaEngine::reset(NodeId self, const std::vector<NodeId>& neighbours,
   rng_ = Rng(seed);
   log_.clear();
   table_.reset(neighbours, config.liveness_window);
+  health_.reset(config_.health);
+  for (const DemandEntry& entry : table_.entries()) {
+    health_.add_peer(entry.peer, 0.0);
+  }
   hooks_ = EngineHooks{};
   stats_ = EngineStats{};
   counters_ = TrafficCounters{};
@@ -75,6 +83,7 @@ void ReplicaEngine::prime_neighbour_demand(NodeId peer, double demand,
 
 void ReplicaEngine::add_overlay_neighbour(NodeId peer, SimTime now) {
   table_.add_neighbour(peer, now);
+  health_.add_peer(peer, now);
   policy_->reset();
 }
 
@@ -149,7 +158,7 @@ std::vector<Outbound> ReplicaEngine::on_session_timer(SimTime now) {
 void ReplicaEngine::on_session_timer(SimTime now, std::vector<Outbound>& out) {
   expire_inflight(now);
   maybe_auto_truncate();
-  const NodeId peer = policy_->choose(table_, now, rng_);
+  const NodeId peer = policy_->choose(table_, now, rng_, health_if_enabled());
   if (peer == kInvalidNode) return;
   start_session_with(peer, now, out);
 }
@@ -262,15 +271,26 @@ void ReplicaEngine::after_gain(const std::vector<OfferedId>& gained,
   if (!config_.fast_push || gained.empty()) return;
   if (!config_.push_on_any_gain && path != DeliveryPath::local_write) return;
 
+  const PeerHealthTracker* health = health_if_enabled();
   std::size_t sent = 0;
-  for (const NodeId peer : table_.by_demand_desc(now)) {
+  for (const NodeId peer : table_.by_demand_desc(now, health)) {
     if (sent >= config_.fast_fanout) break;
     if (peer == source) continue;
     if (config_.push_rule == FastPushRule::gradient) {
       // "the neighbour with even greater demand": the chain only continues
-      // downhill into the demand valley.
+      // downhill into the demand valley. Health decay ages a suspect peer's
+      // demand, so pushes stop chasing silent peers before they are declared
+      // fully down.
       const auto demand = table_.demand_of(peer);
-      if (!demand.has_value() || *demand <= own_demand_) continue;
+      if (!demand.has_value()) continue;
+      double effective = *demand;
+      if (health != nullptr) effective *= health->demand_factor(peer, now);
+      if (effective <= own_demand_) {
+        if (health != nullptr && *demand > own_demand_) {
+          ++stats_.pushes_suppressed_unhealthy;
+        }
+        continue;
+      }
     }
     if (peer_known_to_have_all(peer, gained)) continue;
     FastOffer offer;
@@ -455,6 +475,10 @@ void ReplicaEngine::handle(NodeId from, Message&& msg, SimTime now,
   // Any message proves the sender and the link are alive (§4: the table
   // "tells us if this replica is available").
   table_.touch(from, now);
+  // First contact after a `down` verdict re-promotes the peer: the tracker
+  // clears its failure run, so demand decay stops on the very next
+  // selection pass.
+  if (health_.enabled()) health_.record_contact(from, now);
   std::visit(
       [&](auto&& m) {
         using T = std::decay_t<decltype(m)>;

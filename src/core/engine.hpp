@@ -24,6 +24,7 @@
 #include "core/messages.hpp"
 #include "core/policy.hpp"
 #include "demand/demand_table.hpp"
+#include "health/peer_health.hpp"
 #include "replication/write_log.hpp"
 #include "stats/counters.hpp"
 
@@ -79,6 +80,10 @@ struct EngineStats {
   std::uint64_t payloads_truncated = 0;  ///< discarded by auto-truncation
   std::uint64_t adverts_skipped_dead = 0;  ///< advert broadcasts not sent to dead neighbours
   std::uint64_t adverts_probed_dead = 0;  ///< revival probes sent to dead neighbours
+  /// Fast pushes withheld by health decay: the raw demand gradient would
+  /// have selected the peer, but its decayed (suspect) demand did not clear
+  /// our own. Always 0 with health disabled.
+  std::uint64_t pushes_suppressed_unhealthy = 0;
 };
 
 /// One replica of the fast-consistency protocol.
@@ -174,6 +179,15 @@ class ReplicaEngine {
   const SummaryVector& summary() const noexcept { return log_.summary(); }
   /// The neighbour demand table (paper §4).
   const DemandTable& demand_table() const noexcept { return table_; }
+  /// Per-neighbour health state machine (src/health); disabled (everything
+  /// `up`) unless ProtocolConfig::health.enabled.
+  const PeerHealthTracker& peer_health() const noexcept { return health_; }
+  /// Live runtimes report a failed connect attempt to `peer` here; repeated
+  /// failures force the peer to at least `suspect` (no-op when health
+  /// tracking is disabled — sim runtimes never call this).
+  void note_peer_failure(NodeId peer, SimTime now) {
+    if (health_.enabled()) health_.record_failure(peer, now);
+  }
   /// Protocol statistics accumulated since construction.
   const EngineStats& stats() const noexcept { return stats_; }
   /// Wire-traffic counters accumulated since construction.
@@ -280,11 +294,18 @@ class ReplicaEngine {
   void on_demand_advert(NodeId from, const DemandAdvert& m, SimTime now,
                         std::vector<Outbound>& out);
 
+  /// &health_ when tracking is enabled, nullptr otherwise — the disabled
+  /// path hands policies/tables the exact health-blind overloads.
+  const PeerHealthTracker* health_if_enabled() const noexcept {
+    return health_.enabled() ? &health_ : nullptr;
+  }
+
   NodeId self_;
   ProtocolConfig config_;
   Rng rng_;
   WriteLog log_;
   DemandTable table_;
+  PeerHealthTracker health_;
   std::unique_ptr<PartnerPolicy> policy_;
   EngineHooks hooks_;
   EngineStats stats_;

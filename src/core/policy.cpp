@@ -6,20 +6,22 @@
 
 namespace fastcons {
 
-NodeId RandomPolicy::choose(const DemandTable& table, SimTime now, Rng& rng) {
-  const std::vector<NodeId> alive = table.alive(now);
+NodeId RandomPolicy::choose(const DemandTable& table, SimTime now, Rng& rng,
+                            const PeerHealthTracker* health) {
+  const std::vector<NodeId> alive = table.alive(now, health);
   if (alive.empty()) return kInvalidNode;
   return alive[rng.index(alive.size())];
 }
 
 NodeId DemandCyclePolicy::choose(const DemandTable& table, SimTime now,
-                                 Rng& /*rng*/) {
+                                 Rng& /*rng*/,
+                                 const PeerHealthTracker* health) {
   if (resort_each_pick_) {
     // Dynamic: among alive neighbours not yet visited this cycle, take the
     // one with the highest *current* demand. A fresh cycle starts when all
     // alive neighbours have been visited.
     for (int attempt = 0; attempt < 2; ++attempt) {
-      const std::vector<NodeId> order = table.by_demand_desc(now);
+      const std::vector<NodeId> order = table.by_demand_desc(now, health);
       for (const NodeId peer : order) {
         if (!visited_.contains(peer)) {
           visited_.insert(peer);
@@ -35,7 +37,7 @@ NodeId DemandCyclePolicy::choose(const DemandTable& table, SimTime now,
   // if demand shifts underneath (the behaviour §3 criticises).
   for (int attempt = 0; attempt < 2; ++attempt) {
     if (frozen_order_.empty()) {
-      frozen_order_ = table.by_demand_desc(now);
+      frozen_order_ = table.by_demand_desc(now, health);
       visited_.clear();
       if (frozen_order_.empty()) return kInvalidNode;
     }
@@ -44,6 +46,10 @@ NodeId DemandCyclePolicy::choose(const DemandTable& table, SimTime now,
       visited_.insert(peer);
       // Skip silently if the peer died after the order froze.
       if (!table.is_alive(peer, now)) continue;
+      if (health != nullptr && health->enabled() &&
+          health->state(peer, now) == PeerHealth::down) {
+        continue;
+      }
       return peer;
     }
     frozen_order_.clear();  // cycle exhausted; refreeze next attempt

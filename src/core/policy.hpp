@@ -21,8 +21,16 @@ class PartnerPolicy {
   virtual ~PartnerPolicy() = default;
 
   /// Returns the chosen neighbour or kInvalidNode when none is eligible
-  /// (e.g. all neighbours dead).
-  virtual NodeId choose(const DemandTable& table, SimTime now, Rng& rng) = 0;
+  /// (e.g. all neighbours dead). `health`, when non-null, excludes peers
+  /// the tracker derives `down` and decays suspect peers' demand in the
+  /// selection order; nullptr is health-blind (the historical behaviour).
+  virtual NodeId choose(const DemandTable& table, SimTime now, Rng& rng,
+                        const PeerHealthTracker* health) = 0;
+
+  /// Health-blind convenience overload.
+  NodeId choose(const DemandTable& table, SimTime now, Rng& rng) {
+    return choose(table, now, rng, nullptr);
+  }
 
   /// Forgets cycle state (used when the neighbour set changes).
   virtual void reset() {}
@@ -31,7 +39,9 @@ class PartnerPolicy {
 /// Golding's baseline: uniformly random alive neighbour, with replacement.
 class RandomPolicy final : public PartnerPolicy {
  public:
-  NodeId choose(const DemandTable& table, SimTime now, Rng& rng) override;
+  using PartnerPolicy::choose;
+  NodeId choose(const DemandTable& table, SimTime now, Rng& rng,
+                const PeerHealthTracker* health) override;
 };
 
 /// Demand-ordered cycle without replacement (paper §2 static / §4 dynamic).
@@ -47,7 +57,9 @@ class DemandCyclePolicy final : public PartnerPolicy {
   explicit DemandCyclePolicy(bool resort_each_pick)
       : resort_each_pick_(resort_each_pick) {}
 
-  NodeId choose(const DemandTable& table, SimTime now, Rng& rng) override;
+  using PartnerPolicy::choose;
+  NodeId choose(const DemandTable& table, SimTime now, Rng& rng,
+                const PeerHealthTracker* health) override;
   void reset() override;
 
  private:

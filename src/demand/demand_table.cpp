@@ -97,27 +97,52 @@ NodeId DemandTable::next_dead_probe(SimTime now) {
 }
 
 std::vector<NodeId> DemandTable::by_demand_desc(SimTime now) const {
-  std::vector<const DemandEntry*> live;
+  return by_demand_desc(now, nullptr);
+}
+
+std::vector<NodeId> DemandTable::by_demand_desc(
+    SimTime now, const PeerHealthTracker* health) const {
+  // (entry, effective demand): health decays a suspect peer's demand and
+  // zeroes a down peer's (down peers are excluded below, so the zero never
+  // sorts — it is only here to keep the pair construction branch-free).
+  std::vector<std::pair<const DemandEntry*, double>> live;
   live.reserve(entries_.size());
   for (const auto& entry : entries_) {
-    if (is_alive(entry, now)) live.push_back(&entry);
+    if (!is_alive(entry, now)) continue;
+    double effective = entry.demand;
+    if (health != nullptr && health->enabled()) {
+      if (health->state(entry.peer, now) == PeerHealth::down) continue;
+      effective *= health->demand_factor(entry.peer, now);
+    }
+    live.emplace_back(&entry, effective);
   }
   std::sort(live.begin(), live.end(),
-            [](const DemandEntry* a, const DemandEntry* b) {
-              if (a->demand != b->demand) return a->demand > b->demand;
-              return a->peer < b->peer;
+            [](const std::pair<const DemandEntry*, double>& a,
+               const std::pair<const DemandEntry*, double>& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first->peer < b.first->peer;
             });
   std::vector<NodeId> order;
   order.reserve(live.size());
-  for (const DemandEntry* entry : live) order.push_back(entry->peer);
+  for (const auto& [entry, effective] : live) order.push_back(entry->peer);
   return order;
 }
 
 std::vector<NodeId> DemandTable::alive(SimTime now) const {
+  return alive(now, nullptr);
+}
+
+std::vector<NodeId> DemandTable::alive(SimTime now,
+                                       const PeerHealthTracker* health) const {
   std::vector<NodeId> result;
   result.reserve(entries_.size());
   for (const auto& entry : entries_) {
-    if (is_alive(entry, now)) result.push_back(entry.peer);
+    if (!is_alive(entry, now)) continue;
+    if (health != nullptr && health->enabled() &&
+        health->state(entry.peer, now) == PeerHealth::down) {
+      continue;
+    }
+    result.push_back(entry.peer);
   }
   return result;
 }

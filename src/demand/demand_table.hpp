@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "health/peer_health.hpp"
 
 namespace fastcons {
 
@@ -67,8 +68,20 @@ class DemandTable {
   /// the order is total and deterministic), dead neighbours excluded.
   std::vector<NodeId> by_demand_desc(SimTime now) const;
 
+  /// Health-aware variant: `health == nullptr` is exactly the plain
+  /// overload. Otherwise peers the tracker derives `down` are excluded and
+  /// the sort key becomes demand * health demand_factor, so suspect peers'
+  /// demand *decays* in selection order instead of vanishing outright.
+  std::vector<NodeId> by_demand_desc(SimTime now,
+                                     const PeerHealthTracker* health) const;
+
   /// Alive neighbours in id order.
   std::vector<NodeId> alive(SimTime now) const;
+
+  /// Health-aware variant: additionally excludes peers derived `down`
+  /// (nullptr == plain overload).
+  std::vector<NodeId> alive(SimTime now,
+                            const PeerHealthTracker* health) const;
 
   /// All entries in neighbour registration order.
   const std::vector<DemandEntry>& entries() const noexcept { return entries_; }

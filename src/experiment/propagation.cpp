@@ -56,6 +56,7 @@ const PropagationTrial& run_propagation_trial(
   trial.censored_samples = 0;
   trial.faults = FaultStats{};
   trial.consistent = false;
+  trial.pushes_suppressed_unhealthy = 0;
 
   // Construction phase: topology + demand + (re)wiring the pooled network.
   // Scoped so the harness can report the construction tax separately from
@@ -120,6 +121,8 @@ const PropagationTrial& run_propagation_trial(
   trial.time_to_full = last;
   trial.traffic.merge(net.total_traffic());
   trial.faults = net.fault_stats();
+  trial.pushes_suppressed_unhealthy =
+      net.total_stats().pushes_suppressed_unhealthy;
   return trial;
 }
 

@@ -98,6 +98,12 @@ struct PropagationTrial {
   /// Faults actually injected (all zero when config.sim.faults is disabled).
   FaultStats faults;
 
+  /// Fast pushes the gradient rule would have sent on raw demand but
+  /// suppressed because the target's health-decayed demand no longer
+  /// cleared it. Zero whenever protocol.health.enabled is false, which is
+  /// every pre-existing scenario; recorded only by the degraded family.
+  std::uint64_t pushes_suppressed_unhealthy = 0;
+
   /// Every summary equal by the deadline. With faults disabled this is
   /// exactly `converged` (one write, no way to diverge); with faults
   /// enabled the trial keeps running after first-seen coverage until the

@@ -57,6 +57,8 @@ ScenarioRegistry builtin_registry() {
   // Registered last on purpose: --all runs scenarios in registration order,
   // so the pre-fault golden digest lines keep their positions.
   register_fault_scenarios(registry);
+  // Newest family stays last for the same digest-position reason.
+  register_degraded_scenarios(registry);
   return registry;
 }
 

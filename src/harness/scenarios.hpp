@@ -40,6 +40,11 @@ void register_large_scale_scenarios(ScenarioRegistry& registry);
 /// stable: all fault decisions come from the FaultPlan's own RNG stream.
 void register_fault_scenarios(ScenarioRegistry& registry);
 
+/// Graceful degradation ("degraded"): health-aware vs health-blind fast
+/// anti-entropy under dead-peer and flapping regimes on seed_group common
+/// random numbers. Digest-stable: health derivation is draw-free.
+void register_degraded_scenarios(ScenarioRegistry& registry);
+
 /// Real-socket scenarios ("live"): LocalCluster meshes over TCP, weak vs
 /// fast, measuring wall-clock convergence, sustained write throughput and
 /// write-visibility latency. Registered only in live_registry(): results

@@ -88,7 +88,9 @@ bool LocalCluster::alive(NodeId n) const {
 
 void LocalCluster::kill(NodeId n) {
   FASTCONS_EXPECTS(n < servers_.size() && servers_[n] != nullptr);
-  servers_[n]->stop();
+  // Crash semantics: no final checkpoint, so a durable restart exercises
+  // real WAL replay instead of the graceful-stop fast path.
+  servers_[n]->crash_stop();
   servers_[n].reset();
 }
 
@@ -142,6 +144,31 @@ bool LocalCluster::wait_for_convergence(double timeout_seconds,
     std::this_thread::sleep_for(poll_interval);
   }
   return converged(min_updates);
+}
+
+bool LocalCluster::all_peers_up() const {
+  for (std::size_t n = 0; n < servers_.size(); ++n) {
+    if (servers_[n] == nullptr) continue;
+    const NetStats net = servers_[n]->net_stats();
+    for (const PeerNetStats& peer : net.peers) {
+      if (!alive(peer.peer)) continue;  // down is the right answer here
+      if (peer.health != PeerHealth::up) return false;
+    }
+  }
+  return true;
+}
+
+bool LocalCluster::wait_for_peer_health(double timeout_seconds) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_seconds);
+  const double poll_seconds =
+      std::clamp(seconds_per_unit_ / 20.0, 0.0005, 0.05);
+  const auto poll_interval = std::chrono::duration<double>(poll_seconds);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (all_peers_up()) return true;
+    std::this_thread::sleep_for(poll_interval);
+  }
+  return all_peers_up();
 }
 
 LoadReport LocalCluster::run_load(NodeId writer, double writes_per_sec,

@@ -122,6 +122,18 @@ class LocalCluster {
   bool wait_for_convergence(double timeout_seconds,
                             std::uint64_t min_updates = 1);
 
+  /// True when every live server reports PeerHealth::up for every peer
+  /// that is itself alive (killed nodes are excluded from the requirement —
+  /// a dead peer is *supposed* to be marked down). Vacuously true when the
+  /// protocol's health tracking is disabled or fewer than two nodes live.
+  bool all_peers_up() const;
+
+  /// Polls all_peers_up() up to `timeout_seconds`, at the same scaled
+  /// interval as wait_for_convergence(); returns success. This is the
+  /// health-layer replacement for fixed post-restart sleeps: it returns as
+  /// soon as every recovered peer has been re-promoted.
+  bool wait_for_peer_health(double timeout_seconds);
+
   /// Drives sustained write traffic: issues `writes_per_sec * seconds`
   /// writes at node `writer` on a steady schedule, tracking when each
   /// write becomes visible on every replica. After the issue window, keeps

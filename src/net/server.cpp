@@ -11,11 +11,27 @@
 #include "common/log.hpp"
 
 namespace fastcons {
+namespace {
+
+/// Salt separating the reconnect-jitter stream from the timer stream (both
+/// derive from ServerConfig::seed).
+constexpr std::uint64_t kReconnectJitterSalt = 0x7E77BACC0FF5EEDull;
+
+/// Payload-bearing frames a later anti-entropy session resends anyway —
+/// safe to shed on outbox overflow. Control traffic (summaries, requests,
+/// acks, adverts) is what keeps the protocol converging and stays.
+bool is_sheddable_class(TrafficClass cls) noexcept {
+  return cls == TrafficClass::session_payload ||
+         cls == TrafficClass::fast_payload;
+}
+
+}  // namespace
 
 ReplicaServer::ReplicaServer(ServerConfig config)
     : config_(std::move(config)),
       listener_(TcpListener::bind(config_.bind_address, config_.listen_port)),
-      timer_rng_(config_.seed) {
+      timer_rng_(config_.seed),
+      reconnect_rng_(config_.seed ^ kReconnectJitterSalt) {
   if (config_.self == kInvalidNode) throw ConfigError("server needs a NodeId");
   if (config_.seconds_per_unit <= 0.0) {
     throw ConfigError("seconds_per_unit must be positive");
@@ -118,6 +134,7 @@ void ReplicaServer::start() {
             : -1.0;
   }
   stop_requested_.store(false);
+  final_checkpoint_on_stop_.store(true);
   running_.store(true);
   thread_ = std::thread([this] { loop(); });
 }
@@ -129,6 +146,11 @@ void ReplicaServer::stop() {
   stop_requested_.store(true);
   wake_.wake();
   if (thread_.joinable()) thread_.join();
+}
+
+void ReplicaServer::crash_stop() {
+  final_checkpoint_on_stop_.store(false);
+  stop();
 }
 
 double ReplicaServer::now_units() const {
@@ -289,14 +311,44 @@ double ReplicaServer::run_engine_turn(std::vector<Outbound>& outs) {
   return next_deadline;
 }
 
+PeerHealth ReplicaServer::peer_health_state(NodeId peer, bool note_failure) {
+  const MutexLock lock(engine_mutex_);
+  if (engine_ == nullptr) return PeerHealth::up;
+  const double now = now_units();
+  if (note_failure) engine_->note_peer_failure(peer, now);
+  return engine_->peer_health().state(peer, now);
+}
+
+void ReplicaServer::schedule_reconnect(PeerLink& link) {
+  // Decorrelated jitter: next = min(cap, uniform(min, 3 * previous)).
+  // Deterministic doubling gives every peer that lost the same partition an
+  // identical retry schedule — a synchronized reconnect storm the moment it
+  // heals; the seeded jitter decorrelates the schedules while keeping each
+  // server reproducible.
+  const double lo = config_.reconnect_backoff_min;
+  const double hi = std::max(lo, link.backoff_seconds * 3.0);
+  double next = std::min(reconnect_rng_.uniform(lo, hi),
+                         config_.reconnect_backoff_max);
+  // Graceful degradation: a peer the health layer already degraded gets
+  // capped reconnect effort — one attempt per max-backoff window — instead
+  // of eagerly burning connect attempts on a likely-dead address.
+  if (peer_health_state(link.address.id, /*note_failure=*/false) !=
+      PeerHealth::up) {
+    next = config_.reconnect_backoff_max;
+  }
+  link.backoff_seconds = next;
+  link.next_attempt =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(next));
+}
+
 void ReplicaServer::register_connect_failure(PeerLink& link) {
   link.connecting = false;
-  link.next_attempt = std::chrono::steady_clock::now() +
-                      std::chrono::duration_cast<
-                          std::chrono::steady_clock::duration>(
-                          std::chrono::duration<double>(link.backoff_seconds));
-  link.backoff_seconds =
-      std::min(link.backoff_seconds * 2.0, config_.reconnect_backoff_max);
+  // The failure feeds the health layer before the backoff is drawn, so the
+  // attempt that crosses failure_threshold already reconnects at the cap.
+  peer_health_state(link.address.id, /*note_failure=*/true);
+  schedule_reconnect(link);
   const MutexLock lock(net_mutex_);
   PeerNetStats& stats = peer_stats_entry(link.address.id);
   stats.connecting = false;
@@ -306,15 +358,13 @@ void ReplicaServer::register_connect_failure(PeerLink& link) {
 }
 
 void ReplicaServer::drop_connection(PeerLink& link, bool was_established) {
-  const std::size_t abandoned = link.connection.pending_output_bytes();
+  const std::size_t abandoned =
+      link.connection.pending_output_bytes() + link.pending_bytes;
   link.connection.close();
   link.connecting = false;
-  link.next_attempt = std::chrono::steady_clock::now() +
-                      std::chrono::duration_cast<
-                          std::chrono::steady_clock::duration>(
-                          std::chrono::duration<double>(link.backoff_seconds));
-  link.backoff_seconds =
-      std::min(link.backoff_seconds * 2.0, config_.reconnect_backoff_max);
+  link.pending.clear();
+  link.pending_bytes = 0;
+  schedule_reconnect(link);
   const MutexLock lock(net_mutex_);
   PeerNetStats& stats = peer_stats_entry(link.address.id);
   stats.connecting = false;
@@ -366,11 +416,36 @@ void ReplicaServer::finish_connect(PeerLink& link) {
   }
   if (link.connection.flush() == IoStatus::error) {
     drop_connection(link, /*was_established=*/true);
+    return;
+  }
+  pump_outbox(link);
+}
+
+void ReplicaServer::pump_outbox(PeerLink& link) {
+  if (!link.connection.valid()) return;
+  // Feed the byte outbox only up to a watermark: bytes handed to the
+  // connection can no longer be shed selectively, so the bulk of a backlog
+  // waits frame-granular in link.pending where overflow can still evict
+  // superseded pushes.
+  const std::size_t watermark = std::max<std::size_t>(
+      64 * 1024, config_.max_peer_outbox_bytes / 4);
+  while (!link.pending.empty() &&
+         link.connection.pending_output_bytes() < watermark) {
+    PeerLink::QueuedFrame frame = std::move(link.pending.front());
+    link.pending.pop_front();
+    link.pending_bytes -= frame.bytes.size();
+    if (link.connecting) {
+      // Handshake still in flight; buffer until writability resolves it.
+      link.connection.queue(frame.bytes);
+    } else if (link.connection.send(frame.bytes) == IoStatus::error) {
+      drop_connection(link, /*was_established=*/true);
+      return;
+    }
   }
 }
 
-void ReplicaServer::enqueue_frame(NodeId peer,
-                                  const std::vector<std::uint8_t>& frame) {
+void ReplicaServer::enqueue_frame(NodeId peer, std::vector<std::uint8_t> frame,
+                                  bool sheddable) {
   const auto it = peer_links_.find(peer);
   if (it == peer_links_.end()) return;
   if (config_.outbound_fault && config_.outbound_fault(peer)) {
@@ -381,32 +456,58 @@ void ReplicaServer::enqueue_frame(NodeId peer,
     return;
   }
   PeerLink& link = it->second;
-  if (!ensure_connection(link) ||
-      link.connection.pending_output_bytes() + frame.size() >
-          config_.max_peer_outbox_bytes) {
+  if (!ensure_connection(link)) {
     // Weak consistency tolerates message loss: the next session retries.
     const MutexLock lock(net_mutex_);
     ++peer_stats_entry(peer).frames_dropped;
     return;
   }
-  if (link.connecting) {
-    // Handshake still in flight; buffer until writability resolves it.
-    link.connection.queue(frame);
-  } else if (link.connection.send(frame) == IoStatus::error) {
-    drop_connection(link, /*was_established=*/true);
+  std::size_t buffered =
+      link.connection.pending_output_bytes() + link.pending_bytes;
+  std::uint64_t shed_frames = 0;
+  if (buffered + frame.size() > config_.max_peer_outbox_bytes) {
+    // Overflow: evict superseded pushes, oldest first — their payloads are
+    // re-sent by the next session anyway, while a summary or advert dropped
+    // here would stall convergence for a whole session period.
+    for (auto qit = link.pending.begin();
+         qit != link.pending.end() &&
+         buffered + frame.size() > config_.max_peer_outbox_bytes;) {
+      if (!qit->sheddable) {
+        ++qit;
+        continue;
+      }
+      buffered -= qit->bytes.size();
+      link.pending_bytes -= qit->bytes.size();
+      ++shed_frames;
+      qit = link.pending.erase(qit);
+    }
+  }
+  if (buffered + frame.size() > config_.max_peer_outbox_bytes) {
+    // Still no room: the backlog is all control traffic (or the new frame
+    // is enormous); drop the newcomer as before.
     const MutexLock lock(net_mutex_);
-    ++peer_stats_entry(peer).frames_dropped;
+    PeerNetStats& stats = peer_stats_entry(peer);
+    ++stats.frames_dropped;
+    stats.frames_shed += shed_frames;
     return;
   }
-  const MutexLock lock(net_mutex_);
-  PeerNetStats& stats = peer_stats_entry(peer);
-  ++stats.frames_sent;
-  stats.bytes_sent += frame.size();
+  const std::size_t frame_size = frame.size();
+  link.pending.push_back(PeerLink::QueuedFrame{std::move(frame), sheddable});
+  link.pending_bytes += frame_size;
+  {
+    const MutexLock lock(net_mutex_);
+    PeerNetStats& stats = peer_stats_entry(peer);
+    ++stats.frames_sent;
+    stats.bytes_sent += frame_size;
+    stats.frames_shed += shed_frames;
+  }
+  pump_outbox(link);
 }
 
 void ReplicaServer::transmit(std::vector<Outbound>& outs) {
   for (Outbound& out : outs) {
-    enqueue_frame(out.to, encode_frame(config_.self, out.msg));
+    const bool sheddable = is_sheddable_class(traffic_class_of(out.msg));
+    enqueue_frame(out.to, encode_frame(config_.self, out.msg), sheddable);
   }
   outs.clear();
 }
@@ -423,7 +524,8 @@ void ReplicaServer::poll_once(int timeout_ms) {
   std::vector<NodeId> peer_order;
   for (auto& [id, link] : peer_links_) {
     if (link.connection.valid() &&
-        (link.connecting || link.connection.has_pending_output())) {
+        (link.connecting || link.connection.has_pending_output() ||
+         !link.pending.empty())) {
       fds.push_back(pollfd{link.connection.fd(), POLLOUT, 0});
       peer_order.push_back(id);
     }
@@ -501,6 +603,9 @@ void ReplicaServer::poll_once(int timeout_ms) {
       finish_connect(link);
     } else if (link.connection.flush() == IoStatus::error) {
       drop_connection(link, /*was_established=*/true);
+    } else {
+      // Socket drained below the watermark: staged frames can move down.
+      pump_outbox(link);
     }
   }
 
@@ -528,6 +633,24 @@ void ReplicaServer::poll_once(int timeout_ms) {
       }
     }
     transmit(outs);
+  }
+}
+
+void ReplicaServer::mirror_peer_health() {
+  if (!config_.protocol.health.enabled) return;
+  std::vector<PeerHealthView> views;
+  {
+    const MutexLock lock(engine_mutex_);
+    if (engine_ == nullptr) return;
+    views = engine_->peer_health().views(now_units());
+  }
+  const MutexLock lock(net_mutex_);
+  for (const PeerHealthView& v : views) {
+    const auto it = peer_stats_.find(v.peer);
+    if (it == peer_stats_.end()) continue;
+    it->second.health = v.state;
+    it->second.health_last_heard_units = v.last_heard;
+    it->second.health_suspect_since_units = v.suspect_since;
   }
 }
 
@@ -563,15 +686,25 @@ void ReplicaServer::loop() {
     const double next_deadline = run_engine_turn(outs);
     flush_durability();
     transmit(outs);
+    mirror_peer_health();
 
     const double wait_units = std::max(0.0, next_deadline - now_units());
     const int timeout_ms = static_cast<int>(
         std::ceil(wait_units * config_.seconds_per_unit * 1000.0));
     poll_once(std::min(timeout_ms, 50));
   }
-  // Graceful shutdown: persist the tail so a stop/start cycle (as opposed
-  // to a crash) recovers byte-exactly.
+  // Graceful shutdown: persist the tail, then write a final checkpoint so a
+  // stop/start cycle (as opposed to a crash) recovers byte-exactly from the
+  // checkpoint alone — zero WAL records to replay.
   flush_durability();
+  if (store_ != nullptr && final_checkpoint_on_stop_.load()) {
+    EngineSnapshot snapshot;
+    {
+      const MutexLock lock(engine_mutex_);
+      snapshot = engine_->snapshot();
+    }
+    store_->write_checkpoint(snapshot);
+  }
 }
 
 }  // namespace fastcons

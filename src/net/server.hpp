@@ -28,6 +28,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -40,6 +41,7 @@
 #include "common/thread_annotations.hpp"
 #include "core/engine.hpp"
 #include "durability/store.hpp"
+#include "health/peer_health.hpp"
 #include "net/socket.hpp"
 #include "net/wire.hpp"
 
@@ -65,6 +67,16 @@ struct PeerNetStats {
   std::uint64_t connect_failures = 0;
   std::uint64_t disconnects = 0;  ///< established connections lost
   double current_backoff_seconds = 0.0;  ///< wait before the next reconnect
+  /// Superseded push frames (session/fast payloads) evicted from the
+  /// pending queue to make room on outbox overflow — graceful degradation
+  /// prefers shedding stale payloads over fresh summaries.
+  std::uint64_t frames_shed = 0;
+  /// Engine-derived peer health, mirrored once per loop turn so operators
+  /// and the soak harness read the exact state selection acts on. Stays
+  /// `up` with zeroed timestamps when health tracking is disabled.
+  PeerHealth health = PeerHealth::up;
+  double health_last_heard_units = 0.0;    ///< when we last heard from it
+  double health_suspect_since_units = 0.0; ///< degradation start; 0 while up
 };
 
 /// Snapshot of a server's transport-layer counters: per-peer link health
@@ -110,8 +122,12 @@ struct ServerConfig {
 
   /// Reconnect backoff bounds (wall-clock seconds). After a connect
   /// failure or disconnect the link waits the current backoff before the
-  /// next attempt; the wait doubles per consecutive failure up to the max
-  /// and resets to the min on success.
+  /// next attempt. The wait grows by seeded decorrelated jitter —
+  /// next = min(max, uniform(min, 3 * previous)) — so peers that lost the
+  /// same partition retry on diverging schedules instead of the
+  /// synchronized storm deterministic doubling produces; it resets to the
+  /// min on success. Peers the health layer marks suspect/down get capped
+  /// reconnect effort: their wait pins to the max regardless of history.
   double reconnect_backoff_min = 0.05;
   double reconnect_backoff_max = 2.0;
 
@@ -177,7 +193,15 @@ class ReplicaServer {
   void set_peers(std::vector<PeerAddress> peers);
 
   void start() EXCLUDES(engine_mutex_, net_mutex_);
+  /// Graceful shutdown: flushes the WAL group-commit tail and writes a
+  /// final checkpoint (durable mode), so the next start() recovers from
+  /// the checkpoint alone with zero WAL replay.
   void stop();
+  /// Fault-injection shutdown (LocalCluster::kill): stops the loop like a
+  /// crash would — the WAL tail is flushed (the loop had already promised
+  /// those records to disk) but NO final checkpoint is written, so restart
+  /// exercises real WAL replay.
+  void crash_stop();
   bool running() const noexcept { return running_.load(); }
 
   /// Thread-safe client write; applied on the server thread.
@@ -222,6 +246,17 @@ class ReplicaServer {
     bool connecting = false;   // non-blocking connect awaiting writability
     double backoff_seconds = 0.0;
     std::chrono::steady_clock::time_point next_attempt{};  // epoch = "now"
+    /// Frame-granular staging queue above the connection's byte outbox.
+    /// Bytes handed to TcpConnection can no longer be dropped selectively,
+    /// so frames wait here (oldest first) while the socket outbox sits at
+    /// its feed watermark — overflow then sheds superseded pushes from this
+    /// queue instead of refusing fresh summaries.
+    struct QueuedFrame {
+      std::vector<std::uint8_t> bytes;
+      bool sheddable = false;  ///< payload class a later session resends
+    };
+    std::deque<QueuedFrame> pending;
+    std::size_t pending_bytes = 0;
   };
   struct Inbound {
     TcpConnection connection;
@@ -239,8 +274,11 @@ class ReplicaServer {
   /// I/O, so it must not (and cannot, per the annotation) be called with
   /// engine_mutex_ held.
   void transmit(std::vector<Outbound>& outs) EXCLUDES(engine_mutex_, net_mutex_);
-  void enqueue_frame(NodeId peer, const std::vector<std::uint8_t>& frame)
-      EXCLUDES(engine_mutex_, net_mutex_);
+  void enqueue_frame(NodeId peer, std::vector<std::uint8_t> frame,
+                     bool sheddable) EXCLUDES(engine_mutex_, net_mutex_);
+  /// Moves staged frames into the connection's byte outbox while it sits
+  /// below the feed watermark (frames past it stay sheddable in `pending`).
+  void pump_outbox(PeerLink& link) EXCLUDES(engine_mutex_, net_mutex_);
   /// Starts a non-blocking connect if the link is down and its backoff
   /// window has elapsed. Returns true when the link has a usable
   /// (established or connecting) connection afterwards.
@@ -249,6 +287,17 @@ class ReplicaServer {
       EXCLUDES(engine_mutex_, net_mutex_);
   void drop_connection(PeerLink& link, bool was_established)
       EXCLUDES(engine_mutex_, net_mutex_);
+  /// Advances `link`'s backoff by seeded decorrelated jitter, pinning it to
+  /// the max when the health layer has degraded the peer (capped reconnect
+  /// effort), and stamps next_attempt.
+  void schedule_reconnect(PeerLink& link) EXCLUDES(engine_mutex_, net_mutex_);
+  /// Engine-side health of `peer` at the current time; `up` when health
+  /// tracking is disabled. Optionally records a connect failure first.
+  PeerHealth peer_health_state(NodeId peer, bool note_failure)
+      EXCLUDES(engine_mutex_);
+  /// Copies the engine's per-peer health views into the PeerNetStats mirror
+  /// (no-op when health tracking is disabled).
+  void mirror_peer_health() EXCLUDES(engine_mutex_, net_mutex_);
   /// Resolves a connecting link whose socket turned writable.
   void finish_connect(PeerLink& link) EXCLUDES(engine_mutex_, net_mutex_);
   void poll_once(int timeout_ms) EXCLUDES(engine_mutex_, net_mutex_);
@@ -309,12 +358,18 @@ class ReplicaServer {
 
   std::map<NodeId, PeerLink> peer_links_;  // loop thread only; keys fixed at start()
   std::vector<Inbound> inbound_;           // loop thread only
+  /// Reconnect-jitter stream, derived from the config seed so retry
+  /// schedules are reproducible per server yet diverge between servers.
+  /// Loop thread only (seeded in the constructor), like PeerLink.
+  Rng reconnect_rng_;
 
   std::chrono::steady_clock::time_point epoch_;  // immutable after start()
 
   std::thread thread_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
+  /// False during crash_stop(): the loop exit skips the final checkpoint.
+  std::atomic<bool> final_checkpoint_on_stop_{true};
 };
 
 }  // namespace fastcons

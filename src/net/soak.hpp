@@ -1,0 +1,102 @@
+// Jepsen-lite chaos soak: a seeded nemesis (kill/restart, partitions,
+// frame-drop windows) drives a durable LocalCluster under sustained writes
+// for a configurable wall-clock duration, while invariants are checked
+// CONTINUOUSLY — not just at the end:
+//
+//   - no forged write ids: no summary ever covers (origin, seq) beyond
+//     what the harness actually issued at that origin;
+//   - per-replica summary monotonicity: every server's summary covers its
+//     own previous snapshot (reset across a restart — recovery may
+//     legitimately land behind the pre-kill snapshot's in-flight tail);
+//   - session durability: a write once confirmed readable at its origin is
+//     never lost (recover-mode restarts must bring it back);
+// and at quiesce (nemesis off, partitions healed, everyone restarted):
+//   - every killed-then-restarted peer is re-marked up (health layer, via
+//     LocalCluster::wait_for_peer_health — no fixed sleeps);
+//   - summaries converge and per-replica kv digests agree;
+//   - every confirmed write reads back with its value on every replica.
+//
+// Lives in src/net on purpose: the soak is wall-clock driven (real sockets,
+// real threads), so it is seeded-but-not-digest-deterministic, exactly like
+// the live scenario family. The determinism lint does not scan this layer.
+#ifndef FASTCONS_NET_SOAK_HPP
+#define FASTCONS_NET_SOAK_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fastcons {
+
+struct SoakConfig {
+  std::size_t nodes = 5;
+  std::uint64_t seed = 1;
+
+  /// Nemesis window, wall-clock seconds; quiesce + checks run after.
+  double duration_seconds = 10.0;
+
+  /// Wall-clock seconds per protocol unit for the cluster under test.
+  double seconds_per_unit = 0.02;
+
+  /// Sustained client writes per second, round-robin over live nodes.
+  double write_rate = 50.0;
+
+  /// Durable root (one subdirectory per node). Required: the session-
+  /// durability invariant and recover-mode restarts need a WAL to replay.
+  std::string data_dir;
+
+  /// Mean wall-clock seconds between nemesis actions.
+  double nemesis_period_seconds = 0.4;
+
+  /// Ceiling on concurrently-killed nodes (a majority stays up so the
+  /// cluster keeps making progress for the invariants to observe).
+  std::size_t max_dead = 2;
+
+  /// Frame-drop probability applied during a drop window.
+  double drop_probability = 0.15;
+
+  /// Deadline for the quiesce phase (health re-promotion, convergence).
+  double quiesce_timeout_seconds = 30.0;
+
+  /// Print nemesis actions and violations to stderr as they happen.
+  bool verbose = false;
+};
+
+struct SoakReport {
+  std::uint64_t writes_issued = 0;
+  /// Writes observed readable at their origin during the soak (the set the
+  /// durability invariant then tracks forever).
+  std::uint64_t writes_confirmed = 0;
+  std::uint64_t kills = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t partitions = 0;
+  std::uint64_t heals = 0;
+  std::uint64_t drop_windows = 0;
+  /// Continuous-invariant sweeps completed.
+  std::uint64_t checks = 0;
+  /// Nodes killed at least once during the nemesis window.
+  std::uint64_t nodes_ever_killed = 0;
+
+  /// Quiesce-phase outcomes.
+  bool all_peers_up = false;
+  bool converged = false;
+  bool digests_agree = false;
+
+  double wall_seconds = 0.0;
+
+  /// Human-readable invariant violations, in detection order (capped).
+  std::vector<std::string> violations;
+
+  /// The soak passed: zero violations and every quiesce check succeeded.
+  bool ok() const noexcept {
+    return violations.empty() && all_peers_up && converged && digests_agree;
+  }
+};
+
+/// Runs one soak. Throws ConfigError on bad configuration (no data_dir,
+/// nodes < 3); everything the cluster does wrong is reported, not thrown.
+SoakReport run_soak(const SoakConfig& config);
+
+}  // namespace fastcons
+
+#endif  // FASTCONS_NET_SOAK_HPP

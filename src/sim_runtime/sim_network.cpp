@@ -502,6 +502,7 @@ EngineStats SimNetwork::total_stats() const {
     total.duplicate_updates += s.duplicate_updates;
     total.updates_applied += s.updates_applied;
     total.payloads_truncated += s.payloads_truncated;
+    total.pushes_suppressed_unhealthy += s.pushes_suppressed_unhealthy;
   }
   return total;
 }

@@ -21,9 +21,10 @@ TEST(ScenarioRegistry, ContainsAllRegisteredScenarios) {
       "fig5",        "fig6",          "uniform-topologies",
       "diameter-ba", "diameter-grid", "overhead",
       "islands",     "ablation",      "ablation-staleness",
-      "freshness",   "large-scale",   "faults"};
+      "freshness",   "large-scale",   "faults",
+      "degraded"};
   EXPECT_EQ(registry.names(), expected);
-  EXPECT_EQ(registry.all().size(), 15u);
+  EXPECT_EQ(registry.all().size(), 16u);
 }
 
 TEST(ScenarioRegistry, FindRoundTripsEveryRegisteredName) {

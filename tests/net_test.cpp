@@ -1,15 +1,20 @@
 // Real-socket integration tests. Environments without loopback networking
 // skip gracefully (GTEST_SKIP on bind failure).
 #include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <filesystem>
+#include <memory>
 #include <thread>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "net/cluster.hpp"
+#include "net/soak.hpp"
 #include "net/options.hpp"
 #include "net/server.hpp"
 #include "net/socket.hpp"
@@ -826,6 +831,243 @@ TEST(ClusterTest, OutboundFaultShimDropsAndRecovers) {
   cluster.stop();
   ASSERT_TRUE(converged);
   EXPECT_EQ(value, "v");
+}
+
+// ------------------------------------------------ peer health & jitter ----
+
+// Two servers with different seeds retrying the same dead port must settle
+// on different backoff waits: decorrelated jitter decorrelates the retry
+// storm a deterministic doubling schedule would synchronize.
+TEST(ServerTest, ReconnectBackoffSchedulesDiverge) {
+  REQUIRE_LOOPBACK();
+  const std::uint16_t dead_port = [] {
+    const TcpListener probe = TcpListener::bind_loopback(0);
+    return probe.port();
+  }();
+
+  auto make_server = [&](NodeId self, std::uint64_t seed) {
+    ServerConfig cfg;
+    cfg.self = self;
+    cfg.protocol = ProtocolConfig::fast();
+    cfg.seconds_per_unit = 0.005;
+    cfg.reconnect_backoff_min = 0.002;
+    cfg.reconnect_backoff_max = 0.5;
+    cfg.seed = seed;
+    auto server = std::make_unique<ReplicaServer>(std::move(cfg));
+    server->set_peers({PeerAddress{9, "127.0.0.1", dead_port}});
+    return server;
+  };
+  const auto a = make_server(0, 1);
+  const auto b = make_server(1, 2);
+  a->start();
+  b->start();
+
+  NetStats na, nb;
+  for (int i = 0; i < 400; ++i) {
+    a->write("k" + std::to_string(i), "v");
+    b->write("k" + std::to_string(i), "v");
+    na = a->net_stats();
+    nb = b->net_stats();
+    if (na.connect_failures >= 4 && nb.connect_failures >= 4) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  a->stop();
+  b->stop();
+  ASSERT_GE(na.connect_failures, 4u);
+  ASSERT_GE(nb.connect_failures, 4u);
+  ASSERT_EQ(na.peers.size(), 1u);
+  ASSERT_EQ(nb.peers.size(), 1u);
+  // Both grew past the floor and stayed under the cap...
+  EXPECT_GT(na.peers[0].current_backoff_seconds, 0.002);
+  EXPECT_GT(nb.peers[0].current_backoff_seconds, 0.002);
+  EXPECT_LE(na.peers[0].current_backoff_seconds, 0.5);
+  EXPECT_LE(nb.peers[0].current_backoff_seconds, 0.5);
+  // ...but on different schedules: each draw is uniform over a widening
+  // interval from a per-server seeded stream, so two servers agreeing to
+  // the last bit would need a 1-in-2^52 collision.
+  EXPECT_NE(na.peers[0].current_backoff_seconds,
+            nb.peers[0].current_backoff_seconds);
+}
+
+// Graceful stop writes a final checkpoint, so the next start recovers from
+// the checkpoint alone: zero WAL records to replay (satellite pin for the
+// clean-shutdown path; LocalCluster::kill keeps exercising real replay).
+TEST(ServerTest, GracefulStopRecoversWithZeroWalReplay) {
+  REQUIRE_LOOPBACK();
+  const DurableScratch scratch("graceful-stop");
+  ServerConfig cfg;
+  cfg.self = 0;
+  cfg.protocol = ProtocolConfig::fast();
+  cfg.seconds_per_unit = 0.005;
+  cfg.durability.dir = (scratch.path / "node-0").string();
+  cfg.durability.checkpoint_every = 1000;  // far beyond this test's writes
+
+  {
+    ReplicaServer server(cfg);
+    server.start();
+    for (int i = 0; i < 20; ++i) {
+      server.write("k" + std::to_string(i), "v" + std::to_string(i));
+    }
+    // Wait until the writes are applied (and thus WAL-bound).
+    for (int i = 0; i < 400 && !server.read("k19").has_value(); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ASSERT_TRUE(server.read("k19").has_value());
+    server.stop();  // graceful: flush + final checkpoint
+  }
+
+  ReplicaServer reborn(cfg);
+  reborn.start();
+  const RecoveryInfo& rec = reborn.recovery_info();
+  EXPECT_TRUE(rec.recovered_from_disk);
+  EXPECT_TRUE(rec.had_checkpoint);
+  EXPECT_EQ(rec.wal_records, 0u);  // the checkpoint already covers everything
+  EXPECT_EQ(rec.restored_updates, 20u);
+  EXPECT_EQ(reborn.read("k7"), "v7");
+  reborn.stop();
+}
+
+// Live health lifecycle: kill -> peers mark the node suspect then down ->
+// restart -> first contact re-promotes it and demand pushes resume.
+TEST(ClusterTest, KilledPeerTurnsSuspectAndRepromotesOnRestart) {
+  REQUIRE_LOOPBACK();
+  Rng rng(35);
+  const Graph g = make_ring(3, {0.0, 0.0}, rng);
+  ClusterConfig cfg;
+  cfg.protocol = ProtocolConfig::fast();
+  cfg.protocol.advert_period = 0.25;
+  cfg.protocol.health.enabled = true;
+  cfg.seconds_per_unit = 0.005;
+  cfg.demands = {1.0, 2.0, 50.0};  // node 2 is everyone's push target
+  LocalCluster cluster(g, cfg);
+  cluster.start();
+  ASSERT_TRUE(cluster.wait_for_peer_health(10.0));
+
+  cluster.kill(2);
+  // Node 0 must degrade its view of peer 2 on silence alone (suspect at
+  // 1.5 units = 7.5ms here, down at 4). Poll health introspection, not
+  // sleeps.
+  PeerHealth seen = PeerHealth::up;
+  for (int i = 0; i < 2000 && seen != PeerHealth::down; ++i) {
+    for (const PeerNetStats& peer : cluster.server(0).net_stats().peers) {
+      if (peer.peer == 2 && peer.health > seen) {
+        seen = peer.health;
+        if (seen >= PeerHealth::suspect) {
+          EXPECT_GT(peer.health_suspect_since_units, 0.0);
+        }
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(seen, PeerHealth::down);
+
+  cluster.restart(2);
+  // Health introspection replaces fixed post-restart sleeps: the advert
+  // channel is not health-gated, so the reborn node's first advert
+  // re-promotes it everywhere.
+  EXPECT_TRUE(cluster.wait_for_peer_health(10.0));
+  EXPECT_TRUE(cluster.all_peers_up());
+
+  // Demand pushes resume toward the re-promoted peer: a fresh write must
+  // reach node 2 again.
+  cluster.server(0).write("after-revival", "yes");
+  const bool converged = cluster.wait_for_convergence(10.0);
+  const auto read_back = cluster.server(2).read("after-revival");
+  cluster.stop();
+  ASSERT_TRUE(converged);
+  EXPECT_EQ(read_back, "yes");
+}
+
+// SIGTERM against a real durable fastconsd process must shut down
+// gracefully: exit 0, WAL flushed, final checkpoint written — so the next
+// start replays zero WAL records (the satellite-2 end-to-end pin; the
+// in-process half is GracefulStopRecoversWithZeroWalReplay above).
+#ifdef FASTCONS_FASTCONSD_BIN
+TEST(DaemonTest, SigtermShutsDownGracefullyWithFinalCheckpoint) {
+  REQUIRE_LOOPBACK();
+  const DurableScratch scratch("fastconsd-sigterm");
+  const std::string data_dir = (scratch.path / "node-0").string();
+  const std::string port = [] {
+    const TcpListener probe = TcpListener::bind_loopback(0);
+    return std::to_string(probe.port());
+  }();
+
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0) << "fork failed";
+  if (pid == 0) {
+    // Child: a writing durable daemon that would run for a minute if the
+    // signal did not stop it first.
+    execl(FASTCONS_FASTCONSD_BIN, FASTCONS_FASTCONSD_BIN, "--id", "0",
+          "--port", port.c_str(), "--data-dir", data_dir.c_str(),
+          "--period-ms", "50", "--run-seconds", "60", "--write", "stable=yes",
+          "--write", "k2=v2", static_cast<char*>(nullptr));
+    _exit(127);  // exec failed
+  }
+
+  // Wait until the daemon has applied its startup writes to disk: the WAL
+  // file appears once the first record is group-committed.
+  const fsys::path wal = fsys::path(data_dir) / "wal.log";
+  bool wal_written = false;
+  for (int i = 0; i < 1000; ++i) {
+    std::error_code ec;
+    if (fsys::exists(wal, ec) && fsys::file_size(wal, ec) > 0) {
+      wal_written = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(wal_written) << "daemon never wrote its WAL";
+
+  ASSERT_EQ(kill(pid, SIGTERM), 0);
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status)) << "daemon did not exit cleanly";
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+
+  // Recover in-process from the daemon's directory: the final checkpoint
+  // must cover everything, leaving nothing in the WAL to replay.
+  ServerConfig cfg;
+  cfg.self = 0;
+  cfg.protocol = ProtocolConfig::fast();
+  cfg.seconds_per_unit = 0.005;
+  cfg.durability.dir = data_dir;
+  ReplicaServer reborn(std::move(cfg));
+  reborn.start();
+  const RecoveryInfo& rec = reborn.recovery_info();
+  EXPECT_TRUE(rec.recovered_from_disk);
+  EXPECT_TRUE(rec.had_checkpoint);
+  EXPECT_EQ(rec.wal_records, 0u);
+  EXPECT_EQ(reborn.read("stable"), "yes");
+  EXPECT_EQ(reborn.read("k2"), "v2");
+  reborn.stop();
+}
+#endif  // FASTCONS_FASTCONSD_BIN
+
+// A short chaos soak is part of tier-1: seeded nemesis over a durable
+// cluster with continuous invariant checks (net/soak.hpp). CI runs the
+// long version via fastcons_soak; this pins the harness itself.
+TEST(SoakTest, ShortSoakPassesAllInvariants) {
+  REQUIRE_LOOPBACK();
+  const DurableScratch scratch("soak-smoke");
+  SoakConfig config;
+  config.nodes = 4;
+  config.seed = 11;
+  config.duration_seconds = 1.5;
+  config.seconds_per_unit = 0.01;
+  config.write_rate = 40.0;
+  config.nemesis_period_seconds = 0.2;
+  config.data_dir = scratch.path.string();
+  config.quiesce_timeout_seconds = 20.0;
+  const SoakReport report = run_soak(config);
+  for (const std::string& violation : report.violations) {
+    ADD_FAILURE() << "soak violation: " << violation;
+  }
+  EXPECT_TRUE(report.all_peers_up);
+  EXPECT_TRUE(report.converged);
+  EXPECT_TRUE(report.digests_agree);
+  EXPECT_GT(report.writes_issued, 0u);
+  EXPECT_GT(report.checks, 0u);
+  EXPECT_TRUE(report.ok());
 }
 
 }  // namespace

@@ -258,6 +258,7 @@ const char* const kScannedLayers[] = {
     "src/common",   "src/core",     "src/sim",        "src/sim_runtime",
     "src/replication", "src/demand", "src/experiment", "src/topology",
     "src/islands",  "src/harness",  "src/stats",      "src/durability",
+    "src/health",
 };
 
 int run_tree_scan(const fs::path& root, const fs::path& allowlist_path) {

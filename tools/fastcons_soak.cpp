@@ -1,0 +1,119 @@
+// fastcons_soak — Jepsen-lite chaos soak over a durable LocalCluster.
+//
+// A seeded nemesis kills/restarts replicas, partitions the mesh and opens
+// frame-drop windows while client writes flow, with invariants checked
+// continuously (see net/soak.hpp). Exit 0 iff the soak passed; invariant
+// violations are fatal by design so CI can gate on this binary directly.
+//
+// Usage:
+//   fastcons_soak --duration 45 [--nodes 5] [--seed 1] [--write-rate 50]
+//                 [--seconds-per-unit 0.02] [--data-dir DIR]
+//                 [--quiesce-timeout 30] [--verbose]
+//
+// --data-dir defaults to a fresh directory under the system temp root and
+// is removed on success; pass one explicitly to keep the WALs around.
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "common/error.hpp"
+#include "net/soak.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0, bool error) {
+  std::fprintf(error ? stderr : stdout,
+               "usage: %s [--duration S] [--nodes N] [--seed S] "
+               "[--write-rate R] [--seconds-per-unit S] [--data-dir DIR] "
+               "[--quiesce-timeout S] [--verbose]\n",
+               argv0);
+  std::exit(error ? 2 : 0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fastcons;
+  SoakConfig config;
+  bool keep_data_dir = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0], /*error=*/true);
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") usage(argv[0], /*error=*/false);
+    else if (arg == "--duration") config.duration_seconds = std::atof(next());
+    else if (arg == "--nodes") config.nodes = std::strtoul(next(), nullptr, 10);
+    else if (arg == "--seed") config.seed = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--write-rate") config.write_rate = std::atof(next());
+    else if (arg == "--seconds-per-unit")
+      config.seconds_per_unit = std::atof(next());
+    else if (arg == "--quiesce-timeout")
+      config.quiesce_timeout_seconds = std::atof(next());
+    else if (arg == "--data-dir") {
+      config.data_dir = next();
+      keep_data_dir = true;
+    } else if (arg == "--verbose")
+      config.verbose = true;
+    else {
+      std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+      usage(argv[0], /*error=*/true);
+    }
+  }
+
+  namespace fs = std::filesystem;
+  if (config.data_dir.empty()) {
+    const fs::path dir =
+        fs::temp_directory_path() /
+        ("fastcons-soak-" + std::to_string(config.seed) + "-" +
+         std::to_string(static_cast<unsigned>(::getpid())));
+    fs::create_directories(dir);
+    config.data_dir = dir.string();
+  }
+
+  try {
+    const SoakReport report = run_soak(config);
+    std::fprintf(
+        stderr,
+        "soak: %.1fs wall, %llu writes (%llu confirmed), %llu kills / "
+        "%llu restarts (%llu nodes ever killed), %llu partitions / %llu "
+        "heals, %llu drop windows, %llu invariant sweeps\n",
+        report.wall_seconds,
+        static_cast<unsigned long long>(report.writes_issued),
+        static_cast<unsigned long long>(report.writes_confirmed),
+        static_cast<unsigned long long>(report.kills),
+        static_cast<unsigned long long>(report.restarts),
+        static_cast<unsigned long long>(report.nodes_ever_killed),
+        static_cast<unsigned long long>(report.partitions),
+        static_cast<unsigned long long>(report.heals),
+        static_cast<unsigned long long>(report.drop_windows),
+        static_cast<unsigned long long>(report.checks));
+    std::fprintf(stderr, "soak: quiesce all_peers_up=%s converged=%s "
+                 "digests_agree=%s\n",
+                 report.all_peers_up ? "yes" : "NO",
+                 report.converged ? "yes" : "NO",
+                 report.digests_agree ? "yes" : "NO");
+    for (const std::string& violation : report.violations) {
+      std::fprintf(stderr, "soak: VIOLATION %s\n", violation.c_str());
+    }
+    if (!report.ok()) {
+      std::fprintf(stderr, "soak: FAILED (%zu violations)\n",
+                   report.violations.size());
+      return 1;
+    }
+    std::fprintf(stderr, "soak: PASSED\n");
+    if (!keep_data_dir) {
+      std::error_code ec;
+      fs::remove_all(config.data_dir, ec);
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "fastcons_soak: fatal: %s\n", e.what());
+    return 2;
+  }
+  return 0;
+}

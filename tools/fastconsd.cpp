@@ -182,17 +182,33 @@ int main(int argc, char** argv) {
     }
 
     const auto started = std::chrono::steady_clock::now();
+    auto next_status =
+        started + std::chrono::milliseconds(static_cast<long>(options.period_ms));
     while (g_stop == 0) {
-      std::this_thread::sleep_for(
-          std::chrono::milliseconds(static_cast<long>(options.period_ms)));
-      print_status(server);
+      // Short sleeps keep signal response prompt: a SIGTERM waits at most
+      // ~50ms before the graceful shutdown below runs, independent of the
+      // status period.
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= next_status) {
+        print_status(server);
+        next_status +=
+            std::chrono::milliseconds(static_cast<long>(options.period_ms));
+      }
       if (options.run_seconds >= 0.0 &&
-          std::chrono::steady_clock::now() - started >
-              std::chrono::duration<double>(options.run_seconds)) {
+          now - started > std::chrono::duration<double>(options.run_seconds)) {
         break;
       }
     }
+    if (g_stop != 0) {
+      std::fprintf(stderr,
+                   "fastconsd: signal received, shutting down gracefully\n");
+    }
+    // Graceful stop: flushes the WAL group-commit buffer, writes a final
+    // checkpoint (durable mode) and closes the listener — the next start
+    // recovers with zero WAL replay.
     server.stop();
+    std::fprintf(stderr, "fastconsd: clean shutdown\n");
   } catch (const Error& e) {
     std::fprintf(stderr, "fastconsd: fatal: %s\n", e.what());
     return 1;
