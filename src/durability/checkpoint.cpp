@@ -65,9 +65,12 @@ std::optional<EngineSnapshot> decode_checkpoint(
     std::span<const std::uint8_t> bytes) {
   if (bytes.size() < 4) return std::nullopt;
   const std::span<const std::uint8_t> body = bytes.first(bytes.size() - 4);
-  codec::Reader crc_reader(bytes.subspan(bytes.size() - 4));
-  if (crc32(body) != crc_reader.u32()) return std::nullopt;
   try {
+    // The trailing-CRC read lives inside the guard with the rest of the
+    // decode: the size check above makes it infallible today, but the
+    // never-throws contract must not depend on that staying true.
+    codec::Reader crc_reader(bytes.subspan(bytes.size() - 4));
+    if (crc32(body) != crc_reader.u32()) return std::nullopt;
     codec::Reader r(body);
     if (r.u32() != kMagic) return std::nullopt;
     if (r.u32() != kVersion) return std::nullopt;

@@ -58,15 +58,20 @@ WalScanResult scan_wal(std::span<const std::uint8_t> bytes) {
     // itself cannot fail on bytes the CRC vouches for unless a newer writer
     // extended the format, which the type byte namespaces.
     codec::Reader r(payload);
-    const std::uint8_t type = r.u8();
-    if (type == kWalRecordUpdate) {
-      try {
+    try {
+      // The whole decode — type byte included — sits inside the guard, so
+      // scan_wal keeps its never-throws contract by construction (and the
+      // throw-contract lint can prove it). The type read cannot fail today
+      // (payload_len >= 1 is checked above), but the contract should not
+      // depend on that arithmetic staying in sync.
+      const std::uint8_t type = r.u8();
+      if (type == kWalRecordUpdate) {
         Update u = codec::read_update(r);
         if (!r.exhausted()) break;  // valid CRC but wrong shape: corruption
         result.updates.push_back(std::move(u));
-      } catch (const CodecError&) {
-        break;
       }
+    } catch (const CodecError&) {
+      break;
     }
     ++result.records;
     pos += kWalHeaderBytes + payload_len;

@@ -70,6 +70,19 @@ void ReplicaServer::start() {
   if (config_.durability.enabled() && store_ == nullptr) {
     store_ = std::make_unique<DurableStore>(config_.durability);
   }
+  // Disk recovery is open/read/fsync-heavy, so it runs BEFORE engine_mutex_
+  // is taken. The loop thread does not exist yet, but the blocking-under-
+  // lock discipline holds unconditionally — zero exceptions keeps it
+  // checkable (and checked: fastcons_lint's blocking-under-lock rule).
+  RecoveryStats rs;
+  EngineSnapshot snapshot;
+  bool recovery_attempted = false;
+  std::chrono::steady_clock::time_point recover_t0{};
+  if (store_ != nullptr) {
+    recovery_attempted = true;
+    recover_t0 = std::chrono::steady_clock::now();
+    snapshot = store_->recover(config_.self, rs);
+  }
   {
     const MutexLock lock(engine_mutex_);
     engine_ = std::make_unique<ReplicaEngine>(config_.self,
@@ -80,11 +93,8 @@ void ReplicaServer::start() {
     recovery_ = RecoveryInfo{};
     catchup_queue_.clear();
     catchup_pending_ = false;
-    if (store_ != nullptr) {
+    if (recovery_attempted) {
       recovery_.attempted = true;
-      const auto t0 = std::chrono::steady_clock::now();
-      RecoveryStats rs;
-      EngineSnapshot snapshot = store_->recover(config_.self, rs);
       recovery_.had_checkpoint = rs.had_checkpoint;
       recovery_.wal_torn_tail = rs.wal_torn_tail;
       recovery_.checkpoint_updates = rs.checkpoint_updates;
@@ -115,7 +125,7 @@ void ReplicaServer::start() {
         }
       }
       recovery_.load_ms = std::chrono::duration<double, std::milli>(
-                              std::chrono::steady_clock::now() - t0)
+                              std::chrono::steady_clock::now() - recover_t0)
                               .count();
       // Every update applied from here on is logged before the next loop
       // turn's socket I/O. Restored updates were not re-logged: they are

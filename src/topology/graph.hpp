@@ -24,6 +24,7 @@ class Graph {
   explicit Graph(std::size_t node_count);
 
   std::size_t size() const noexcept { return adjacency_.size(); }
+  bool empty() const noexcept { return adjacency_.empty(); }
   std::size_t edge_count() const noexcept { return edge_count_; }
 
   /// Appends a node; returns its id.

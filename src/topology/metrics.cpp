@@ -79,12 +79,12 @@ std::vector<std::vector<NodeId>> connected_components(const Graph& g) {
 }
 
 bool is_connected(const Graph& g) {
-  if (g.size() == 0) return true;
+  if (g.empty()) return true;
   return connected_components(g).size() == 1;
 }
 
 std::size_t diameter(const Graph& g) {
-  if (g.size() == 0) throw ConfigError("diameter of empty graph");
+  if (g.empty()) throw ConfigError("diameter of empty graph");
   if (!is_connected(g)) throw ConfigError("diameter of disconnected graph");
   std::size_t best = 0;
   for (NodeId s = 0; s < g.size(); ++s) {

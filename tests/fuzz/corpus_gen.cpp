@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/messages.hpp"
+#include "durability/checkpoint.hpp"
 #include "durability/crc32.hpp"
 #include "durability/wal.hpp"
 #include "net/wire.hpp"
@@ -292,6 +293,73 @@ void generate_wal(const fs::path& dir) {
   write_file(dir, "empty", {});
 }
 
+void generate_checkpoint(const fs::path& dir) {
+  using namespace fastcons;
+
+  EngineSnapshot snapshot;
+  snapshot.self = 3;
+  snapshot.write_seq = 12;
+  snapshot.next_session = 4;
+  snapshot.next_offer = 9;
+  snapshot.own_demand = 2.5;
+  snapshot.summary = sample_summary();
+  snapshot.updates = sample_updates();
+  snapshot.neighbour_demand.emplace_back(1, 0.5);
+  snapshot.neighbour_demand.emplace_back(7, 3.75);
+  const std::vector<std::uint8_t> valid = encode_checkpoint(snapshot);
+  write_file(dir, "valid", valid);
+
+  write_file(dir, "valid_empty", encode_checkpoint(EngineSnapshot{}));
+  write_file(dir, "empty", {});
+
+  {
+    // Torn mid-image: rename atomicity should make this unreachable, but
+    // the CRC is the defence when it is not.
+    std::vector<std::uint8_t> truncated = valid;
+    truncated.resize(truncated.size() / 2);
+    write_file(dir, "truncated", truncated);
+  }
+  {
+    std::vector<std::uint8_t> bad_magic = valid;
+    bad_magic[0] ^= 0xFF;
+    write_file(dir, "bad_magic", bad_magic);
+  }
+  {
+    std::vector<std::uint8_t> bad_version = valid;
+    bad_version[4] = 0x7E;
+    write_file(dir, "bad_version", bad_version);
+  }
+  {
+    // Payload bit flip with the stored CRC left intact.
+    std::vector<std::uint8_t> bad_crc = valid;
+    bad_crc[10] ^= 0x20;
+    write_file(dir, "bad_crc", bad_crc);
+  }
+  {
+    // Bytes past the decoded fields: decode must reject, not ignore.
+    std::vector<std::uint8_t> trailing = valid;
+    trailing.resize(trailing.size() - 4);  // drop the CRC
+    trailing.push_back(0xAB);
+    const std::uint32_t crc = crc32(trailing);
+    put_u32(trailing, crc);
+    write_file(dir, "trailing_bytes", trailing);
+  }
+  {
+    // CRC-valid image announcing 2^31 neighbours in a tiny file: the
+    // bounded count read must reject it instead of reserving gigabytes.
+    std::vector<std::uint8_t> huge = encode_checkpoint(EngineSnapshot{});
+    huge.resize(huge.size() - 4);  // drop the CRC
+    // The empty snapshot's body ends with the u32 neighbour count (0).
+    for (int i = 0; i < 4; ++i) {
+      huge[huge.size() - 4 + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(0x80000000u >> (8 * i));
+    }
+    const std::uint32_t crc = crc32(huge);
+    put_u32(huge, crc);
+    write_file(dir, "implausible_count", huge);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -303,6 +371,7 @@ int main(int argc, char** argv) {
   generate_wire(root / "wire");
   generate_summary(root / "summary");
   generate_wal(root / "wal");
+  generate_checkpoint(root / "checkpoint");
   std::printf("corpus written under %s\n", root.string().c_str());
   return 0;
 }

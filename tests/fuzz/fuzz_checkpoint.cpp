@@ -1,0 +1,47 @@
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <vector>
+
+#include "durability/checkpoint.hpp"
+#include "tests/fuzz/fuzz_targets.hpp"
+
+namespace fastcons::fuzz {
+namespace {
+
+[[noreturn]] void property_fail(const char* what) {
+  std::fprintf(stderr, "fuzz_checkpoint property violated: %s\n", what);
+  std::abort();
+}
+
+}  // namespace
+
+int checkpoint_input(const std::uint8_t* data, std::size_t size) {
+  const std::span<const std::uint8_t> input(data, size);
+
+  // decode_checkpoint must treat ANY byte string as a (possibly corrupt)
+  // checkpoint image: nullopt on damage, never an exception. The try/abort
+  // wrapper turns an escaping exception into a fuzzer finding instead of an
+  // unwinding crash with no message.
+  std::optional<EngineSnapshot> decoded;
+  try {
+    decoded = decode_checkpoint(input);
+  } catch (...) {
+    property_fail("decode_checkpoint threw");
+  }
+  if (!decoded.has_value()) return 0;
+
+  // An accepted image re-encodes to a canonical form that is a fixpoint:
+  // encode(decode(encode(decode(input)))) == encode(decode(input)). The
+  // atomic writer persists exactly encode()'s bytes, so a decode that
+  // accepts bytes its own re-encoding cannot reproduce would mean recovery
+  // state silently drifts across checkpoint generations.
+  const std::vector<std::uint8_t> first = encode_checkpoint(*decoded);
+  const std::optional<EngineSnapshot> again = decode_checkpoint(first);
+  if (!again.has_value()) property_fail("re-encoded image rejected");
+  const std::vector<std::uint8_t> second = encode_checkpoint(*again);
+  if (first != second) property_fail("re-encode not a fixpoint");
+  return 0;
+}
+
+}  // namespace fastcons::fuzz

@@ -35,6 +35,12 @@ int summary_input(const std::uint8_t* data, std::size_t size);
 /// contract), and decoded updates must survive an encode/scan round-trip.
 int wal_input(const std::uint8_t* data, std::size_t size);
 
+/// Checkpoint codec target: interprets `data` as a checkpoint file image.
+/// decode_checkpoint must never throw (nullopt is the only rejection), and
+/// any accepted image must re-encode to a stable fixpoint so recovery state
+/// cannot drift across checkpoint generations.
+int checkpoint_input(const std::uint8_t* data, std::size_t size);
+
 }  // namespace fastcons::fuzz
 
 #endif  // FASTCONS_TESTS_FUZZ_FUZZ_TARGETS_HPP

@@ -67,6 +67,10 @@ TEST(FuzzCorpus, WalSeedsReplayCleanly) {
   replay_all("wal", &fuzz::wal_input);
 }
 
+TEST(FuzzCorpus, CheckpointSeedsReplayCleanly) {
+  replay_all("checkpoint", &fuzz::checkpoint_input);
+}
+
 // The corpus regenerator (corpus_gen.cpp) encodes one seed per message tag;
 // if a new Message alternative is added without a seed, the fuzzers start
 // blind on it. Count enforced here instead of in corpus_gen so the failure

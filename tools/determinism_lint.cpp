@@ -1,428 +1,27 @@
-// determinism_lint: static scan of the digest-bearing layers for
-// nondeterminism sources.
+// determinism_lint: thin alias over the fastcons_lint determinism rule.
 //
-// The simulation stack promises byte-identical JSON digests for any --jobs
-// value and any host (ROADMAP, PR 2-4). That promise dies quietly the first
-// time someone iterates a std::unordered_map into a result, keys a map by
-// pointer, or reads a wall clock inside a trial. This tool rejects those
-// constructs mechanically in every layer whose state can reach a digest:
+// The original single-purpose scanner grew into tools/fastcons_lint/ (five
+// rules, shared lexer/index, per-rule self-tests). This binary keeps the
+// historical CLI and exit-code contract so existing ctest entries, CI jobs
+// and muscle memory keep working:
 //
-//   src/common src/core src/sim src/sim_runtime src/replication src/demand
-//   src/experiment src/topology src/islands src/harness src/stats
-//
-// (src/net is excluded: the live path is wall-clock by nature and its
-// results are never digested — see docs/experiments.md. Live-only harness
-// files are excluded via the allowlist.)
-//
-// Rules (comments and string literals are stripped before matching):
-//   unordered-container  std::unordered_map / std::unordered_set: iteration
-//                        order is seeded per process; even lookup-only uses
-//                        must be allowlisted with a justification.
-//   c-rand               rand( / srand( — process-global, unseeded by us.
-//   c-time               time( — wall clock.
-//   random-device        std::random_device — entropy by design.
-//   wall-clock           std::chrono::*_clock::now — wall clock. Timing
-//                        measurement around (not inside) trial results is
-//                        legitimate and allowlisted (runner.cpp,
-//                        construction_cost.*).
-//   pointer-keyed        std::map/std::set keyed by a pointer type:
-//                        iteration order = allocation order.
-//
-// Allowlist format (tools/determinism_allowlist.txt): one entry per line,
-//   <repo-relative-path>:<rule> # <reason>
-// The reason is mandatory; entries that match nothing fail the run, so the
-// allowlist cannot rot.
+//   determinism_lint --root DIR --allowlist FILE
+//   determinism_lint --self-test
 //
 // Exit status: 0 clean, 1 violations or stale allowlist entries, 2 usage or
-// I/O errors. --self-test runs the embedded corpus (each rule must catch its
-// seeded violation, comment/string stripping must prevent false positives).
-#include <algorithm>
-#include <cctype>
-#include <cstdio>
-#include <filesystem>
-#include <fstream>
+// I/O errors. Rule semantics (unordered containers, rand/srand/time,
+// random_device, *_clock::now, pointer-keyed maps; reasons mandatory in the
+// allowlist, stale entries fail) are unchanged — they now live in
+// tools/fastcons_lint/rules.cpp and are exercised by its self-test corpus.
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <string_view>
-#include <vector>
 
-namespace {
-
-namespace fs = std::filesystem;
-
-struct Violation {
-  std::string file;  // repo-relative path
-  std::size_t line = 0;
-  std::string rule;
-  std::string excerpt;
-};
-
-struct AllowEntry {
-  std::string path;
-  std::string rule;  // "*" allows every rule for the path
-  std::string reason;
-  mutable bool used = false;
-};
-
-/// Replaces comments, string literals and char literals with spaces,
-/// preserving newlines so line numbers survive. Handles //, /* */, "...",
-/// '...' and backslash escapes; raw strings are treated as plain strings
-/// (good enough: none of the scanned layers use them).
-std::string strip_comments_and_strings(const std::string& in) {
-  std::string out;
-  out.reserve(in.size());
-  enum class State { code, line_comment, block_comment, string, chr };
-  State state = State::code;
-  for (std::size_t i = 0; i < in.size(); ++i) {
-    const char c = in[i];
-    const char next = i + 1 < in.size() ? in[i + 1] : '\0';
-    switch (state) {
-      case State::code:
-        if (c == '/' && next == '/') {
-          state = State::line_comment;
-          out += "  ";
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::block_comment;
-          out += "  ";
-          ++i;
-        } else if (c == '"') {
-          state = State::string;
-          out += ' ';
-        } else if (c == '\'') {
-          state = State::chr;
-          out += ' ';
-        } else {
-          out += c;
-        }
-        break;
-      case State::line_comment:
-        if (c == '\n') {
-          state = State::code;
-          out += '\n';
-        } else {
-          out += ' ';
-        }
-        break;
-      case State::block_comment:
-        if (c == '*' && next == '/') {
-          state = State::code;
-          out += "  ";
-          ++i;
-        } else {
-          out += c == '\n' ? '\n' : ' ';
-        }
-        break;
-      case State::string:
-      case State::chr:
-        if (c == '\\') {
-          out += "  ";
-          ++i;
-        } else if ((state == State::string && c == '"') ||
-                   (state == State::chr && c == '\'')) {
-          state = State::code;
-          out += ' ';
-        } else {
-          out += c == '\n' ? '\n' : ' ';
-        }
-        break;
-    }
-  }
-  return out;
-}
-
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-/// True when `text[pos]` starts the word `word` with no identifier character
-/// directly before it ("rand(" matches, "operand(" does not). A preceding
-/// ':' is allowed so std::rand / std::time still match.
-bool word_at(const std::string& text, std::size_t pos, std::string_view word) {
-  if (text.compare(pos, word.size(), word) != 0) return false;
-  if (pos == 0) return true;
-  return !ident_char(text[pos - 1]);
-}
-
-/// First template argument of the container starting after `open` ("<"),
-/// with nesting respected. Used to spot pointer keys.
-std::string first_template_arg(const std::string& text, std::size_t open) {
-  int depth = 0;
-  std::string arg;
-  for (std::size_t i = open; i < text.size() && arg.size() < 200; ++i) {
-    const char c = text[i];
-    if (c == '<') {
-      ++depth;
-      if (depth == 1) continue;
-    } else if (c == '>') {
-      --depth;
-      if (depth == 0) break;
-    } else if (c == ',' && depth == 1) {
-      break;
-    }
-    if (depth >= 1) arg += c;
-  }
-  return arg;
-}
-
-void scan_line(const std::string& text, std::size_t line_no,
-               const std::string& rel_path, std::vector<Violation>& out) {
-  const auto add = [&](const char* rule, std::size_t pos) {
-    const std::size_t end = std::min(text.size(), pos + 40);
-    out.push_back(Violation{rel_path, line_no, rule, text.substr(pos, end - pos)});
-  };
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    if (word_at(text, i, "unordered_map") || word_at(text, i, "unordered_set")) {
-      add("unordered-container", i);
-    } else if (word_at(text, i, "rand(") || word_at(text, i, "srand(")) {
-      add("c-rand", i);
-    } else if (word_at(text, i, "time(")) {
-      add("c-time", i);
-    } else if (word_at(text, i, "random_device")) {
-      add("random-device", i);
-    } else if (text.compare(i, 12, "_clock::now(") == 0) {
-      add("wall-clock", i);
-    } else if (word_at(text, i, "map<") || word_at(text, i, "set<")) {
-      const std::size_t open = text.find('<', i);
-      const std::string key = first_template_arg(text, open);
-      if (key.find('*') != std::string::npos) add("pointer-keyed", i);
-    }
-  }
-}
-
-std::vector<Violation> scan_source(const std::string& source,
-                                   const std::string& rel_path) {
-  std::vector<Violation> out;
-  const std::string stripped = strip_comments_and_strings(source);
-  std::size_t line_no = 1;
-  std::size_t start = 0;
-  while (start <= stripped.size()) {
-    std::size_t end = stripped.find('\n', start);
-    if (end == std::string::npos) end = stripped.size();
-    scan_line(stripped.substr(start, end - start), line_no, rel_path, out);
-    start = end + 1;
-    ++line_no;
-  }
-  return out;
-}
-
-std::vector<AllowEntry> parse_allowlist(std::istream& in, bool& ok) {
-  std::vector<AllowEntry> entries;
-  ok = true;
-  std::string line;
-  std::size_t line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    const std::size_t first = line.find_first_not_of(" \t");
-    if (first == std::string::npos || line[first] == '#') continue;
-    const std::size_t hash = line.find('#');
-    if (hash == std::string::npos) {
-      std::cerr << "allowlist:" << line_no
-                << ": entry has no '# reason' — a justification is mandatory\n";
-      ok = false;
-      continue;
-    }
-    std::string spec = line.substr(0, hash);
-    while (!spec.empty() && (spec.back() == ' ' || spec.back() == '\t')) {
-      spec.pop_back();
-    }
-    const std::size_t colon = spec.rfind(':');
-    if (colon == std::string::npos) {
-      std::cerr << "allowlist:" << line_no
-                << ": entry must be <path>:<rule|*> # reason\n";
-      ok = false;
-      continue;
-    }
-    AllowEntry e;
-    e.path = spec.substr(0, colon);
-    e.rule = spec.substr(colon + 1);
-    e.reason = line.substr(hash + 1);
-    entries.push_back(std::move(e));
-  }
-  return entries;
-}
-
-bool allowed(const std::vector<AllowEntry>& allow, const Violation& v) {
-  bool hit = false;
-  for (const AllowEntry& e : allow) {
-    if (e.path == v.file && (e.rule == "*" || e.rule == v.rule)) {
-      e.used = true;
-      hit = true;  // keep marking later duplicates as used
-    }
-  }
-  return hit;
-}
-
-const char* const kScannedLayers[] = {
-    "src/common",   "src/core",     "src/sim",        "src/sim_runtime",
-    "src/replication", "src/demand", "src/experiment", "src/topology",
-    "src/islands",  "src/harness",  "src/stats",      "src/durability",
-    "src/health",
-};
-
-int run_tree_scan(const fs::path& root, const fs::path& allowlist_path) {
-  std::ifstream allow_file(allowlist_path);
-  if (!allow_file) {
-    std::cerr << "cannot open allowlist " << allowlist_path << "\n";
-    return 2;
-  }
-  bool allow_ok = true;
-  const std::vector<AllowEntry> allow = parse_allowlist(allow_file, allow_ok);
-  if (!allow_ok) return 2;
-
-  std::vector<Violation> violations;
-  std::size_t files_scanned = 0;
-  for (const char* layer : kScannedLayers) {
-    const fs::path dir = root / layer;
-    if (!fs::exists(dir)) {
-      std::cerr << "scanned layer missing: " << dir << "\n";
-      return 2;
-    }
-    std::vector<fs::path> files;
-    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
-      if (!entry.is_regular_file()) continue;
-      const std::string ext = entry.path().extension().string();
-      if (ext == ".hpp" || ext == ".cpp") files.push_back(entry.path());
-    }
-    std::sort(files.begin(), files.end());
-    for (const fs::path& file : files) {
-      std::ifstream in(file, std::ios::binary);
-      std::ostringstream buffer;
-      buffer << in.rdbuf();
-      const std::string rel = fs::relative(file, root).generic_string();
-      for (Violation& v : scan_source(buffer.str(), rel)) {
-        if (!allowed(allow, v)) violations.push_back(std::move(v));
-      }
-      ++files_scanned;
-    }
-  }
-
-  int status = 0;
-  for (const Violation& v : violations) {
-    std::cout << v.file << ":" << v.line << ": " << v.rule << ": " << v.excerpt
-              << "\n";
-    status = 1;
-  }
-  for (const AllowEntry& e : allow) {
-    if (!e.used) {
-      std::cout << "stale allowlist entry (matched nothing): " << e.path << ":"
-                << e.rule << "\n";
-      status = 1;
-    }
-  }
-  if (status == 0) {
-    std::cout << "determinism lint: " << files_scanned << " files clean\n";
-  }
-  return status;
-}
-
-// --- self-test --------------------------------------------------------------
-
-struct SelfCase {
-  const char* name;
-  const char* source;
-  const char* expect_rule;  // nullptr = must be clean
-};
-
-const SelfCase kSelfCases[] = {
-    {"unordered_map iteration",
-     "#include <unordered_map>\n"
-     "std::unordered_map<int, double> t;\n"
-     "double sum() { double s = 0; for (auto& [k, v] : t) s += v; return s; }\n",
-     "unordered-container"},
-    {"unordered_set", "std::unordered_set<int> seen;\n", "unordered-container"},
-    {"c rand", "int draw() { return rand() % 6; }\n", "c-rand"},
-    {"std::rand", "int draw() { return std::rand(); }\n", "c-rand"},
-    {"c time", "long stamp() { return time(nullptr); }\n", "c-time"},
-    {"random_device", "std::random_device rd;\n", "random-device"},
-    {"steady_clock now",
-     "auto t0 = std::chrono::steady_clock::now();\n", "wall-clock"},
-    {"system_clock now",
-     "auto t0 = std::chrono::system_clock::now();\n", "wall-clock"},
-    {"pointer-keyed map", "std::map<Node*, int> order;\n", "pointer-keyed"},
-    {"pointer-keyed set", "std::set<const Event*> live;\n", "pointer-keyed"},
-    {"comment mention is fine",
-     "// we replaced std::unordered_map with sorted vectors\n"
-     "/* rand() would break digests */\n"
-     "int x = 0;\n",
-     nullptr},
-    {"string mention is fine",
-     "const char* msg = \"do not use time() here\";\n", nullptr},
-    {"operand is not rand", "int operand(int a); int y = operand(2);\n",
-     nullptr},
-    {"value-keyed map is fine", "std::map<int, char*> names;\n", nullptr},
-    {"runtime_error is fine",
-     "throw std::runtime_error(\"boom\");\n", nullptr},
-};
-
-int run_self_test() {
-  int failures = 0;
-  for (const SelfCase& c : kSelfCases) {
-    const std::vector<Violation> found = scan_source(c.source, "self_test.cpp");
-    if (c.expect_rule == nullptr) {
-      if (!found.empty()) {
-        std::cerr << "self-test FAIL [" << c.name << "]: expected clean, got "
-                  << found.front().rule << "\n";
-        ++failures;
-      }
-    } else {
-      const bool hit =
-          std::any_of(found.begin(), found.end(), [&](const Violation& v) {
-            return v.rule == c.expect_rule;
-          });
-      if (!hit) {
-        std::cerr << "self-test FAIL [" << c.name << "]: rule "
-                  << c.expect_rule << " not triggered\n";
-        ++failures;
-      }
-    }
-  }
-  // Allowlist machinery: suppression works, stale entries are detected.
-  {
-    std::istringstream allow_src(
-        "self_test.cpp:unordered-container # lookup-only, proven by test\n"
-        "other.cpp:c-rand # never matches\n");
-    bool ok = true;
-    const std::vector<AllowEntry> allow = parse_allowlist(allow_src, ok);
-    if (!ok || allow.size() != 2) {
-      std::cerr << "self-test FAIL: allowlist parse\n";
-      ++failures;
-    } else {
-      const Violation v{"self_test.cpp", 1, "unordered-container", "..."};
-      if (!allowed(allow, v)) {
-        std::cerr << "self-test FAIL: allowlist suppression\n";
-        ++failures;
-      }
-      if (allow[1].used) {
-        std::cerr << "self-test FAIL: stale entry marked used\n";
-        ++failures;
-      }
-    }
-  }
-  // A reason-less allowlist entry must be rejected.
-  {
-    std::istringstream allow_src("self_test.cpp:c-rand\n");
-    bool ok = true;
-    parse_allowlist(allow_src, ok);
-    if (ok) {
-      std::cerr << "self-test FAIL: reason-less entry accepted\n";
-      ++failures;
-    }
-  }
-  if (failures == 0) {
-    std::cout << "determinism lint self-test: "
-              << std::size(kSelfCases) + 2 << " cases passed\n";
-    return 0;
-  }
-  return 1;
-}
-
-}  // namespace
+#include "fastcons_lint/lint.hpp"
 
 int main(int argc, char** argv) {
-  fs::path root;
-  fs::path allowlist;
+  std::string root;
+  std::string allowlist;
   bool self_test = false;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -438,11 +37,17 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (self_test) return run_self_test();
+  if (self_test) {
+    return fastcons::lint::run_self_test(fastcons::lint::kRuleDeterminism);
+  }
   if (root.empty() || allowlist.empty()) {
     std::cerr << "determinism_lint: --root and --allowlist are required "
                  "(or --self-test)\n";
     return 2;
   }
-  return run_tree_scan(root, allowlist);
+  fastcons::lint::RunOptions options;
+  options.root = root;
+  options.rules = {fastcons::lint::kRuleDeterminism};
+  options.determinism_allowlist_path = allowlist;
+  return fastcons::lint::run_lint(options);
 }

@@ -1,0 +1,830 @@
+// Indexing pass: from stripped source text to a per-TU index of function
+// definitions, call sites, mutex-acquisition regions and throw-relevant
+// constructs, merged into one conservative whole-program call graph.
+//
+// This is a heuristic scanner, not a parser. The contract is conservative
+// OVER-approximation where it matters to the rules: a call site resolves to
+// every indexed function sharing its last name, a MutexLock region extends
+// to the end of its enclosing brace scope, a lambda body belongs to its
+// enclosing function, and namespace-scope initializers with braced bodies
+// (registry lambdas) are indexed as "(static-init)" pseudo-functions. Known
+// under-approximations — constructor calls via variable declarations, calls
+// hidden behind macros — are documented in docs/architecture.md; the rules
+// that need airtight coverage (determinism, digest-purity) work on token
+// scans over whole files, not the call graph, exactly for that reason.
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fastcons_lint/lint.hpp"
+
+namespace fastcons::lint {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_keyword(const std::string& w) {
+  static const char* const kWords[] = {
+      "if",       "for",      "while",    "switch",   "return", "catch",
+      "sizeof",   "alignof",  "decltype", "noexcept", "new",    "delete",
+      "throw",    "do",       "else",     "case",     "goto",   "co_return",
+      "co_await", "co_yield", "static_assert"};
+  return std::find_if(std::begin(kWords), std::end(kWords), [&](const char* k) {
+           return w == k;
+         }) != std::end(kWords);
+}
+
+bool is_lock_type(const std::string& w) {
+  return w == "MutexLock" || w == "lock_guard" || w == "unique_lock" ||
+         w == "scoped_lock";
+}
+
+bool is_io_ident(const std::string& w) {
+  return w == "ofstream" || w == "ifstream" || w == "fstream" || w == "FILE";
+}
+
+struct Region {
+  std::size_t from = 0;
+  std::size_t to = 0;
+  std::string what;  // mutex name for lock regions; unused for try regions
+  bool contains(std::size_t pos) const { return pos >= from && pos < to; }
+};
+
+/// Per-file scanning state shared by the outer and body walkers.
+class Indexer {
+ public:
+  Indexer(const SourceFile& source, const StrippedSource& stripped,
+          ProgramIndex& out)
+      : path_(source.path),
+        layer_(layer_of(source.path)),
+        text_(stripped.text),
+        out_(out) {
+    line_starts_.push_back(0);
+    for (std::size_t i = 0; i < text_.size(); ++i) {
+      if (text_[i] == '\n') line_starts_.push_back(i + 1);
+    }
+    compute_brace_matches();
+  }
+
+  void run() { parse_outer(0, text_.size(), ""); }
+
+ private:
+  // ------------------------------------------------------------- helpers
+
+  std::size_t line_at(std::size_t pos) const {
+    const auto it =
+        std::upper_bound(line_starts_.begin(), line_starts_.end(), pos);
+    return static_cast<std::size_t>(it - line_starts_.begin());
+  }
+
+  void compute_brace_matches() {
+    brace_match_.assign(text_.size(), std::string::npos);
+    std::vector<std::size_t> stack;
+    for (std::size_t i = 0; i < text_.size(); ++i) {
+      if (text_[i] == '{') {
+        stack.push_back(i);
+      } else if (text_[i] == '}' && !stack.empty()) {
+        brace_match_[stack.back()] = i;
+        stack.pop_back();
+      }
+    }
+  }
+
+  std::size_t skip_ws(std::size_t p) const {
+    while (p < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[p])) != 0) {
+      ++p;
+    }
+    return p;
+  }
+
+  std::string read_ident(std::size_t& p) const {
+    const std::size_t start = p;
+    while (p < text_.size() && ident_char(text_[p])) ++p;
+    return text_.substr(start, p - start);
+  }
+
+  /// Reads a qualified identifier chain (`::a::b::c`, `a::b`, `~a`) at `p`.
+  /// Returns the components; sets `global` when the chain starts with `::`.
+  std::vector<std::string> read_chain(std::size_t& p, bool& global) const {
+    std::vector<std::string> chain;
+    global = false;
+    if (p + 1 < text_.size() && text_[p] == ':' && text_[p + 1] == ':') {
+      global = true;
+      p += 2;
+      p = skip_ws(p);
+    }
+    bool tilde = false;
+    if (p < text_.size() && text_[p] == '~') {
+      tilde = true;
+      ++p;
+      p = skip_ws(p);
+    }
+    while (p < text_.size() && ident_start(text_[p])) {
+      std::string word = read_ident(p);
+      if (tilde) {
+        word = "~" + word;
+        tilde = false;
+      }
+      chain.push_back(word);
+      const std::size_t q = skip_ws(p);
+      if (q + 1 < text_.size() && text_[q] == ':' && text_[q + 1] == ':') {
+        p = skip_ws(q + 2);
+        if (p < text_.size() && text_[p] == '~') {
+          tilde = true;
+          ++p;
+          p = skip_ws(p);
+        }
+        continue;
+      }
+      break;
+    }
+    return chain;
+  }
+
+  /// Skips a balanced pair starting at the opener at `p` (or returns p+1
+  /// when unmatched). Openers: ( [ {.
+  std::size_t skip_balanced(std::size_t p) const {
+    const char open = text_[p];
+    const char close = open == '(' ? ')' : open == '[' ? ']' : '}';
+    if (open == '{') {
+      const std::size_t m = brace_match_[p];
+      return m == std::string::npos ? text_.size() : m + 1;
+    }
+    int depth = 0;
+    for (std::size_t i = p; i < text_.size(); ++i) {
+      if (text_[i] == open) ++depth;
+      if (text_[i] == close && --depth == 0) return i + 1;
+    }
+    return text_.size();
+  }
+
+  /// Skips a balanced template-argument list starting at '<'; `>>` closes
+  /// two levels. Gives up (returning p+1, i.e. "that was a less-than") at
+  /// `;` or `{` so expressions cannot derail the scan.
+  std::size_t skip_angles(std::size_t p) const {
+    int depth = 0;
+    for (std::size_t i = p; i < text_.size(); ++i) {
+      const char c = text_[i];
+      if (c == '<') ++depth;
+      else if (c == '>') {
+        if (--depth == 0) return i + 1;
+      } else if (c == '(' || c == '[') {
+        i = skip_balanced(i) - 1;
+      } else if (c == ';' || c == '{') {
+        return p + 1;
+      }
+    }
+    return p + 1;
+  }
+
+  char prev_nonspace(std::size_t p) const {
+    const std::size_t q = prev_nonspace_pos(p);
+    return q == std::string::npos ? '\0' : text_[q];
+  }
+
+  std::size_t prev_nonspace_pos(std::size_t p) const {
+    while (p > 0) {
+      --p;
+      if (std::isspace(static_cast<unsigned char>(text_[p])) == 0) {
+        return p;
+      }
+    }
+    return std::string::npos;
+  }
+
+  // -------------------------------------------------------- outer scopes
+
+  void parse_outer(std::size_t pos, std::size_t end, std::string scope) {
+    std::vector<std::string> chain;  // most recent identifier chain
+    std::size_t chain_pos = 0;
+    while (pos < end) {
+      pos = skip_ws(pos);
+      if (pos >= end) break;
+      const char c = text_[pos];
+      if (ident_start(c) || (c == ':' && pos + 1 < end && text_[pos + 1] == ':') ||
+          c == '~') {
+        const std::size_t start = pos;
+        bool global = false;
+        std::vector<std::string> words = read_chain(pos, global);
+        if (words.empty()) {  // lone ':' etc.
+          ++pos;
+          continue;
+        }
+        const std::string& head = words.front();
+        if (head == "namespace") {
+          pos = skip_ws(pos);
+          bool g = false;
+          std::vector<std::string> name = read_chain(pos, g);
+          pos = skip_ws(pos);
+          if (pos < end && text_[pos] == '{') {
+            const std::size_t m = brace_match_[pos];
+            const std::size_t inner_end = m == std::string::npos ? end : m;
+            parse_outer(pos + 1, inner_end,
+                        extend_scope(scope, join(name)));
+            pos = inner_end + 1;
+          } else {
+            pos = skip_to_semicolon(pos, end);
+          }
+          chain.clear();
+          continue;
+        }
+        if (head == "class" || head == "struct" || head == "union") {
+          pos = parse_record(pos, end, scope);
+          chain.clear();
+          continue;
+        }
+        if (head == "enum") {
+          pos = skip_decl_or_braced(pos, end);
+          chain.clear();
+          continue;
+        }
+        if (head == "using" || head == "typedef" || head == "friend" ||
+            head == "static_assert") {
+          pos = skip_to_semicolon(pos, end);
+          chain.clear();
+          continue;
+        }
+        if (head == "template") {
+          pos = skip_ws(pos);
+          if (pos < end && text_[pos] == '<') pos = skip_angles(pos);
+          continue;
+        }
+        if (head == "extern" || head == "inline" || head == "static" ||
+            head == "constexpr" || head == "const" || head == "virtual" ||
+            head == "explicit") {
+          continue;  // specifiers; keep the previous chain semantics simple
+        }
+        if (head == "operator") {
+          // Consume the operator symbol up to its parameter list and treat
+          // the whole thing as an unindexable "operator" candidate.
+          while (pos < end && text_[pos] != '(' && text_[pos] != ';' &&
+                 text_[pos] != '{') {
+            ++pos;
+          }
+          if (pos < end && text_[pos] == '(') {
+            // operator() has an extra () before the parameter list.
+            const std::size_t after = skip_balanced(pos);
+            const std::size_t q = skip_ws(after);
+            if (q < end && text_[q] == '(') pos = q;
+          }
+          chain = {"operator"};
+          chain_pos = start;
+          continue;
+        }
+        chain = std::move(words);
+        chain_pos = start;
+        // A template-argument list directly after the chain belongs to it.
+        const std::size_t q = skip_ws(pos);
+        if (q < end && text_[q] == '<') pos = skip_angles(q);
+        continue;
+      }
+      if (c == '(') {
+        if (chain.empty() || is_keyword(chain.back())) {
+          pos = skip_balanced(pos);
+          continue;
+        }
+        const std::size_t params_end = skip_balanced(pos);
+        pos = handle_candidate(chain, chain_pos, params_end, end, scope);
+        chain.clear();
+        continue;
+      }
+      if (c == '{') {
+        const std::size_t m = brace_match_[pos];
+        const std::size_t inner_end = m == std::string::npos ? end : m;
+        if (chain.empty()) {
+          // Transparent scope (extern "C" and friends).
+          parse_outer(pos + 1, inner_end, scope);
+        }
+        // Otherwise a braced initializer (member default, variable): skip.
+        pos = inner_end + 1;
+        chain.clear();
+        continue;
+      }
+      if (c == '=') {
+        // Namespace/class-scope initializer. If it contains a braced body
+        // (registry lambdas), index it so reachability rules still see the
+        // calls inside.
+        const std::size_t init_start = pos + 1;
+        pos = skip_to_semicolon(pos, end);
+        const std::size_t init_end = pos > 0 ? pos - 1 : pos;
+        if (text_.find('{', init_start) < init_end) {
+          Function fn;
+          fn.name = "(static-init)";
+          fn.qualified = extend_scope(scope, "(static-init)");
+          fn.file = path_;
+          fn.layer = layer_;
+          fn.line = line_at(init_start);
+          scan_body(fn, init_start, init_end);
+          out_.functions.push_back(std::move(fn));
+        }
+        chain.clear();
+        continue;
+      }
+      if (c == ';' || c == '}') {
+        chain.clear();
+        ++pos;
+        continue;
+      }
+      ++pos;  // *, &, [, commas, ...
+      if (c == '[') pos = skip_balanced(pos - 1);  // attributes, arrays
+    }
+  }
+
+  /// class/struct/union after the keyword: find the body (descending into
+  /// it with the record's name pushed onto the scope) or the end of a
+  /// forward declaration / variable use.
+  std::size_t parse_record(std::size_t pos, std::size_t end,
+                           const std::string& scope) {
+    std::string name;
+    while (pos < end) {
+      pos = skip_ws(pos);
+      if (pos >= end) break;
+      const char c = text_[pos];
+      if (ident_start(c)) {
+        bool g = false;
+        const std::vector<std::string> words = read_chain(pos, g);
+        if (!words.empty() && words.back() != "final" &&
+            words.back() != "alignas") {
+          name = words.back();
+        }
+        continue;
+      }
+      if (c == '<') {
+        pos = skip_angles(pos);
+        continue;
+      }
+      if (c == '(') {  // alignas(...)
+        pos = skip_balanced(pos);
+        continue;
+      }
+      if (c == ':') {  // base-clause: scan forward to the body
+        ++pos;
+        continue;
+      }
+      if (c == '{') {
+        const std::size_t m = brace_match_[pos];
+        const std::size_t inner_end = m == std::string::npos ? end : m;
+        parse_outer(pos + 1, inner_end, extend_scope(scope, name));
+        return inner_end + 1;
+      }
+      if (c == ';' || c == '=') return pos;  // fwd decl / elaborated use
+      ++pos;
+    }
+    return pos;
+  }
+
+  std::size_t skip_decl_or_braced(std::size_t pos, std::size_t end) {
+    while (pos < end && text_[pos] != '{' && text_[pos] != ';') ++pos;
+    if (pos < end && text_[pos] == '{') pos = skip_balanced(pos);
+    return pos;
+  }
+
+  /// Advances past the terminating ';', skipping balanced (), {}, [].
+  std::size_t skip_to_semicolon(std::size_t pos, std::size_t end) const {
+    while (pos < end) {
+      const char c = text_[pos];
+      if (c == ';') return pos + 1;
+      if (c == '(' || c == '{' || c == '[') {
+        pos = skip_balanced(pos);
+        continue;
+      }
+      ++pos;
+    }
+    return pos;
+  }
+
+  // A candidate `chain(params)` was seen at outer scope. Decide whether it
+  // is a declaration (record REQUIRES/ACQUIRE annotations), a definition
+  // (index it, scan the body) or neither. Returns the resume position.
+  std::size_t handle_candidate(const std::vector<std::string>& chain,
+                               std::size_t chain_pos, std::size_t params_end,
+                               std::size_t end, const std::string& scope) {
+    std::size_t p = params_end;
+    std::vector<std::string> mutexes;
+    std::size_t init_start = 0;  // member-init list start (0 = none)
+    while (p < end) {
+      p = skip_ws(p);
+      if (p >= end) break;
+      const char c = text_[p];
+      if (ident_start(c)) {
+        std::size_t q = p;
+        const std::string w = read_ident(q);
+        if (w == "const" || w == "noexcept" || w == "override" ||
+            w == "final" || w == "mutable" || w == "volatile" ||
+            w == "throw" || w == "try" || w == "requires") {
+          p = skip_ws(q);
+          if (p < end && text_[p] == '(') p = skip_balanced(p);
+          continue;
+        }
+        if (w == "REQUIRES" || w == "ACQUIRE" || w == "ACQUIRE_SHARED" ||
+            w == "EXCLUSIVE_LOCKS_REQUIRED") {
+          p = skip_ws(q);
+          if (p < end && text_[p] == '(') {
+            collect_arg_idents(p, mutexes);
+            p = skip_balanced(p);
+          }
+          continue;
+        }
+        if (w == "EXCLUDES" || w == "RELEASE" || w == "RELEASE_SHARED" ||
+            w == "LOCKS_EXCLUDED" || w == "NO_THREAD_SAFETY_ANALYSIS" ||
+            w == "__attribute__") {
+          p = skip_ws(q);
+          if (p < end && text_[p] == '(') p = skip_balanced(p);
+          continue;
+        }
+        return chain_pos + chain.back().size();  // not a function after all
+      }
+      if (c == '-' && p + 1 < end && text_[p + 1] == '>') {
+        p += 2;  // trailing return type: consume type tokens
+        while (p < end) {
+          p = skip_ws(p);
+          if (p >= end) break;
+          const char t = text_[p];
+          if (ident_start(t)) {
+            read_ident(p);
+          } else if (t == '<') {
+            p = skip_angles(p);
+          } else if (t == ':' && p + 1 < end && text_[p + 1] == ':') {
+            p += 2;
+          } else if (t == '*' || t == '&') {
+            ++p;
+          } else {
+            break;
+          }
+        }
+        continue;
+      }
+      if (c == ':' && !(p + 1 < end && text_[p + 1] == ':')) {
+        init_start = p + 1;  // member-init list; calls in it are indexed
+        // Scan forward to the body's '{': init items are `name(...)` or
+        // `name{...}` separated by commas.
+        ++p;
+        while (p < end) {
+          p = skip_ws(p);
+          if (p >= end) break;
+          const char t = text_[p];
+          if (ident_start(t) || t == ':') {
+            bool g = false;
+            read_chain(p, g);
+            continue;
+          }
+          if (t == '<') {
+            p = skip_angles(p);
+            continue;
+          }
+          if (t == '(' || t == '[') {
+            p = skip_balanced(p);
+            continue;
+          }
+          if (t == '{') {
+            // Either an init item's braced args or the body. The body's
+            // brace is preceded (after a balanced init item) by no comma.
+            const std::size_t after = skip_balanced(p);
+            const std::size_t q = skip_ws(after);
+            if (q < end && (text_[q] == ',' || text_[q] == '{')) {
+              p = after;  // braced init item, keep scanning
+              continue;
+            }
+            // Assume this brace WAS the body when nothing plausible
+            // follows; back up and let the '{' case below handle it.
+            break;
+          }
+          if (t == ',') {
+            ++p;
+            continue;
+          }
+          break;
+        }
+        continue;
+      }
+      if (c == '{') {
+        const std::size_t m = brace_match_[p];
+        const std::size_t body_end = m == std::string::npos ? end : m;
+        Function fn;
+        fn.name = chain.back();
+        fn.qualified = extend_scope(scope, join(chain));
+        fn.file = path_;
+        fn.layer = layer_;
+        fn.line = line_at(chain_pos);
+        scan_body(fn, init_start != 0 ? init_start : p + 1, body_end);
+        fn.requires_mutexes = mutexes;
+        out_.functions.push_back(std::move(fn));
+        return body_end + 1;
+      }
+      if (c == ';') {
+        if (!mutexes.empty()) record_decl_annotations(chain.back(), mutexes);
+        return p + 1;
+      }
+      if (c == '=') {
+        // = default / = delete / = 0 declaration forms.
+        const std::size_t stop = skip_to_semicolon(p, end);
+        if (!mutexes.empty()) record_decl_annotations(chain.back(), mutexes);
+        return stop;
+      }
+      return p;  // ',' etc: a variable declaration, not a function
+    }
+    return p;
+  }
+
+  void collect_arg_idents(std::size_t paren, std::vector<std::string>& out) {
+    const std::size_t close = skip_balanced(paren) - 1;
+    std::size_t p = paren + 1;
+    std::string last;
+    while (p < close) {
+      if (ident_start(text_[p])) {
+        last = read_ident(p);
+        continue;
+      }
+      if (text_[p] == ',' ) {
+        if (!last.empty()) out.push_back(last);
+        last.clear();
+      }
+      ++p;
+    }
+    if (!last.empty()) out.push_back(last);
+  }
+
+  void record_decl_annotations(const std::string& name,
+                               const std::vector<std::string>& mutexes) {
+    auto& slot = decl_annotations_[name];
+    slot.insert(slot.end(), mutexes.begin(), mutexes.end());
+  }
+
+  // -------------------------------------------------------- function body
+
+  void scan_body(Function& fn, std::size_t start, std::size_t end) {
+    std::vector<Region> locks;
+    std::vector<Region> tries;
+    std::vector<std::size_t> brace_stack;
+    std::set<std::string> local_lambdas;  // `auto f = [..]` names: calls to
+                                          // them stay inside this body
+    std::string prev_chain;  // identifier chain directly before the cursor
+                             // ("" when the previous token was punctuation)
+
+    const auto scope_end = [&]() -> std::size_t {
+      for (auto it = brace_stack.rbegin(); it != brace_stack.rend(); ++it) {
+        const std::size_t m = brace_match_[*it];
+        if (m != std::string::npos) return m;
+      }
+      return end;
+    };
+    const auto in_try = [&](std::size_t pos) {
+      return std::any_of(tries.begin(), tries.end(),
+                         [&](const Region& r) { return r.contains(pos); });
+    };
+    const auto locked_at = [&](std::size_t pos) {
+      std::vector<std::string> held;
+      for (const Region& r : locks) {
+        if (r.contains(pos)) held.push_back(r.what);
+      }
+      return held;
+    };
+
+    std::size_t pos = start;
+    while (pos < end) {
+      const char c = text_[pos];
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++pos;
+        continue;
+      }
+      if (c == '{') {
+        brace_stack.push_back(pos);
+        prev_chain.clear();
+        ++pos;
+        continue;
+      }
+      if (c == '}') {
+        if (!brace_stack.empty()) brace_stack.pop_back();
+        prev_chain.clear();
+        ++pos;
+        continue;
+      }
+      const bool global_start =
+          c == ':' && pos + 1 < end && text_[pos + 1] == ':' &&
+          !ident_char(prev_nonspace(pos)) && prev_nonspace(pos) != '>' &&
+          prev_nonspace(pos) != ')';
+      if (ident_start(c) || global_start) {
+        const std::size_t chain_start = pos;
+        const char prev = prev_nonspace(pos);
+        bool global = false;
+        std::vector<std::string> chain = read_chain(pos, global);
+        if (chain.empty()) {
+          prev_chain.clear();
+          ++pos;
+          continue;
+        }
+        const std::string& name = chain.back();
+        if (name == "throw" && chain.size() == 1) {
+          std::size_t q = skip_ws(pos);
+          std::string type;
+          if (q < end && (ident_start(text_[q]) ||
+                          (text_[q] == ':' && text_[q + 1] == ':'))) {
+            bool g = false;
+            const std::vector<std::string> t = read_chain(q, g);
+            if (!t.empty()) type = t.back();
+          }
+          fn.throws.push_back(
+              {type, line_at(chain_start), in_try(chain_start)});
+          prev_chain = name;  // keyword: the thrown type's ctor is a call
+          pos = q;
+          continue;
+        }
+        if (name == "try") {
+          const std::size_t q = skip_ws(pos);
+          if (q < end && text_[q] == '{') {
+            const std::size_t m = brace_match_[q];
+            tries.push_back({q, m == std::string::npos ? end : m, ""});
+          }
+          prev_chain.clear();
+          continue;
+        }
+        if (name == "dynamic_cast") {
+          fn.casts.push_back(
+              {"dynamic_cast", line_at(chain_start), in_try(chain_start)});
+          const std::size_t q = skip_ws(pos);
+          if (q < end && text_[q] == '<') pos = skip_angles(q);
+          prev_chain.clear();
+          continue;
+        }
+        if (is_io_ident(name)) {
+          fn.io_idents.push_back(
+              {name, line_at(chain_start), in_try(chain_start)});
+          prev_chain = name;  // `std::ofstream out(path)` declares, not calls
+          continue;
+        }
+        if (is_lock_type(name)) {
+          // `MutexLock guard(mutex_expr)`: optional template args, a
+          // variable name, then the guarded mutex as the first argument.
+          std::size_t q = skip_ws(pos);
+          if (q < end && text_[q] == '<') q = skip_ws(skip_angles(q));
+          if (q < end && ident_start(text_[q])) {
+            read_ident(q);
+            q = skip_ws(q);
+            if (q < end && text_[q] == '(') {
+              std::vector<std::string> args;
+              collect_arg_idents(q, args);
+              const std::size_t after = skip_balanced(q);
+              if (!args.empty()) {
+                locks.push_back({after, scope_end(), args.front()});
+              }
+              prev_chain.clear();
+              pos = after;
+              continue;
+            }
+          }
+          prev_chain.clear();
+          continue;
+        }
+        // Template args between the chain and a call's parentheses.
+        std::size_t q = skip_ws(pos);
+        if (q < end && text_[q] == '<') {
+          const std::size_t after = skip_angles(q);
+          if (after > q + 1) {
+            pos = after;
+            q = skip_ws(pos);
+          }
+        }
+        // `auto f = [..](..) {..}` introduces a body-local lambda: calls to
+        // `f` never leave this function, so the call graph must not resolve
+        // them against same-named free functions elsewhere.
+        if (q < end && text_[q] == '=' &&
+            (q + 1 >= end || text_[q + 1] != '=')) {
+          const std::size_t after_eq = skip_ws(q + 1);
+          if (after_eq < end && text_[after_eq] == '[') {
+            local_lambdas.insert(name);
+          }
+          prev_chain.clear();
+          pos = q + 1;
+          continue;
+        }
+        if (q < end && text_[q] == '(' && !is_keyword(name)) {
+          const std::size_t pp = prev_nonspace_pos(chain_start);
+          const bool member =
+              prev == '.' || (prev == '>' && pp != std::string::npos &&
+                              pp > 0 && text_[pp - 1] == '-');
+          // `Type name(args)` is a paren-initialised declaration, not a
+          // call: the token right before `name` is itself an identifier
+          // chain that is not a statement keyword (`return f(x)` and
+          // `throw E(x)` still count as calls).
+          const bool decl_like = !global && !member && ident_char(prev) &&
+                                 !prev_chain.empty() &&
+                                 !is_keyword(prev_chain);
+          if (decl_like || local_lambdas.count(name) != 0) {
+            prev_chain.clear();
+            pos = q + 1;  // initialiser arguments still get scanned
+            continue;
+          }
+          CallSite call;
+          call.name = name;
+          for (std::size_t k = 0; k + 1 < chain.size(); ++k) {
+            if (k) call.qualifier += "::";
+            call.qualifier += chain[k];
+          }
+          call.global_qualified = global && chain.size() == 1;
+          call.member_access = member;
+          call.line = line_at(chain_start);
+          call.in_try = in_try(chain_start);
+          call.locked = locked_at(chain_start);
+          if (call.member_access && name == "at") {
+            fn.at_calls.push_back(
+                {".at(", call.line, call.in_try});
+          } else {
+            fn.calls.push_back(std::move(call));
+          }
+          prev_chain.clear();
+          pos = q + 1;  // descend into the argument list naturally
+          continue;
+        }
+        prev_chain = name;
+        continue;
+      }
+      prev_chain.clear();
+      ++pos;
+    }
+  }
+
+  // -------------------------------------------------------------- misc
+
+  static std::string join(const std::vector<std::string>& parts) {
+    std::string out;
+    for (const std::string& part : parts) {
+      if (!out.empty()) out += "::";
+      out += part;
+    }
+    return out;
+  }
+
+  static std::string extend_scope(const std::string& scope,
+                                  const std::string& name) {
+    if (scope.empty()) return name;
+    if (name.empty()) return scope;
+    return scope + "::" + name;
+  }
+
+ public:
+  /// REQUIRES/ACQUIRE annotations seen on declarations, keyed by last name
+  /// (merged into same-named definitions once every file is indexed).
+  std::map<std::string, std::vector<std::string>>& decl_annotations() {
+    return decl_annotations_;
+  }
+
+ private:
+  std::string path_;
+  std::string layer_;
+  const std::string& text_;
+  ProgramIndex& out_;
+  std::vector<std::size_t> line_starts_;
+  std::vector<std::size_t> brace_match_;
+  std::map<std::string, std::vector<std::string>> decl_annotations_;
+};
+
+}  // namespace
+
+ProgramIndex index_sources(const std::vector<SourceFile>& sources) {
+  ProgramIndex index;
+  std::map<std::string, std::vector<std::string>> decl_annotations;
+  for (const SourceFile& source : sources) {
+    const StrippedSource stripped = strip_source(source.text);
+    FileIndex file;
+    file.path = source.path;
+    file.layer = layer_of(source.path);
+    file.includes = stripped.includes;
+    index.files.push_back(std::move(file));
+
+    Indexer indexer(source, stripped, index);
+    indexer.run();
+    for (auto& [name, mutexes] : indexer.decl_annotations()) {
+      auto& slot = decl_annotations[name];
+      slot.insert(slot.end(), mutexes.begin(), mutexes.end());
+    }
+  }
+  // Merge declaration-side REQUIRES/ACQUIRE annotations into definitions
+  // (headers declare, .cpp files define; Clang TSA puts the attribute on
+  // the declaration only).
+  for (Function& fn : index.functions) {
+    const auto it = decl_annotations.find(fn.name);
+    if (it != decl_annotations.end()) {
+      for (const std::string& m : it->second) {
+        if (std::find(fn.requires_mutexes.begin(), fn.requires_mutexes.end(),
+                      m) == fn.requires_mutexes.end()) {
+          fn.requires_mutexes.push_back(m);
+        }
+      }
+    }
+  }
+  for (std::size_t i = 0; i < index.functions.size(); ++i) {
+    index.by_name[index.functions[i].name].push_back(i);
+  }
+  return index;
+}
+
+}  // namespace fastcons::lint

@@ -1,0 +1,201 @@
+// Lexing pass: reduce a C++ source file to code-only text the indexer and
+// the token rules can scan without being fooled by comments, string
+// literals (raw strings included) or preprocessor directives. Every blanked
+// character becomes a space and every newline survives, so byte offsets map
+// to the original line numbers throughout the pipeline.
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+#include "fastcons_lint/lint.hpp"
+
+namespace fastcons::lint {
+namespace {
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True when the quote at `pos` opens a raw string: the identifier tail
+/// directly before it is one of the raw-string prefixes and the character
+/// before the prefix is not part of a longer identifier.
+bool is_raw_string_quote(const std::string& in, std::size_t pos) {
+  static const char* const kPrefixes[] = {"R", "uR", "UR", "LR", "u8R"};
+  for (const char* prefix : kPrefixes) {
+    const std::size_t len = std::char_traits<char>::length(prefix);
+    if (pos < len) continue;
+    if (in.compare(pos - len, len, prefix) != 0) continue;
+    if (pos - len > 0 && ident_char(in[pos - len - 1])) continue;
+    return true;
+  }
+  return false;
+}
+
+/// Extracts the include target from a captured directive ("include" already
+/// seen): the text between "..." or <...>.
+void record_include(const std::string& directive, std::size_t line,
+                    StrippedSource& out) {
+  std::size_t open = directive.find_first_of("\"<");
+  if (open == std::string::npos) return;
+  const char close = directive[open] == '"' ? '"' : '>';
+  const std::size_t end = directive.find(close, open + 1);
+  if (end == std::string::npos) return;
+  out.includes.push_back(
+      {directive.substr(open + 1, end - open - 1), line});
+}
+
+}  // namespace
+
+StrippedSource strip_source(const std::string& in) {
+  StrippedSource out;
+  out.text.reserve(in.size());
+  enum class State {
+    code,
+    line_comment,
+    block_comment,
+    string,
+    chr,
+    raw_string,
+    directive,  // from a line-leading '#' to its (continuation-aware) end
+  };
+  State state = State::code;
+  bool at_line_start = true;      // only whitespace seen since the newline
+  std::string raw_terminator;     // ")delim\"" for the active raw string
+  std::string directive_text;     // captured directive (for #include)
+  std::size_t directive_line = 0;
+  std::size_t line = 1;
+
+  const auto end_directive = [&] {
+    if (directive_text.compare(0, 7, "include") == 0) {
+      record_include(directive_text, directive_line, out);
+    }
+    directive_text.clear();
+  };
+
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    const char next = i + 1 < in.size() ? in[i + 1] : '\0';
+    switch (state) {
+      case State::code:
+        if (c == '/' && next == '/') {
+          state = State::line_comment;
+          out.text += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::block_comment;
+          out.text += "  ";
+          ++i;
+        } else if (c == '#' && at_line_start) {
+          state = State::directive;
+          directive_line = line;
+          out.text += ' ';
+        } else if (c == '"' && is_raw_string_quote(in, i)) {
+          state = State::raw_string;
+          // Capture the delimiter up to '(' and build ")delim\"".
+          std::size_t d = i + 1;
+          std::string delim;
+          while (d < in.size() && in[d] != '(' && delim.size() <= 16) {
+            delim += in[d++];
+          }
+          raw_terminator = ")" + delim + "\"";
+          out.text += ' ';
+        } else if (c == '"') {
+          state = State::string;
+          out.text += ' ';
+        } else if (c == '\'' && !(i > 0 && ident_char(in[i - 1]))) {
+          // A quote after an identifier character is a C++14 digit
+          // separator (1'000'000), not a char literal.
+          state = State::chr;
+          out.text += ' ';
+        } else {
+          out.text += c;
+        }
+        break;
+      case State::line_comment:
+        if (c == '\n') {
+          state = State::code;
+          out.text += '\n';
+        } else {
+          out.text += ' ';
+        }
+        break;
+      case State::block_comment:
+        if (c == '*' && next == '/') {
+          state = State::code;
+          out.text += "  ";
+          ++i;
+        } else {
+          out.text += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::string:
+      case State::chr:
+        if (c == '\\') {
+          out.text += ' ';
+          if (next != '\0') {
+            out.text += next == '\n' ? '\n' : ' ';
+            ++i;
+          }
+        } else if ((state == State::string && c == '"') ||
+                   (state == State::chr && c == '\'')) {
+          state = State::code;
+          out.text += ' ';
+        } else {
+          out.text += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::raw_string:
+        if (in.compare(i, raw_terminator.size(), raw_terminator) == 0) {
+          for (std::size_t k = 0; k < raw_terminator.size(); ++k) {
+            out.text += ' ';
+          }
+          i += raw_terminator.size() - 1;
+          state = State::code;
+        } else {
+          out.text += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::directive:
+        if (c == '\n') {
+          // A backslash immediately before the newline continues the
+          // directive onto the next line.
+          if (!directive_text.empty() && directive_text.back() == '\\') {
+            directive_text.pop_back();
+            out.text += '\n';
+          } else {
+            end_directive();
+            state = State::code;
+            out.text += '\n';
+          }
+        } else if (c == '/' && next == '/') {
+          // Trailing line comment inside a directive: the directive keeps
+          // consuming (the comment has no code anyway).
+          directive_text += ' ';
+          out.text += "  ";
+          ++i;
+        } else {
+          directive_text += c;
+          out.text += ' ';
+        }
+        break;
+    }
+    // Track newline / line-start state from the ORIGINAL character.
+    if (c == '\n') {
+      ++line;
+      at_line_start = true;
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      at_line_start = false;
+    }
+  }
+  if (state == State::directive) end_directive();
+  return out;
+}
+
+std::string layer_of(const std::string& path) {
+  if (path.compare(0, 4, "src/") != 0) return "";
+  const std::size_t slash = path.find('/', 4);
+  if (slash == std::string::npos) return "";
+  return path.substr(4, slash - 4);
+}
+
+}  // namespace fastcons::lint

@@ -1,0 +1,226 @@
+// Tree-scan runner: loads src/** sources, runs the selected rules, applies
+// the two allowlists (the fastcons_lint one and the historical determinism
+// one, whose semantics are preserved byte-for-byte), prints diagnostics
+// with call chains, and enforces allowlist staleness.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fastcons_lint/lint.hpp"
+
+namespace fastcons::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool has(const std::vector<std::string>& rules, const std::string& rule) {
+  return std::find(rules.begin(), rules.end(), rule) != rules.end();
+}
+
+std::string default_path(const std::string& configured, const fs::path& root,
+                         const char* fallback) {
+  if (!configured.empty()) return configured;
+  return (root / fallback).string();
+}
+
+bool load_allowlist(const std::string& path, Allowlist& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open allowlist " << path << "\n";
+    return false;
+  }
+  std::string err;
+  if (!parse_allowlist(in, out, err)) {
+    std::cerr << err;
+    return false;
+  }
+  return true;
+}
+
+void print_violation(const Violation& v) {
+  std::cout << v.file << ":" << v.line << ": " << v.rule << ": " << v.message
+            << "\n";
+  for (const std::string& step : v.chain) {
+    std::cout << "    " << step << "\n";
+  }
+}
+
+/// Stale-entry check for one allowlist; only called when the rules the
+/// allowlist serves actually ran (otherwise unused entries are expected).
+int report_stale(const Allowlist& allow, const char* which) {
+  int status = 0;
+  for (const AllowEntry& e : allow.entries) {
+    if (!e.used) {
+      std::cout << "stale " << which << " entry (matched nothing): " << e.path
+                << ":" << e.rule << "\n";
+      status = 1;
+    }
+  }
+  return status;
+}
+
+}  // namespace
+
+int run_lint(const RunOptions& options) {
+  const fs::path root = options.root;
+  const std::vector<std::string> rules =
+      options.rules.empty() ? all_rules() : options.rules;
+  for (const std::string& rule : rules) {
+    if (!has(all_rules(), rule)) {
+      std::cerr << "unknown rule '" << rule << "'\n";
+      return 2;
+    }
+  }
+
+  // The determinism rule keeps the historical contract that every scanned
+  // layer directory exists — a renamed layer must be renamed here too.
+  if (has(rules, kRuleDeterminism)) {
+    for (const std::string& layer : determinism_layers()) {
+      if (!fs::exists(root / "src" / layer)) {
+        std::cerr << "scanned layer missing: " << (root / "src" / layer)
+                  << "\n";
+        return 2;
+      }
+    }
+  }
+
+  const fs::path src_dir = root / "src";
+  if (!fs::exists(src_dir)) {
+    std::cerr << "no src/ under root " << root << "\n";
+    return 2;
+  }
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::recursive_directory_iterator(src_dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".hpp" || ext == ".cpp") paths.push_back(entry.path());
+  }
+  std::sort(paths.begin(), paths.end());
+  std::vector<SourceFile> sources;
+  sources.reserve(paths.size());
+  for (const fs::path& path : paths) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::cerr << "cannot read " << path << "\n";
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    sources.push_back(
+        {fs::relative(path, root).generic_string(), buffer.str()});
+  }
+
+  // Structural rules (everything but determinism) share the program index
+  // and the fastcons_lint allowlist; determinism keeps its own.
+  const bool structural = has(rules, kRuleBlocking) || has(rules, kRuleLayers) ||
+                          has(rules, kRuleThrow) || has(rules, kRuleDigest);
+  Allowlist allow;
+  Allowlist det_allow;
+  if (structural &&
+      !load_allowlist(default_path(options.allowlist_path, root,
+                                   "tools/fastcons_lint/allowlist.txt"),
+                      allow)) {
+    return 2;
+  }
+  if (has(rules, kRuleDeterminism) &&
+      !load_allowlist(default_path(options.determinism_allowlist_path, root,
+                                   "tools/determinism_allowlist.txt"),
+                      det_allow)) {
+    return 2;
+  }
+
+  LayerGraph graph;
+  if (has(rules, kRuleLayers)) {
+    const std::string path = default_path(options.layers_path, root,
+                                          "tools/fastcons_lint/layers.txt");
+    std::ifstream in(path);
+    std::string err;
+    if (!in) {
+      std::cerr << "cannot open layer graph " << path << "\n";
+      return 2;
+    }
+    if (!parse_layer_graph(in, graph, err)) {
+      std::cerr << err << "\n";
+      return 2;
+    }
+  }
+  std::vector<ThrowContract> contracts;
+  if (has(rules, kRuleThrow)) {
+    const std::string path = default_path(options.contracts_path, root,
+                                          "tools/fastcons_lint/nothrow.txt");
+    std::ifstream in(path);
+    std::string err;
+    if (!in) {
+      std::cerr << "cannot open throw contracts " << path << "\n";
+      return 2;
+    }
+    if (!parse_contracts(in, contracts, err)) {
+      std::cerr << err << "\n";
+      return 2;
+    }
+  }
+
+  ProgramIndex index;
+  if (structural) index = index_sources(sources);
+
+  std::vector<Violation> structural_violations;
+  std::vector<Violation> det_violations;
+  if (has(rules, kRuleBlocking)) {
+    rule_blocking_under_lock(index, options.mutex, structural_violations);
+  }
+  if (has(rules, kRuleLayers)) {
+    rule_layer_dag(index, graph, structural_violations);
+  }
+  if (has(rules, kRuleThrow)) {
+    rule_throw_contracts(index, contracts, structural_violations);
+  }
+  if (has(rules, kRuleDeterminism)) {
+    rule_determinism(sources, det_violations);
+  }
+  if (has(rules, kRuleDigest)) {
+    rule_digest_purity(index, structural_violations);
+  }
+
+  int status = 0;
+  std::set<std::string> printed;  // dedup identical findings (e.g. two
+                                  // chains to the same sink line)
+  const auto emit = [&](const std::vector<Violation>& violations,
+                        const Allowlist& list) {
+    for (const Violation& v : violations) {
+      if (list.allowed(v)) continue;
+      std::ostringstream key;
+      key << v.file << ":" << v.line << ":" << v.rule << ":" << v.message;
+      if (!printed.insert(key.str()).second) continue;
+      print_violation(v);
+      status = 1;
+    }
+  };
+  emit(structural_violations, allow);
+  emit(det_violations, det_allow);
+
+  const bool all_structural_ran =
+      has(rules, kRuleBlocking) && has(rules, kRuleLayers) &&
+      has(rules, kRuleThrow) && has(rules, kRuleDigest);
+  if (all_structural_ran) {
+    status |= report_stale(allow, "allowlist");
+  }
+  if (has(rules, kRuleDeterminism)) {
+    status |= report_stale(det_allow, "determinism allowlist");
+  }
+
+  if (status == 0) {
+    std::cout << "fastcons_lint: " << sources.size() << " files clean (";
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+      std::cout << (i ? ", " : "") << rules[i];
+    }
+    std::cout << ")\n";
+  }
+  return status;
+}
+
+}  // namespace fastcons::lint
